@@ -1,0 +1,12 @@
+//! Bench target for the `ext1` extension experiment (phase-aware FURBYS).
+//! Run with `cargo bench -p uopcache-bench --bench ext1_phased_furbys`.
+//! Set `UOPCACHE_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let quick = std::env::var("UOPCACHE_QUICK").is_ok();
+    let exp = uopcache_bench::experiments::by_id("ext1").expect("registered experiment");
+    println!("{} — {}\n", exp.id, exp.caption);
+    for table in (exp.run)(quick) {
+        table.print();
+    }
+}

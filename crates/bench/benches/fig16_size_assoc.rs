@@ -1,0 +1,12 @@
+//! Bench target regenerating the paper's `fig16` experiment.
+//! Run with `cargo bench -p uopcache-bench --bench fig16_size_assoc`.
+//! Set `UOPCACHE_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let quick = std::env::var("UOPCACHE_QUICK").is_ok();
+    let exp = uopcache_bench::experiments::by_id("fig16").expect("registered experiment");
+    println!("{} — {}\n", exp.id, exp.caption);
+    for table in (exp.run)(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,12 @@
+//! Bench target regenerating the paper's `sec6hw` experiment.
+//! Run with `cargo bench -p uopcache-bench --bench sec6_hw_overhead`.
+//! Set `UOPCACHE_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let quick = std::env::var("UOPCACHE_QUICK").is_ok();
+    let exp = uopcache_bench::experiments::by_id("sec6hw").expect("registered experiment");
+    println!("{} — {}\n", exp.id, exp.caption);
+    for table in (exp.run)(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,82 @@
+//! Runs every experiment in the registry and rewrites `EXPERIMENTS.md` with
+//! the paper-vs-measured results.
+//!
+//! ```text
+//! cargo run -p uopcache-bench --release --bin reproduce-all [-- quick] [out.md]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use uopcache_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick") || std::env::var("UOPCACHE_QUICK").is_ok();
+    let out_path = args
+        .iter()
+        .find(|a| a.ends_with(".md"))
+        .cloned()
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# EXPERIMENTS — paper vs. measured\n");
+    let _ = writeln!(
+        md,
+        "Reproduction of every table and figure of *From Optimal to Practical: \
+         Efficient Micro-op Cache Replacement Policies for Data Center Applications* \
+         (HPCA 2025) on the synthetic workload substrate described in `DESIGN.md`. \
+         Absolute numbers differ from the paper (different traces, simplified \
+         simulator); the *shapes* — orderings, ratios, crossovers — are the \
+         reproduction target. Regenerate with \
+         `cargo run -p uopcache-bench --release --bin reproduce-all`{}.\n",
+        if quick { " (this file was produced in QUICK mode)" } else { "" }
+    );
+    let _ = writeln!(
+        md,
+        "## Known deviations\n\n\
+         1. **GHRP does not replicate as the strongest prior policy.** On the \
+         synthetic traces its history-indexed dead-block predictor lands between \
+         SRRIP and SHiP++ rather than at the paper's 7.81 %; the strongest prior \
+         policy here is Thermometer. The headline ratio \"FURBYS vs. best \
+         existing\" is therefore computed against Thermometer and comes out \
+         smaller than the paper's 1.84x while preserving the claim that FURBYS \
+         clearly beats every prior policy. Likely cause: the path-history \
+         correlation GHRP exploits is weaker in our call-chain workload model \
+         than in real server binaries.\n\
+         2. **Mockingjay is slightly negative** (the paper shows it small but \
+         positive); its sampled reuse-distance prediction degenerates when every \
+         PC maps to a single PW, which the paper itself observes in SIII-E.\n\
+         3. **Fig. 2's perfect-uop-cache bound is larger than the paper's 7.41 %** \
+         because the synthetic traces run at a higher baseline miss rate \
+         (calibrated to reproduce the replacement-policy headroom of Figs. 8/10); \
+         the qualitative claim — the micro-op cache is the largest PPW lever — \
+         holds.\n\
+         4. **Offline-policy miss reductions are measured against a synchronous \
+         LRU baseline** (no asynchronous-insertion races), mirroring the paper's \
+         perfect-setup methodology for bound studies; online policies run \
+         through the full timed frontend.\n\
+         5. **The pitfall detector is roughly neutral here** (Fig. 20: depth 0 \
+         and depth 2 within ~0.1 %), while the paper finds depth 2 best. Its \
+         replacement coverage at depth 2 (~95 %) is close to the paper's \
+         88.68 %, but the synthetic phase structure produces less of the \
+         `{{A, I}}^n` thrash the detector exists to break.\n"
+    );
+
+    let total = Instant::now();
+    for exp in experiments::all() {
+        let t0 = Instant::now();
+        eprintln!("running {} — {}", exp.id, exp.caption);
+        println!("\n################ {} — {}\n", exp.id, exp.caption);
+        let _ = writeln!(md, "## {} — {}\n", exp.id, exp.caption);
+        for table in (exp.run)(quick) {
+            table.print();
+            md.push_str(&table.render_markdown());
+            md.push('\n');
+        }
+        let _ = writeln!(md, "_runtime: {:.1?}_\n", t0.elapsed());
+    }
+    let _ = writeln!(md, "---\n\nTotal runtime: {:.1?}.", total.elapsed());
+
+    std::fs::write(&out_path, md).expect("write experiments file");
+    eprintln!("wrote {out_path} in {:?}", total.elapsed());
+}

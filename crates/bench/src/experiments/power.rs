@@ -1,0 +1,248 @@
+//! Energy / performance-per-watt experiments: Figs. 2, 9, 13, 14, 17.
+
+use crate::experiments::{apps_for, len_for};
+use crate::runs::{mean, Lab};
+use crate::table::Table;
+use uopcache_model::FrontendConfig;
+use uopcache_power::{ppw_gain_percent, EnergyModel};
+
+/// Fig. 2: per-core PPW gain of making one structure perfect (paper: the
+/// perfect micro-op cache gives the largest gain, 7.41% on average).
+pub fn fig02_perfect_structures(quick: bool) -> Vec<Table> {
+    let base_cfg = FrontendConfig::zen3();
+    let model = EnergyModel::zen3_22nm(&base_cfg);
+    let mut t = Table::new(
+        "Fig. 2: PPW gain of perfect structures over the LRU baseline",
+        &["app", "perfect uop cache", "perfect icache", "perfect BTB", "perfect BP"],
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut labs: Vec<Lab> = (0..4)
+        .map(|i| {
+            let mut cfg = base_cfg;
+            match i {
+                0 => cfg.perfect.uop_cache = true,
+                1 => cfg.perfect.icache = true,
+                2 => cfg.perfect.btb = true,
+                _ => cfg.perfect.branch_predictor = true,
+            }
+            Lab::with_len(cfg, len_for(quick))
+        })
+        .collect();
+    let mut base_lab = Lab::with_len(base_cfg, len_for(quick));
+    for app in apps_for(quick) {
+        let base = base_lab.run_online("LRU", app, 0);
+        let mut row = vec![app.name().to_string()];
+        for (i, lab) in labs.iter_mut().enumerate() {
+            let perfect = lab.run_online("LRU", app, 0);
+            let gain = ppw_gain_percent(&model, &perfect, &base);
+            cols[i].push(gain);
+            row.push(format!("{gain:.2}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for c in &cols {
+        mean_row.push(format!("{:.2}", mean(c)));
+    }
+    t.row(&mean_row);
+    let mut t2 = Table::new("Fig. 2 summary", &["metric", "paper", "measured"]);
+    t2.row(&[
+        "perfect uop cache PPW gain".into(),
+        "7.41% (largest of all structures)".into(),
+        format!("{:.2}%", mean(&cols[0])),
+    ]);
+    t2.row(&[
+        "uop cache is the largest lever".into(),
+        "yes".into(),
+        format!("{}", cols.iter().map(|c| mean(c)).fold(f64::MIN, f64::max) <= mean(&cols[0]) + 1e-9),
+    ]);
+    vec![t, t2]
+}
+
+/// Fig. 9: PPW gain of FURBYS and the baselines over LRU (paper: FURBYS
+/// 3.10%, surpassing existing policies by 5.1x).
+pub fn fig09_ppw_gain(quick: bool) -> Vec<Table> {
+    ppw_table(
+        FrontendConfig::zen3(),
+        quick,
+        "Fig. 9: per-core PPW gain over LRU (Zen3)",
+        "3.10%",
+    )
+}
+
+/// Fig. 17: the same study on the Zen4-like frontend (paper: FURBYS 2.41%).
+pub fn fig17_zen4_ppw(quick: bool) -> Vec<Table> {
+    ppw_table(
+        FrontendConfig::zen4(),
+        quick,
+        "Fig. 17: per-core PPW gain over LRU (Zen4-like)",
+        "2.41%",
+    )
+}
+
+fn ppw_table(cfg: FrontendConfig, quick: bool, title: &str, paper_furbys: &str) -> Vec<Table> {
+    let model = EnergyModel::zen3_22nm(&cfg);
+    let mut lab = Lab::with_len(cfg, len_for(quick));
+    let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+    let mut t = Table::new(
+        title,
+        &["app", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"],
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for app in apps_for(quick) {
+        let lru = lab.run_online("LRU", app, 0);
+        let mut row = vec![app.name().to_string()];
+        for (i, p) in policies.iter().enumerate() {
+            let r = lab.run_online(p, app, 0);
+            let gain = ppw_gain_percent(&model, &r, &lru);
+            cols[i].push(gain);
+            row.push(format!("{gain:.2}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for c in &cols {
+        mean_row.push(format!("{:.2}", mean(c)));
+    }
+    t.row(&mean_row);
+    let mut t2 = Table::new("summary", &["metric", "paper", "measured"]);
+    t2.row(&[
+        "FURBYS avg PPW gain".into(),
+        paper_furbys.into(),
+        format!("{:.2}%", mean(&cols[5])),
+    ]);
+    vec![t, t2]
+}
+
+/// Fig. 13: per-core energy breakdown on Clang for (a) no micro-op cache,
+/// (b) LRU micro-op cache, (c) FURBYS — normalised to (a).
+pub fn fig13_energy_breakdown(quick: bool) -> Vec<Table> {
+    let app = uopcache_trace::AppId::Clang;
+    let len = len_for(quick);
+    let cfg = FrontendConfig::zen3();
+    let model = EnergyModel::zen3_22nm(&cfg);
+
+    // (a) Baseline without a micro-op cache: smallest legal geometry so
+    // effectively everything streams through the decoders.
+    let mut no_uopc = cfg;
+    no_uopc.uop_cache.entries = 1;
+    no_uopc.uop_cache.ways = 1;
+    no_uopc.uop_cache.uops_per_entry = 1;
+    no_uopc.uop_cache.max_entries_per_pw = 1;
+    let mut lab_none = Lab::with_len(no_uopc, len);
+    let base = lab_none.run_online("LRU", app, 0);
+    let base_b = model.evaluate(&base);
+
+    let mut lab = Lab::with_len(cfg, len);
+    let lru = lab.run_online("LRU", app, 0);
+    let lru_b = model.evaluate(&lru);
+    let furbys = lab.run_online("FURBYS", app, 0);
+    let furbys_b = model.evaluate(&furbys);
+
+    let mut t = Table::new(
+        "Fig. 13: per-core energy on Clang, normalised to no-uop-cache baseline",
+        &["component", "(a) no uop cache", "(b) LRU", "(c) FURBYS"],
+    );
+    let total = base_b.total();
+    let pct = |v: f64| format!("{:.1}%", v / total * 100.0);
+    t.row(&["decoder".into(), pct(base_b.decoder), pct(lru_b.decoder), pct(furbys_b.decoder)]);
+    t.row(&["icache".into(), pct(base_b.icache), pct(lru_b.icache), pct(furbys_b.icache)]);
+    t.row(&[
+        "uop cache".into(),
+        pct(base_b.uop_cache),
+        pct(lru_b.uop_cache),
+        pct(furbys_b.uop_cache),
+    ]);
+    t.row(&["others".into(), pct(base_b.others()), pct(lru_b.others()), pct(furbys_b.others())]);
+    t.row(&["TOTAL".into(), pct(total), pct(lru_b.total()), pct(furbys_b.total())]);
+
+    let mut t2 = Table::new("Fig. 13 summary", &["metric", "paper", "measured"]);
+    t2.row(&[
+        "decoder share of baseline".into(),
+        "12.5%".into(),
+        format!("{:.1}%", base_b.decoder / total * 100.0),
+    ]);
+    t2.row(&[
+        "icache share of baseline".into(),
+        "7.7%".into(),
+        format!("{:.1}%", base_b.icache / total * 100.0),
+    ]);
+    t2.row(&[
+        "LRU uop cache saving".into(),
+        "8.1%".into(),
+        format!("{:.1}%", (1.0 - lru_b.total() / total) * 100.0),
+    ]);
+    t2.row(&[
+        "additional FURBYS saving".into(),
+        "2.2%".into(),
+        format!("{:.1}%", (lru_b.total() - furbys_b.total()) / total * 100.0),
+    ]);
+    vec![t, t2]
+}
+
+/// Fig. 14: where FURBYS's energy reduction over LRU comes from (paper:
+/// 73.26% fewer micro-op cache insertions, 16.35% decoder, 7.75% icache).
+pub fn fig14_energy_reduction(quick: bool) -> Vec<Table> {
+    let cfg = FrontendConfig::zen3();
+    let model = EnergyModel::zen3_22nm(&cfg);
+    let mut lab = Lab::with_len(cfg, len_for(quick));
+    let mut decoder = Vec::new();
+    let mut icache = Vec::new();
+    let mut uopc = Vec::new();
+    let mut other = Vec::new();
+    let mut t = Table::new(
+        "Fig. 14: energy-reduction breakdown of FURBYS vs LRU",
+        &["app", "decoder", "icache", "uop cache (insertions)", "others"],
+    );
+    for app in apps_for(quick) {
+        let lru = model.evaluate(&lab.run_online("LRU", app, 0));
+        let fur = model.evaluate(&lab.run_online("FURBYS", app, 0));
+        let saved = (lru.total() - fur.total()).max(1e-12);
+        let d = (lru.decoder - fur.decoder) / saved * 100.0;
+        let i = (lru.icache - fur.icache) / saved * 100.0;
+        let u = (lru.uop_cache - fur.uop_cache) / saved * 100.0;
+        let o = 100.0 - d - i - u;
+        decoder.push(d);
+        icache.push(i);
+        uopc.push(u);
+        other.push(o);
+        t.row(&[
+            app.name().to_string(),
+            format!("{d:.1}%"),
+            format!("{i:.1}%"),
+            format!("{u:.1}%"),
+            format!("{o:.1}%"),
+        ]);
+    }
+    t.row(&[
+        "MEAN".into(),
+        format!("{:.1}%", mean(&decoder)),
+        format!("{:.1}%", mean(&icache)),
+        format!("{:.1}%", mean(&uopc)),
+        format!("{:.1}%", mean(&other)),
+    ]);
+    let mut t2 = Table::new("Fig. 14 summary", &["source", "paper", "measured"]);
+    t2.row(&["uop cache insertions".into(), "73.26%".into(), format!("{:.1}%", mean(&uopc))]);
+    t2.row(&["decoder".into(), "16.35%".into(), format!("{:.1}%", mean(&decoder))]);
+    t2.row(&["icache".into(), "7.75%".into(), format!("{:.1}%", mean(&icache))]);
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig02_runs() {
+        let tables = fig02_perfect_structures(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 3); // 2 quick apps + MEAN
+    }
+
+    #[test]
+    fn quick_fig13_normalises_to_baseline() {
+        let tables = fig13_energy_breakdown(true);
+        let s = tables[0].render();
+        assert!(s.contains("TOTAL") && s.contains("100.0%"));
+    }
+}

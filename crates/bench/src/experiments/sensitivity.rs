@@ -1,0 +1,128 @@
+//! Sensitivity studies: Figs. 16, 19 and 20.
+
+use crate::apps::trace_for;
+use crate::experiments::{apps_for, len_for};
+use crate::runs::{mean, Lab};
+use crate::table::Table;
+use uopcache_core::FurbysPipeline;
+use uopcache_model::FrontendConfig;
+use uopcache_sim::Frontend;
+
+/// Fig. 16: FURBYS vs the best existing policies across micro-op cache sizes
+/// and associativities (paper: FURBYS wins everywhere; the gap shrinks as
+/// capacity misses vanish).
+pub fn fig16_size_assoc(quick: bool) -> Vec<Table> {
+    let configs: &[(u32, u32)] = if quick {
+        &[(256, 8), (512, 8)]
+    } else {
+        &[(256, 4), (256, 8), (512, 4), (512, 8), (512, 16), (1024, 8), (2048, 8)]
+    };
+    let mut t = Table::new(
+        "Fig. 16: avg miss reduction over LRU by geometry (entries x ways)",
+        &["entries", "ways", "GHRP", "Thermometer", "FURBYS"],
+    );
+    for &(entries, ways) in configs {
+        let mut cfg = FrontendConfig::zen3();
+        cfg.uop_cache = cfg.uop_cache.with_entries(entries).with_ways(ways);
+        let mut lab = Lab::with_len(cfg, len_for(quick));
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for app in apps_for(quick) {
+            for (i, p) in ["GHRP", "Thermometer", "FURBYS"].iter().enumerate() {
+                cols[i].push(lab.online_miss_reduction(p, app));
+            }
+        }
+        t.row(&[
+            format!("{entries}"),
+            format!("{ways}"),
+            format!("{:.2}", mean(&cols[0])),
+            format!("{:.2}", mean(&cols[1])),
+            format!("{:.2}", mean(&cols[2])),
+        ]);
+    }
+    vec![t]
+}
+
+/// Fig. 19: miss reduction as a function of the weight-group hint width
+/// (paper: 3 bits is the sweet spot; more bits add hardware, not benefit).
+pub fn fig19_weight_groups(quick: bool) -> Vec<Table> {
+    let cfg = FrontendConfig::zen3();
+    let len = len_for(quick);
+    let bits: &[u8] = if quick { &[1, 3] } else { &[1, 2, 3, 4, 5, 6, 8] };
+    let mut t = Table::new(
+        "Fig. 19: avg miss reduction by weight-group bits (paper picks 3)",
+        &["bits", "groups", "miss reduction"],
+    );
+    let apps = apps_for(quick);
+    let traces: Vec<_> = apps.iter().map(|&a| trace_for(a, 0, len)).collect();
+    let lrus: Vec<_> = traces
+        .iter()
+        .map(|tr| Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(tr))
+        .collect();
+    for &b in bits {
+        let mut vals = Vec::new();
+        for (tr, lru) in traces.iter().zip(&lrus) {
+            let mut p = FurbysPipeline::new(cfg);
+            p.weight_cfg.bits = b;
+            let profile = p.profile(tr);
+            let r = p.deploy_and_run(&profile, tr);
+            vals.push(r.uopc.miss_reduction_vs(&lru.uopc));
+        }
+        t.row(&[format!("{b}"), format!("{}", 1u16 << b), format!("{:.2}%", mean(&vals))]);
+    }
+    vec![t]
+}
+
+/// Fig. 20: miss reduction as a function of the local pitfall detector depth
+/// (paper: depth 2 is best).
+pub fn fig20_pitfall_depth(quick: bool) -> Vec<Table> {
+    let cfg = FrontendConfig::zen3();
+    let len = len_for(quick);
+    let depths: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 3, 4, 6] };
+    let mut t = Table::new(
+        "Fig. 20: avg miss reduction by pitfall-detector depth (paper picks 2)",
+        &["depth", "miss reduction", "coverage"],
+    );
+    let apps = apps_for(quick);
+    let traces: Vec<_> = apps.iter().map(|&a| trace_for(a, 0, len)).collect();
+    let lrus: Vec<_> = traces
+        .iter()
+        .map(|tr| Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(tr))
+        .collect();
+    // Profiles do not depend on the detector depth; compute once.
+    let base_pipeline = FurbysPipeline::new(cfg);
+    let profiles: Vec<_> = traces.iter().map(|tr| base_pipeline.profile(tr)).collect();
+    for &d in depths {
+        let mut vals = Vec::new();
+        let mut covs = Vec::new();
+        for ((tr, lru), profile) in traces.iter().zip(&lrus).zip(&profiles) {
+            let mut p = FurbysPipeline::new(cfg);
+            p.detector_depth = d;
+            let r = p.deploy_and_run(profile, tr);
+            vals.push(r.uopc.miss_reduction_vs(&lru.uopc));
+            covs.push(r.uopc.replacement_coverage() * 100.0);
+        }
+        t.row(&[
+            format!("{d}"),
+            format!("{:.2}%", mean(&vals)),
+            format!("{:.1}%", mean(&covs)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig19_has_requested_bit_rows() {
+        let t = &fig19_weight_groups(true)[0];
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn quick_fig16_rows_match_configs() {
+        let t = &fig16_size_assoc(true)[0];
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # uopcache-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation. Each figure is a `harness = false` bench target (so
+//! `cargo bench` reproduces the whole evaluation) built on the shared
+//! machinery here:
+//!
+//! * [`apps`] — the standard application set, trace lengths and cached trace
+//!   construction;
+//! * [`policies`] — a name-indexed factory over every online policy;
+//! * [`runs`] — memoised per-(app, policy, config) simulation runs;
+//! * [`table`] — paper-vs-measured table rendering;
+//! * [`experiments`] — one function per table/figure, returning structured
+//!   results the `reproduce-all` binary serialises into `EXPERIMENTS.md`.
+
+pub mod apps;
+pub mod experiments;
+pub mod policies;
+pub mod runs;
+pub mod table;
+
+pub use apps::{standard_apps, trace_for, TRACE_LEN};
+pub use table::Table;

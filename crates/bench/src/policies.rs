@@ -1,0 +1,83 @@
+//! Name-indexed policy construction for the experiment drivers.
+
+use std::collections::HashMap;
+use uopcache_cache::{LruPolicy, PwReplacementPolicy};
+use uopcache_core::{FurbysPipeline, Profile};
+use uopcache_model::{Addr, FrontendConfig, LookupTrace};
+use uopcache_policies::{
+    profile::lru_pw_hit_rates, GhrpPolicy, MockingjayPolicy, ShipPlusPlusPolicy, SrripPolicy,
+    ThermometerPolicy,
+};
+
+/// The online policies compared throughout the evaluation, in figure order
+/// (LRU is the baseline and listed first).
+pub const ONLINE_POLICIES: [&str; 7] =
+    ["LRU", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+
+/// Profile inputs needed by the profile-guided policies.
+pub struct ProfileInputs {
+    /// Per-start PW-granularity LRU hit rates (Thermometer's profile — a
+    /// straight BTB-style port, blind to micro-op costs).
+    pub lru_rates: HashMap<Addr, f64>,
+    /// The FURBYS profile (FLACK-derived hints).
+    pub furbys: Profile,
+}
+
+impl ProfileInputs {
+    /// Profiles `train` for all profile-guided policies under `cfg`.
+    pub fn build(cfg: &FrontendConfig, train: &LookupTrace) -> Self {
+        Self::build_with_pipeline(&FurbysPipeline::new(*cfg), train)
+    }
+
+    /// As [`ProfileInputs::build`] with an explicit (possibly customised)
+    /// pipeline.
+    pub fn build_with_pipeline(pipeline: &FurbysPipeline, train: &LookupTrace) -> Self {
+        ProfileInputs {
+            lru_rates: lru_pw_hit_rates(train, pipeline.frontend_cfg.uop_cache),
+            furbys: pipeline.profile(train),
+        }
+    }
+}
+
+/// Instantiates an online policy by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn make_policy(
+    name: &str,
+    cfg: &FrontendConfig,
+    profiles: &ProfileInputs,
+) -> Box<dyn PwReplacementPolicy> {
+    match name {
+        "LRU" => Box::new(LruPolicy::new()),
+        "SRRIP" => Box::new(SrripPolicy::new()),
+        "SHiP++" => Box::new(ShipPlusPlusPolicy::new()),
+        "Mockingjay" => Box::new(MockingjayPolicy::new()),
+        "GHRP" => Box::new(GhrpPolicy::new()),
+        "Thermometer" => Box::new(ThermometerPolicy::from_hit_rates(&profiles.lru_rates)),
+        "FURBYS" => {
+            let pipeline = FurbysPipeline::new(*cfg);
+            Box::new(pipeline.policy(&profiles.furbys))
+        }
+        other => panic!("unknown policy {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::trace_for;
+    use uopcache_trace::AppId;
+
+    #[test]
+    fn factory_builds_every_listed_policy() {
+        let cfg = FrontendConfig::zen3();
+        let train = trace_for(AppId::Postgres, 0, 3_000);
+        let profiles = ProfileInputs::build(&cfg, &train);
+        for name in ONLINE_POLICIES {
+            let p = make_policy(name, &cfg, &profiles);
+            assert_eq!(p.name(), name);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! One micro-op cache set: a pool of entry slots shared by whole prediction
+//! windows.
+
+use crate::meta::PwMeta;
+use uopcache_model::{Addr, PwDesc};
+
+/// A single set of the micro-op cache.
+///
+/// The set owns `ways` entry slots. Each resident PW occupies `entries`
+/// (1..=ways) of them and is tracked as a unit: all of its entries are
+/// allocated and reclaimed together, mirroring the hardware organisation in
+/// which a multi-entry PW's entries live in one set and are fetched/evicted
+/// as a whole (§II-C).
+#[derive(Clone, Debug)]
+pub struct PwSet {
+    ways: u8,
+    /// Residents indexed by stable slot id; `None` slots are free ids.
+    residents: Vec<Option<PwMeta>>,
+    /// Entry slots currently in use.
+    used_entries: u8,
+}
+
+impl PwSet {
+    /// Creates an empty set with `ways` entry slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or greater than 64.
+    pub fn new(ways: u32) -> Self {
+        assert!((1..=64).contains(&ways), "ways must be in 1..=64");
+        PwSet { ways: ways as u8, residents: Vec::new(), used_entries: 0 }
+    }
+
+    /// Entry slots in use.
+    pub fn used_entries(&self) -> u32 {
+        u32::from(self.used_entries)
+    }
+
+    /// Entry slots free.
+    pub fn free_entries(&self) -> u32 {
+        u32::from(self.ways - self.used_entries)
+    }
+
+    /// Number of resident PWs.
+    pub fn resident_count(&self) -> usize {
+        self.residents.iter().flatten().count()
+    }
+
+    /// The resident PWs, ordered by slot.
+    pub fn residents(&self) -> impl Iterator<Item = &PwMeta> {
+        self.residents.iter().flatten()
+    }
+
+    /// Collects the residents into a vector (slot order) — the slice handed
+    /// to replacement policies.
+    pub fn resident_metas(&self) -> Vec<PwMeta> {
+        self.residents.iter().flatten().copied().collect()
+    }
+
+    /// Finds the resident PW starting at `start`, if any. At most one PW per
+    /// start address is resident (the cache keeps the larger of two
+    /// overlapping windows).
+    pub fn find(&self, start: Addr) -> Option<&PwMeta> {
+        self.residents.iter().flatten().find(|m| m.desc.start == start)
+    }
+
+    /// Mutable variant of [`PwSet::find`].
+    pub fn find_mut(&mut self, start: Addr) -> Option<&mut PwMeta> {
+        self.residents.iter_mut().flatten().find(|m| m.desc.start == start)
+    }
+
+    /// Inserts a PW occupying `entries` slots, returning its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not enough free space (the caller must evict first)
+    /// or if a PW with the same start address is already resident.
+    pub fn insert(&mut self, desc: PwDesc, entries: u32, now: u64) -> PwMeta {
+        assert!(entries >= 1 && entries <= u32::from(self.ways), "PW entries out of range");
+        assert!(
+            entries <= self.free_entries(),
+            "set overflow: inserting {entries} entries with {} free",
+            self.free_entries()
+        );
+        assert!(self.find(desc.start).is_none(), "duplicate start address in set");
+        let slot = match self.residents.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => {
+                self.residents.push(None);
+                self.residents.len() - 1
+            }
+        };
+        let meta = PwMeta {
+            desc,
+            slot: slot as u8,
+            entries: entries as u8,
+            inserted_at: now,
+            last_access: now,
+            hits: 0,
+        };
+        self.residents[slot] = Some(meta);
+        self.used_entries += entries as u8;
+        meta
+    }
+
+    /// Removes the resident PW at `slot`, returning its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or out of range.
+    pub fn remove_slot(&mut self, slot: u8) -> PwMeta {
+        let meta = self.residents[usize::from(slot)].take().expect("slot occupied");
+        self.used_entries -= meta.entries;
+        meta
+    }
+
+    /// Removes the resident PW starting at `start`, if present.
+    pub fn remove_start(&mut self, start: Addr) -> Option<PwMeta> {
+        let slot = self.find(start)?.slot;
+        Some(self.remove_slot(slot))
+    }
+
+    /// Records a hit on the PW at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn touch(&mut self, slot: u8, now: u64) -> PwMeta {
+        let meta = self.residents[usize::from(slot)].as_mut().expect("slot occupied");
+        meta.last_access = now;
+        meta.hits += 1;
+        *meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uopcache_model::PwTermination;
+
+    fn pw(start: u64, uops: u32) -> PwDesc {
+        PwDesc::new(Addr::new(start), uops, uops * 3, PwTermination::TakenBranch)
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut set = PwSet::new(8);
+        set.insert(pw(0x10, 4), 1, 0);
+        set.insert(pw(0x20, 20), 3, 1);
+        assert_eq!(set.used_entries(), 4);
+        assert_eq!(set.free_entries(), 4);
+        assert_eq!(set.resident_count(), 2);
+        assert_eq!(set.find(Addr::new(0x20)).unwrap().entries, 3);
+        assert!(set.find(Addr::new(0x30)).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut set = PwSet::new(4);
+        let a = set.insert(pw(0x10, 4), 1, 0);
+        set.insert(pw(0x20, 4), 1, 0);
+        set.remove_slot(a.slot);
+        let c = set.insert(pw(0x30, 4), 1, 0);
+        assert_eq!(c.slot, a.slot, "freed slot should be reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "set overflow")]
+    fn overflow_panics() {
+        let mut set = PwSet::new(2);
+        set.insert(pw(0x10, 16), 2, 0);
+        set.insert(pw(0x20, 1), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate start")]
+    fn duplicate_start_panics() {
+        let mut set = PwSet::new(4);
+        set.insert(pw(0x10, 1), 1, 0);
+        set.insert(pw(0x10, 9), 2, 0);
+    }
+
+    #[test]
+    fn touch_updates_recency_and_hits() {
+        let mut set = PwSet::new(4);
+        let m = set.insert(pw(0x10, 1), 1, 5);
+        let touched = set.touch(m.slot, 9);
+        assert_eq!(touched.last_access, 9);
+        assert_eq!(touched.hits, 1);
+        assert_eq!(touched.inserted_at, 5);
+    }
+
+    #[test]
+    fn remove_start_returns_meta() {
+        let mut set = PwSet::new(4);
+        set.insert(pw(0x10, 10), 2, 0);
+        let removed = set.remove_start(Addr::new(0x10)).unwrap();
+        assert_eq!(removed.entries, 2);
+        assert_eq!(set.used_entries(), 0);
+        assert!(set.remove_start(Addr::new(0x10)).is_none());
+    }
+
+    #[test]
+    fn resident_metas_in_slot_order() {
+        let mut set = PwSet::new(8);
+        set.insert(pw(0x10, 1), 1, 0);
+        set.insert(pw(0x20, 1), 1, 0);
+        set.insert(pw(0x30, 1), 1, 0);
+        set.remove_start(Addr::new(0x20));
+        let metas = set.resident_metas();
+        assert_eq!(metas.len(), 2);
+        assert!(metas[0].slot < metas[1].slot);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fully-associative LRU shadow cache used for miss classification.
+
+use std::collections::{BTreeMap, HashMap};
+use uopcache_model::{Addr, PwDesc};
+
+/// A fully-associative LRU cache of prediction windows with a capacity
+/// measured in micro-op cache *entries*.
+///
+/// Used as the reference for splitting misses into capacity vs. conflict: a
+/// miss that would have hit in a fully-associative cache of equal capacity is
+/// a conflict miss.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_cache::ShadowFaCache;
+/// use uopcache_model::{Addr, PwDesc, PwTermination};
+///
+/// let mut shadow = ShadowFaCache::new(4, 8);
+/// let pw = PwDesc::new(Addr::new(0x10), 6, 18, PwTermination::TakenBranch);
+/// assert!(!shadow.access(&pw));
+/// assert!(shadow.access(&pw));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShadowFaCache {
+    capacity_entries: u32,
+    uops_per_entry: u32,
+    used_entries: u32,
+    /// start -> (entries, uops, last_use)
+    resident: HashMap<Addr, (u32, u32, u64)>,
+    /// last_use -> start, for O(log n) LRU selection.
+    order: BTreeMap<u64, Addr>,
+    now: u64,
+}
+
+impl ShadowFaCache {
+    /// Creates a shadow cache with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(capacity_entries: u32, uops_per_entry: u32) -> Self {
+        assert!(capacity_entries > 0 && uops_per_entry > 0, "capacity must be positive");
+        ShadowFaCache {
+            capacity_entries,
+            uops_per_entry,
+            used_entries: 0,
+            resident: HashMap::new(),
+            order: BTreeMap::new(),
+            now: 0,
+        }
+    }
+
+    /// Accesses `pw`: returns `true` on a hit (a resident window with the
+    /// same start covering at least as many micro-ops), then inserts/updates
+    /// it, evicting LRU windows as needed.
+    pub fn access(&mut self, pw: &PwDesc) -> bool {
+        self.now += 1;
+        let entries = pw.uops.div_ceil(self.uops_per_entry).min(self.capacity_entries);
+        let hit = match self.resident.get(&pw.start) {
+            Some(&(old_entries, old_uops, old_use)) => {
+                self.order.remove(&old_use);
+                let keep_uops = old_uops.max(pw.uops);
+                let keep_entries = old_entries.max(entries);
+                self.used_entries = self.used_entries - old_entries + keep_entries;
+                self.resident.insert(pw.start, (keep_entries, keep_uops, self.now));
+                self.order.insert(self.now, pw.start);
+                old_uops >= pw.uops
+            }
+            None => {
+                self.used_entries += entries;
+                self.resident.insert(pw.start, (entries, pw.uops, self.now));
+                self.order.insert(self.now, pw.start);
+                false
+            }
+        };
+        while self.used_entries > self.capacity_entries {
+            let (&lru_use, &lru_start) = self.order.iter().next().expect("resident not empty");
+            // Never evict the window we just touched, even if over capacity.
+            if lru_start == pw.start {
+                break;
+            }
+            self.order.remove(&lru_use);
+            let (e, _, _) = self.resident.remove(&lru_start).expect("consistent maps");
+            self.used_entries -= e;
+        }
+        hit
+    }
+
+    /// Whether a window starting at `start` is resident.
+    pub fn contains(&self, start: Addr) -> bool {
+        self.resident.contains_key(&start)
+    }
+
+    /// Whether a resident window fully covers `pw` (same start, at least as
+    /// many micro-ops) — i.e. the lookup would fully hit here.
+    pub fn covers(&self, pw: &PwDesc) -> bool {
+        self.resident.get(&pw.start).is_some_and(|&(_, uops, _)| uops >= pw.uops)
+    }
+
+    /// Entries currently used.
+    pub fn used_entries(&self) -> u32 {
+        self.used_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uopcache_model::PwTermination;
+
+    fn pw(start: u64, uops: u32) -> PwDesc {
+        PwDesc::new(Addr::new(start), uops, uops * 3, PwTermination::TakenBranch)
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let mut s = ShadowFaCache::new(2, 8);
+        assert!(!s.access(&pw(0x10, 8)));
+        assert!(!s.access(&pw(0x20, 8)));
+        assert!(s.access(&pw(0x10, 8))); // refresh 0x10; 0x20 is LRU
+        assert!(!s.access(&pw(0x30, 8))); // evicts 0x20
+        assert!(!s.contains(Addr::new(0x20)));
+        assert!(s.contains(Addr::new(0x10)));
+    }
+
+    #[test]
+    fn shorter_lookup_hits_longer_resident() {
+        let mut s = ShadowFaCache::new(4, 8);
+        s.access(&pw(0x10, 16));
+        assert!(s.access(&pw(0x10, 4)));
+    }
+
+    #[test]
+    fn longer_lookup_misses_shorter_resident_but_upgrades() {
+        let mut s = ShadowFaCache::new(4, 8);
+        s.access(&pw(0x10, 4));
+        assert!(!s.access(&pw(0x10, 16)));
+        assert!(s.access(&pw(0x10, 16)));
+    }
+
+    #[test]
+    fn oversized_window_does_not_wedge() {
+        let mut s = ShadowFaCache::new(2, 8);
+        // 5 entries clamped to capacity; must not underflow or loop forever.
+        assert!(!s.access(&pw(0x10, 40)));
+        assert!(s.access(&pw(0x10, 40)));
+        assert!(s.used_entries() <= 2);
+    }
+
+    #[test]
+    fn capacity_respected_across_many_inserts() {
+        let mut s = ShadowFaCache::new(8, 8);
+        for i in 0..100u64 {
+            s.access(&pw(i * 64, ((i % 3 + 1) * 8) as u32));
+            assert!(s.used_entries() <= 8 + 3, "transient overshoot only for current pw");
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The micro-op cache storage structure.
+
+use crate::classify::{MissClass, MissClassifier};
+use crate::policy::PwReplacementPolicy;
+use crate::pwset::PwSet;
+use uopcache_model::{Addr, LineAddr, PwDesc, UopCacheConfig, UopCacheStats};
+
+/// Outcome of a micro-op cache lookup, at micro-op granularity.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum LookupResult {
+    /// All requested micro-ops were served from the cache (the stored PW
+    /// covers the request, possibly via an intermediate exit point).
+    Hit {
+        /// Micro-ops served.
+        uops: u32,
+    },
+    /// A shorter PW with the same start address served the front of the
+    /// request; the remainder must come from the legacy decode path, which
+    /// will then form and insert the larger window (§II-D).
+    PartialHit {
+        /// Micro-ops served from the cache.
+        hit_uops: u32,
+        /// Micro-ops that missed.
+        miss_uops: u32,
+    },
+    /// Nothing with this start address is resident.
+    Miss,
+}
+
+impl LookupResult {
+    /// Micro-ops served from the cache.
+    pub fn hit_uops(&self) -> u32 {
+        match *self {
+            LookupResult::Hit { uops } => uops,
+            LookupResult::PartialHit { hit_uops, .. } => hit_uops,
+            LookupResult::Miss => 0,
+        }
+    }
+
+    /// Micro-ops that must come from the legacy decode path.
+    pub fn miss_uops(&self, requested: u32) -> u32 {
+        requested - self.hit_uops()
+    }
+
+    /// Whether the lookup fully hit.
+    pub fn is_full_hit(&self) -> bool {
+        matches!(self, LookupResult::Hit { .. })
+    }
+}
+
+/// Outcome of a micro-op cache insertion attempt.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum InsertOutcome {
+    /// The PW was written into the cache; lists any PWs evicted to make room.
+    Inserted {
+        /// Whole PWs evicted by the replacement policy.
+        evicted: Vec<PwDesc>,
+    },
+    /// The policy chose to bypass the insertion.
+    Bypassed,
+    /// A window with the same start address and at least this many micro-ops
+    /// was already resident — nothing to do (its recency is refreshed by the
+    /// lookup path, not by insertion).
+    AlreadyPresent,
+    /// The PW needs more entries than the configuration allows a single PW to
+    /// occupy (`max_entries_per_pw`) — it streams from the decoder instead.
+    TooLarge,
+}
+
+/// The micro-op cache: `sets × ways` entries, each holding up to
+/// `uops_per_entry` micro-ops, managed at PW granularity by a pluggable
+/// replacement policy.
+///
+/// This structure models *placement* semantics only (who is resident, partial
+/// hits, inclusion). Timing — the asynchronous insertion delay, the switch
+/// penalty — is layered on by `uopcache-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_cache::{LookupResult, LruPolicy, UopCache};
+/// use uopcache_model::{Addr, PwDesc, PwTermination, UopCacheConfig};
+///
+/// let mut c = UopCache::new(UopCacheConfig::zen3(), Box::new(LruPolicy::new()));
+/// // A long window serves a shorter overlapping one (partial-hit coverage).
+/// let long = PwDesc::new(Addr::new(0x40), 10, 30, PwTermination::TakenBranch);
+/// let short = PwDesc::new(Addr::new(0x40), 4, 12, PwTermination::TakenBranch);
+/// c.insert(&long);
+/// assert_eq!(c.lookup(&short), LookupResult::Hit { uops: 4 });
+/// ```
+pub struct UopCache {
+    cfg: UopCacheConfig,
+    line_bytes: u64,
+    sets: Vec<PwSet>,
+    policy: Box<dyn PwReplacementPolicy>,
+    stats: UopCacheStats,
+    classifier: Option<MissClassifier>,
+    /// Global access counter (advances on every lookup).
+    now: u64,
+}
+
+impl UopCache {
+    /// Creates a micro-op cache with the given geometry and replacement
+    /// policy. Uses 64-byte i-cache lines for set indexing.
+    pub fn new(cfg: UopCacheConfig, policy: Box<dyn PwReplacementPolicy>) -> Self {
+        Self::with_line_bytes(cfg, policy, 64)
+    }
+
+    /// As [`UopCache::new`] with an explicit i-cache line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`UopCacheConfig::sets`]).
+    pub fn with_line_bytes(
+        cfg: UopCacheConfig,
+        policy: Box<dyn PwReplacementPolicy>,
+        line_bytes: u64,
+    ) -> Self {
+        let sets = (0..cfg.sets()).map(|_| PwSet::new(cfg.ways)).collect();
+        UopCache {
+            cfg,
+            line_bytes,
+            sets,
+            policy,
+            stats: UopCacheStats::default(),
+            classifier: None,
+            now: 0,
+        }
+    }
+
+    /// Enables cold/capacity/conflict miss classification (adds a
+    /// fully-associative LRU shadow of equal entry capacity).
+    pub fn enable_classification(&mut self) {
+        self.classifier = Some(MissClassifier::new(self.cfg.entries, self.cfg.uops_per_entry));
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &UopCacheConfig {
+        &self.cfg
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &UopCacheStats {
+        &self.stats
+    }
+
+    /// Total entries currently occupied.
+    pub fn occupied_entries(&self) -> u32 {
+        self.sets.iter().map(PwSet::used_entries).sum()
+    }
+
+    /// Whether a window starting at `start` is resident, and with how many
+    /// micro-ops.
+    pub fn resident_uops(&self, start: Addr) -> Option<u32> {
+        let set = self.set_index(start);
+        self.sets[set].find(start).map(|m| m.desc.uops)
+    }
+
+    /// Looks up a prediction window and updates statistics and policy
+    /// recency state.
+    pub fn lookup(&mut self, pw: &PwDesc) -> LookupResult {
+        self.now += 1;
+        self.stats.lookups += 1;
+        self.stats.uops_requested += u64::from(pw.uops);
+        self.policy.on_lookup(pw);
+        let set_idx = self.set_index(pw.start);
+        let found = self.sets[set_idx].find(pw.start).map(|m| (m.slot, m.desc.uops));
+        let result = match found {
+            Some((slot, stored_uops)) => {
+                let meta = self.sets[set_idx].touch(slot, self.now);
+                self.policy.on_hit(set_idx, &meta);
+                if stored_uops >= pw.uops {
+                    LookupResult::Hit { uops: pw.uops }
+                } else {
+                    LookupResult::PartialHit {
+                        hit_uops: stored_uops,
+                        miss_uops: pw.uops - stored_uops,
+                    }
+                }
+            }
+            None => LookupResult::Miss,
+        };
+        match result {
+            LookupResult::Hit { uops } => {
+                self.stats.pw_hits += 1;
+                self.stats.uops_hit += u64::from(uops);
+            }
+            LookupResult::PartialHit { hit_uops, miss_uops } => {
+                self.stats.pw_partial_hits += 1;
+                self.stats.uops_hit += u64::from(hit_uops);
+                self.stats.uops_missed += u64::from(miss_uops);
+            }
+            LookupResult::Miss => {
+                self.stats.pw_misses += 1;
+                self.stats.uops_missed += u64::from(pw.uops);
+            }
+        }
+        if let Some(cls) = &mut self.classifier {
+            let missed = result.miss_uops(pw.uops);
+            if missed > 0 {
+                match cls.classify(pw) {
+                    MissClass::Cold => self.stats.cold_miss_uops += u64::from(missed),
+                    MissClass::Capacity => self.stats.capacity_miss_uops += u64::from(missed),
+                    MissClass::Conflict => self.stats.conflict_miss_uops += u64::from(missed),
+                }
+            }
+            cls.record_access(pw);
+        }
+        result
+    }
+
+    /// Inserts a decoded prediction window, consulting the replacement policy
+    /// for bypass and victim decisions.
+    ///
+    /// If a *shorter* window with the same start address is resident, it is
+    /// upgraded in place to the larger window (the paper keeps the larger
+    /// window, §IV). If an equal-or-longer window is resident the insertion
+    /// is a no-op.
+    pub fn insert(&mut self, pw: &PwDesc) -> InsertOutcome {
+        let entries = pw.entries(self.cfg.uops_per_entry);
+        if entries > self.cfg.max_entries_per_pw || entries > self.cfg.ways {
+            self.stats.bypasses += 1;
+            return InsertOutcome::TooLarge;
+        }
+        let set_idx = self.set_index(pw.start);
+
+        // Overlapping-window upgrade path.
+        if let Some(existing) = self.sets[set_idx].find(pw.start).copied() {
+            if existing.desc.uops >= pw.uops {
+                return InsertOutcome::AlreadyPresent;
+            }
+            // Upgrade: remove the shorter window, then fall through to a
+            // regular insertion of the larger one (which may need to evict).
+            let old = self.sets[set_idx].remove_slot(existing.slot);
+            self.policy.on_evict(set_idx, &old);
+        }
+
+        let resident = self.sets[set_idx].resident_metas();
+        let free = self.sets[set_idx].free_entries();
+        if self.policy.should_bypass(set_idx, pw, entries, free, &resident) {
+            self.stats.bypasses += 1;
+            return InsertOutcome::Bypassed;
+        }
+
+        let mut evicted = Vec::new();
+        while self.sets[set_idx].free_entries() < entries {
+            let resident = self.sets[set_idx].resident_metas();
+            debug_assert!(!resident.is_empty(), "no residents but set is full");
+            let victim_idx = self.policy.choose_victim(set_idx, pw, &resident);
+            if self.policy.last_selection_was_fallback() {
+                self.stats.fallback_victim_selections += 1;
+            } else {
+                self.stats.primary_victim_selections += 1;
+            }
+            let victim = resident[victim_idx];
+            let removed = self.sets[set_idx].remove_slot(victim.slot);
+            self.policy.on_evict(set_idx, &removed);
+            self.stats.evicted_pws += 1;
+            self.stats.evicted_entries += u64::from(removed.entries);
+            evicted.push(removed.desc);
+        }
+        let meta = self.sets[set_idx].insert(*pw, entries, self.now);
+        self.policy.on_insert(set_idx, &meta);
+        self.stats.insertions += 1;
+        self.stats.entries_written += u64::from(entries);
+        InsertOutcome::Inserted { evicted }
+    }
+
+    /// Invalidates every resident PW that touches the given i-cache line
+    /// (called on L1i evictions when the micro-op cache is inclusive).
+    /// Returns the number of PWs invalidated.
+    pub fn invalidate_line(&mut self, line: LineAddr) -> u32 {
+        let mut invalidated = 0;
+        for set_idx in 0..self.sets.len() {
+            let victims: Vec<u8> = self.sets[set_idx]
+                .residents()
+                .filter(|m| m.desc.lines(self.line_bytes).any(|l| l == line))
+                .map(|m| m.slot)
+                .collect();
+            for slot in victims {
+                let removed = self.sets[set_idx].remove_slot(slot);
+                self.policy.on_invalidate(set_idx, &removed);
+                self.stats.inclusion_invalidations += 1;
+                invalidated += 1;
+            }
+        }
+        invalidated
+    }
+
+    /// Removes a specific resident window (used by offline decision replay
+    /// for late/lazy evictions). Returns `true` if it was resident.
+    pub fn evict_start(&mut self, start: Addr) -> bool {
+        let set_idx = self.set_index(start);
+        match self.sets[set_idx].remove_start(start) {
+            Some(meta) => {
+                self.policy.on_evict(set_idx, &meta);
+                self.stats.evicted_pws += 1;
+                self.stats.evicted_entries += u64::from(meta.entries);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Free entries in the set that `start` maps to.
+    pub fn free_entries_for(&self, start: Addr) -> u32 {
+        self.sets[self.set_index(start)].free_entries()
+    }
+
+    fn set_index(&self, start: Addr) -> usize {
+        self.cfg.set_index_for(start, self.line_bytes)
+    }
+}
+
+impl std::fmt::Debug for UopCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UopCache")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy.name())
+            .field("occupied_entries", &self.occupied_entries())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruPolicy;
+    use uopcache_model::PwTermination;
+
+    fn pw(start: u64, uops: u32) -> PwDesc {
+        PwDesc::new(Addr::new(start), uops, (uops * 3).max(1), PwTermination::TakenBranch)
+    }
+
+    fn small_cache() -> UopCache {
+        // 2 sets x 4 ways = 8 entries, 8 uops/entry, up to 4 entries per PW.
+        let cfg = UopCacheConfig {
+            entries: 8,
+            ways: 4,
+            uops_per_entry: 8,
+            switch_penalty: 1,
+            inclusive_with_l1i: true,
+            max_entries_per_pw: 4,
+        };
+        UopCache::new(cfg, Box::new(LruPolicy::new()))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        let w = pw(0x40, 6);
+        assert_eq!(c.lookup(&w), LookupResult::Miss);
+        assert!(matches!(c.insert(&w), InsertOutcome::Inserted { .. }));
+        assert_eq!(c.lookup(&w), LookupResult::Hit { uops: 6 });
+        let s = c.stats();
+        assert_eq!(s.pw_misses, 1);
+        assert_eq!(s.pw_hits, 1);
+        assert_eq!(s.uops_missed, 6);
+        assert_eq!(s.uops_hit, 6);
+    }
+
+    #[test]
+    fn partial_hit_when_stored_window_is_shorter() {
+        let mut c = small_cache();
+        let short = pw(0x40, 4);
+        let long = pw(0x40, 10);
+        c.insert(&short);
+        assert_eq!(c.lookup(&long), LookupResult::PartialHit { hit_uops: 4, miss_uops: 6 });
+        assert_eq!(c.stats().pw_partial_hits, 1);
+    }
+
+    #[test]
+    fn larger_window_serves_shorter_lookup() {
+        let mut c = small_cache();
+        c.insert(&pw(0x40, 10));
+        assert_eq!(c.lookup(&pw(0x40, 4)), LookupResult::Hit { uops: 4 });
+    }
+
+    #[test]
+    fn upgrade_keeps_larger_window() {
+        let mut c = small_cache();
+        c.insert(&pw(0x40, 4));
+        assert_eq!(c.resident_uops(Addr::new(0x40)), Some(4));
+        assert!(matches!(c.insert(&pw(0x40, 12)), InsertOutcome::Inserted { .. }));
+        assert_eq!(c.resident_uops(Addr::new(0x40)), Some(12));
+        // Re-inserting the short window does nothing.
+        assert_eq!(c.insert(&pw(0x40, 4)), InsertOutcome::AlreadyPresent);
+        assert_eq!(c.resident_uops(Addr::new(0x40)), Some(12));
+    }
+
+    #[test]
+    fn eviction_frees_enough_entries_for_multi_entry_pw() {
+        let mut c = small_cache();
+        // Fill one set (addresses in the same set: stride = sets*line = 2*64).
+        for i in 0..4 {
+            c.insert(&pw(0x40 + i * 128, 8)); // 1 entry each, set 1
+        }
+        assert_eq!(c.free_entries_for(Addr::new(0x40)), 0);
+        // Inserting a 3-entry PW must evict 3 LRU PWs.
+        let out = c.insert(&pw(0x40 + 4 * 128, 24));
+        match out {
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted.len(), 3),
+            other => panic!("expected insertion, got {other:?}"),
+        }
+        // 4 ways: one surviving 1-entry PW + the new 3-entry PW.
+        assert_eq!(c.free_entries_for(Addr::new(0x40)), 0);
+    }
+
+    #[test]
+    fn too_large_pw_is_not_cached() {
+        let mut c = small_cache();
+        assert_eq!(c.insert(&pw(0x40, 33)), InsertOutcome::TooLarge); // 5 entries > max 4
+        assert_eq!(c.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn invalidate_line_honours_inclusion() {
+        let mut c = small_cache();
+        let w = pw(0x40, 6); // line 0x40
+        c.insert(&w);
+        assert_eq!(c.invalidate_line(Addr::new(0x47).line(64)), 1);
+        assert_eq!(c.lookup(&w), LookupResult::Miss);
+        assert_eq!(c.stats().inclusion_invalidations, 1);
+        // Invalidating again is a no-op.
+        assert_eq!(c.invalidate_line(Addr::new(0x47).line(64)), 0);
+    }
+
+    #[test]
+    fn invalidate_hits_multi_line_pws() {
+        let mut c = small_cache();
+        // Window spanning lines 0x40 and 0x80.
+        let w = PwDesc::new(Addr::new(0x70), 6, 0x20, PwTermination::TakenBranch);
+        c.insert(&w);
+        assert_eq!(c.invalidate_line(Addr::new(0x80).line(64)), 1);
+    }
+
+    #[test]
+    fn evict_start_supports_offline_replay() {
+        let mut c = small_cache();
+        c.insert(&pw(0x40, 6));
+        assert!(c.evict_start(Addr::new(0x40)));
+        assert!(!c.evict_start(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn classification_splits_cold_capacity_conflict() {
+        // 2 sets x 2 ways: tiny cache to force conflicts.
+        let cfg = UopCacheConfig {
+            entries: 4,
+            ways: 2,
+            uops_per_entry: 8,
+            switch_penalty: 1,
+            inclusive_with_l1i: true,
+            max_entries_per_pw: 2,
+        };
+        let mut c = UopCache::new(cfg, Box::new(LruPolicy::new()));
+        c.enable_classification();
+        // First touches are cold.
+        for i in 0..2 {
+            let w = pw(0x40 + i * 128, 4);
+            c.lookup(&w);
+            c.insert(&w);
+        }
+        assert_eq!(c.stats().cold_miss_uops, 8);
+        // Re-access: hits, no new misses.
+        for i in 0..2 {
+            c.lookup(&pw(0x40 + i * 128, 4));
+        }
+        assert_eq!(c.stats().uops_missed, 8);
+        // Conflict: hammer 3 PWs mapping to one set while the other set is
+        // idle — a fully-associative cache of the same size would hold them.
+        for round in 0..3 {
+            for i in 0..3 {
+                let w = pw(0x40 + i * 128, 4);
+                c.lookup(&w);
+                c.insert(&w);
+            }
+            let _ = round;
+        }
+        let s = c.stats();
+        assert!(s.conflict_miss_uops > 0, "expected conflict misses: {s:?}");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        let a = pw(0x40, 8);
+        let b = pw(0x40 + 128, 8);
+        let d = pw(0x40 + 256, 8);
+        let e = pw(0x40 + 384, 8);
+        for w in [&a, &b, &d, &e] {
+            c.lookup(w);
+            c.insert(w);
+        }
+        // Touch `a` so `b` becomes LRU.
+        c.lookup(&a);
+        let out = c.insert(&pw(0x40 + 512, 8));
+        match out {
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![b]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = small_cache();
+        for i in 0..100u64 {
+            let w = pw(i * 64, (i % 20 + 1) as u32);
+            c.lookup(&w);
+            c.insert(&w);
+            assert!(c.occupied_entries() <= 8);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use std::error::Error;
+use std::path::Path;
+use uopcache_bench::policies::{make_policy, ProfileInputs, ONLINE_POLICIES};
+use uopcache_bench::Table;
+use uopcache_core::{Flack, FurbysPipeline, OracleKind};
+use uopcache_model::{FrontendConfig, LookupTrace};
+use uopcache_power::EnergyModel;
+use uopcache_sim::Frontend;
+use uopcache_trace::{build_trace, io as trace_io, AppId, InputVariant, TraceStats};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: uopcache <command> [options]
+
+commands:
+  apps                              list the Table II applications
+  gen        --app A [--variant N] [--len N] -o FILE     generate a trace
+  stats      -i FILE                trace statistics
+  simulate   -i FILE [--policy P] [--config zen3|zen4] [--entries N] [--ways N]
+                                    run one policy through the timed frontend
+  profile    -i FILE [--oracle flack|belady|foo] -o HINTS.json
+                                    produce FURBYS weight hints (steps 2-6)
+  compare    -i FILE [--config ...] compare every policy (incl. offline bounds)
+  experiment ID [--quick]           regenerate one paper table/figure
+  list-experiments                  show all experiment ids
+
+policies: lru srrip ship++ mockingjay ghrp thermometer furbys";
+
+/// Runs the command line. Returns an error message for the user on failure.
+///
+/// # Errors
+///
+/// Any argument, I/O or lookup failure, formatted for display.
+pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(argv);
+    match args.positional(0) {
+        Some("apps") => cmd_apps(),
+        Some("gen") => cmd_gen(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("profile") => cmd_profile(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("experiment") => cmd_experiment(&args),
+        Some("list-experiments") => cmd_list_experiments(),
+        Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
+        None => Err(Box::new(ArgError("no command given".into()))),
+    }
+}
+
+fn parse_app(name: &str) -> Result<AppId, ArgError> {
+    AppId::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown app {name:?} (try `uopcache apps`)")))
+}
+
+fn parse_config(args: &Args) -> Result<FrontendConfig, ArgError> {
+    let mut cfg = match args.get("config").unwrap_or("zen3") {
+        "zen3" => FrontendConfig::zen3(),
+        "zen4" => FrontendConfig::zen4(),
+        other => return Err(ArgError(format!("unknown config {other:?}"))),
+    };
+    cfg.uop_cache = cfg
+        .uop_cache
+        .with_entries(args.get_parse("entries", cfg.uop_cache.entries)?)
+        .with_ways(args.get_parse("ways", cfg.uop_cache.ways)?);
+    Ok(cfg)
+}
+
+fn load_trace(args: &Args) -> Result<LookupTrace, Box<dyn Error>> {
+    let path = args.require("input")?;
+    Ok(trace_io::load(Path::new(path))?)
+}
+
+fn cmd_apps() -> Result<(), Box<dyn Error>> {
+    let mut t = Table::new("Table II applications", &["app", "branch MPKI", "description"]);
+    for app in AppId::ALL {
+        t.row(&[
+            app.name().to_string(),
+            format!("{:.2}", app.branch_mpki()),
+            app.description().to_string(),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), Box<dyn Error>> {
+    let app = parse_app(args.require("app")?)?;
+    let variant = InputVariant::new(args.get_parse("variant", 0u32)?);
+    let len = args.get_parse("len", 100_000usize)?;
+    let out = args.require("output")?;
+    let trace = build_trace(app, variant, len);
+    trace_io::save(Path::new(out), &trace)?;
+    println!("wrote {len} accesses ({} uops) for {app} {variant} to {out}", trace.total_uops());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    let trace = load_trace(args)?;
+    let s = TraceStats::from_trace(&trace, 8);
+    let mut t = Table::new("trace statistics", &["metric", "value"]);
+    t.row(&["accesses".into(), format!("{}", s.accesses)]);
+    t.row(&["micro-ops".into(), format!("{}", s.total_uops)]);
+    t.row(&["mean uops per PW".into(), format!("{:.2}", s.mean_pw_uops)]);
+    t.row(&["distinct start addresses".into(), format!("{}", s.unique_starts)]);
+    t.row(&["footprint (entries)".into(), format!("{}", s.footprint_entries)]);
+    t.row(&["reuse distance > 30".into(), format!("{:.1}%", s.reuse_gt_30 * 100.0)]);
+    t.row(&["implied branch MPKI".into(), format!("{:.2}", s.implied_mpki)]);
+    for (i, count) in s.entry_histogram.iter().enumerate() {
+        if *count > 0 {
+            t.row(&[format!("PWs of {} entr{}", i + 1, if i == 0 { "y" } else { "ies" }),
+                format!("{count}")]);
+        }
+    }
+    t.print();
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let trace = load_trace(args)?;
+    let cfg = parse_config(args)?;
+    let name = canonical_policy(args.get("policy").unwrap_or("lru"))?;
+    let profiles = ProfileInputs::build(&cfg, &trace);
+    let policy = make_policy(name, &cfg, &profiles);
+    let result = Frontend::new(cfg, policy).run(&trace);
+    let model = EnergyModel::zen3_22nm(&cfg);
+    let b = model.evaluate(&result);
+
+    let mut t = Table::new(&format!("{name} on {} accesses", trace.len()), &["metric", "value"]);
+    t.row(&["uop miss rate".into(), format!("{:.2}%", result.uopc.uop_miss_rate() * 100.0)]);
+    t.row(&["PW hits / partial / misses".into(), format!(
+        "{} / {} / {}",
+        result.uopc.pw_hits, result.uopc.pw_partial_hits, result.uopc.pw_misses
+    )]);
+    t.row(&["insertions (bypassed)".into(), format!(
+        "{} ({:.1}%)",
+        result.uopc.insertions,
+        result.uopc.bypass_rate() * 100.0
+    )]);
+    t.row(&["IPC".into(), format!("{:.3}", result.ipc())]);
+    t.row(&["cycles".into(), format!("{}", result.events.cycles)]);
+    t.row(&["energy (arb.)".into(), format!("{:.1}", b.total())]);
+    t.row(&["PPW (insts/energy)".into(), format!("{:.3}", b.ppw())]);
+    t.print();
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), Box<dyn Error>> {
+    let trace = load_trace(args)?;
+    let out = args.require("output")?;
+    let mut pipeline = FurbysPipeline::new(parse_config(args)?);
+    pipeline.oracle = match args.get("oracle").unwrap_or("flack") {
+        "flack" => OracleKind::Flack,
+        "belady" => OracleKind::Belady,
+        "foo" => OracleKind::Foo,
+        other => return Err(Box::new(ArgError(format!("unknown oracle {other:?}")))),
+    };
+    let profile = pipeline.profile(&trace);
+    std::fs::write(out, profile.hints.to_json()?)?;
+    println!(
+        "profiled {} start addresses with the {} oracle into {} weight groups -> {out}",
+        profile.hints.len(),
+        pipeline.oracle.label(),
+        profile.hints.groups()
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
+    let trace = load_trace(args)?;
+    let cfg = parse_config(args)?;
+    let profiles = ProfileInputs::build(&cfg, &trace);
+    let mut t = Table::new(
+        "policy comparison",
+        &["policy", "miss rate", "vs LRU", "IPC", "bypassed"],
+    );
+    let lru = Frontend::new(cfg, make_policy("LRU", &cfg, &profiles)).run(&trace);
+    for name in ONLINE_POLICIES {
+        let r = Frontend::new(cfg, make_policy(name, &cfg, &profiles)).run(&trace);
+        t.row(&[
+            name.to_string(),
+            format!("{:.2}%", r.uopc.uop_miss_rate() * 100.0),
+            format!("{:+.2}%", r.uopc.miss_reduction_vs(&lru.uopc)),
+            format!("{:.3}", r.ipc()),
+            format!("{:.1}%", r.uopc.bypass_rate() * 100.0),
+        ]);
+    }
+    // Offline bounds.
+    let mut sync_lru =
+        uopcache_cache::UopCache::new(cfg.uop_cache, Box::new(uopcache_cache::LruPolicy::new()));
+    let sync_stats = uopcache_policies::run_trace(&mut sync_lru, &trace);
+    for variant in [Flack::ablation(false, false, false), Flack::new()] {
+        let s = variant.run(&trace, &cfg.uop_cache).stats;
+        t.row(&[
+            format!("{} (offline)", variant.label()),
+            format!("{:.2}%", s.uop_miss_rate() * 100.0),
+            format!("{:+.2}%", s.miss_reduction_vs(&sync_stats)),
+            "-".into(),
+            format!("{:.1}%", s.bypass_rate() * 100.0),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), Box<dyn Error>> {
+    let id = args
+        .positional(1)
+        .ok_or_else(|| ArgError("experiment needs an id (see list-experiments)".into()))?;
+    let exp = uopcache_bench::experiments::by_id(id)
+        .ok_or_else(|| ArgError(format!("unknown experiment {id:?}")))?;
+    println!("{} — {}\n", exp.id, exp.caption);
+    for table in (exp.run)(args.has("quick")) {
+        table.print();
+    }
+    Ok(())
+}
+
+fn cmd_list_experiments() -> Result<(), Box<dyn Error>> {
+    let mut t = Table::new("experiments", &["id", "caption"]);
+    for exp in uopcache_bench::experiments::all() {
+        t.row(&[exp.id.to_string(), exp.caption.to_string()]);
+    }
+    t.print();
+    Ok(())
+}
+
+fn canonical_policy(name: &str) -> Result<&'static str, ArgError> {
+    let lowered = name.to_ascii_lowercase();
+    ONLINE_POLICIES
+        .iter()
+        .find(|p| p.to_ascii_lowercase() == lowered)
+        .copied()
+        .ok_or_else(|| ArgError(format!("unknown policy {name:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<(), Box<dyn Error>> {
+        dispatch(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn apps_and_listing_work() {
+        run("apps").unwrap();
+        run("list-experiments").unwrap();
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run("frobnicate").is_err());
+        assert!(run("").is_err());
+        assert!(run("experiment nope").is_err());
+    }
+
+    #[test]
+    fn gen_stats_simulate_profile_compare_round_trip() {
+        let dir = std::env::temp_dir();
+        let trc = dir.join("uopcache_cli_test.trc");
+        let hints = dir.join("uopcache_cli_test_hints.json");
+        run(&format!(
+            "gen --app postgres --variant 1 --len 3000 -o {}",
+            trc.display()
+        ))
+        .unwrap();
+        run(&format!("stats -i {}", trc.display())).unwrap();
+        run(&format!("simulate -i {} --policy furbys", trc.display())).unwrap();
+        run(&format!("simulate -i {} --policy lru --entries 1024", trc.display())).unwrap();
+        run(&format!(
+            "profile -i {} --oracle belady -o {}",
+            trc.display(),
+            hints.display()
+        ))
+        .unwrap();
+        run(&format!("compare -i {}", trc.display())).unwrap();
+        assert!(hints.exists());
+        let _ = std::fs::remove_file(trc);
+        let _ = std::fs::remove_file(hints);
+    }
+
+    #[test]
+    fn canonical_policy_accepts_any_case() {
+        assert_eq!(canonical_policy("FURBYS").unwrap(), "FURBYS");
+        assert_eq!(canonical_policy("ship++").unwrap(), "SHiP++");
+        assert!(canonical_policy("belady").is_err(), "offline policies are not online options");
+    }
+}

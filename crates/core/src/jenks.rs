@@ -1,0 +1,168 @@
+//! Jenks natural breaks: optimal 1-D classification minimising within-class
+//! variance (Jenks, 1967) — used to group PW hit rates into weight classes.
+
+/// Computes Jenks natural breaks for `values` into at most `classes` groups.
+///
+/// Returns the *upper bounds* of each class in ascending order (the last
+/// bound is the maximum value); classify with [`classify`]. When there are
+/// fewer distinct values than classes, each distinct value gets its own
+/// class and fewer bounds are returned.
+///
+/// Runs the exact O(classes · n²) dynamic program on the sorted distinct
+/// values; hit-rate profiles are computed per cache set, keeping `n` small.
+///
+/// # Panics
+///
+/// Panics if `classes` is zero or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_core::jenks::{classify, jenks_breaks};
+///
+/// let values = [0.0, 0.1, 0.05, 0.9, 0.95, 1.0];
+/// let breaks = jenks_breaks(&values, 2);
+/// assert_eq!(breaks.len(), 2);
+/// // The natural split separates the low cluster from the high one.
+/// assert_eq!(classify(0.05, &breaks), 0);
+/// assert_eq!(classify(0.95, &breaks), 1);
+/// ```
+pub fn jenks_breaks(values: &[f64], classes: usize) -> Vec<f64> {
+    assert!(classes > 0, "need at least one class");
+    assert!(values.iter().all(|v| !v.is_nan()), "values must not be NaN");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.dedup();
+    let n = sorted.len();
+    let k = classes.min(n);
+    if k == n {
+        return sorted;
+    }
+
+    // Prefix sums for O(1) within-class sum of squared deviations.
+    let mut prefix = vec![0.0; n + 1];
+    let mut prefix_sq = vec![0.0; n + 1];
+    #[allow(clippy::needless_range_loop)]
+    for (i, &v) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    let ssd = |lo: usize, hi: usize| -> f64 {
+        // Sum of squared deviations of sorted[lo..=hi].
+        let m = (hi - lo + 1) as f64;
+        let s = prefix[hi + 1] - prefix[lo];
+        let sq = prefix_sq[hi + 1] - prefix_sq[lo];
+        sq - s * s / m
+    };
+
+    // dp[c][i] = minimal total SSD splitting sorted[0..=i] into c+1 classes.
+    let mut dp = vec![vec![f64::INFINITY; n]; k];
+    let mut cut = vec![vec![0usize; n]; k];
+    for (i, cell) in dp[0].iter_mut().enumerate() {
+        *cell = ssd(0, i);
+    }
+    for c in 1..k {
+        for i in c..n {
+            for j in c..=i {
+                let cand = dp[c - 1][j - 1] + ssd(j, i);
+                if cand < dp[c][i] {
+                    dp[c][i] = cand;
+                    cut[c][i] = j;
+                }
+            }
+        }
+    }
+
+    // Recover the class upper bounds.
+    let mut bounds = vec![0.0; k];
+    let mut end = n - 1;
+    for c in (0..k).rev() {
+        bounds[c] = sorted[end];
+        if c > 0 {
+            end = cut[c][end] - 1;
+        }
+    }
+    bounds
+}
+
+/// Returns the class index (0-based, ascending) of `value` under `breaks`
+/// from [`jenks_breaks`]. Values above the last bound land in the top class.
+pub fn classify(value: f64, breaks: &[f64]) -> usize {
+    for (i, &b) in breaks.iter().enumerate() {
+        if value <= b {
+            return i;
+        }
+    }
+    breaks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_two_obvious_clusters() {
+        let v = [1.0, 1.1, 1.2, 9.0, 9.1, 9.2];
+        let breaks = jenks_breaks(&v, 2);
+        assert_eq!(breaks, vec![1.2, 9.2]);
+        assert_eq!(classify(1.15, &breaks), 0);
+        assert_eq!(classify(9.0, &breaks), 1);
+    }
+
+    #[test]
+    fn three_clusters() {
+        let v = [0.0, 0.01, 0.5, 0.52, 0.99, 1.0];
+        let breaks = jenks_breaks(&v, 3);
+        assert_eq!(breaks.len(), 3);
+        assert_eq!(classify(0.0, &breaks), 0);
+        assert_eq!(classify(0.51, &breaks), 1);
+        assert_eq!(classify(1.0, &breaks), 2);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_classes() {
+        let v = [0.5, 0.5, 0.7];
+        let breaks = jenks_breaks(&v, 8);
+        assert_eq!(breaks, vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn single_class_covers_everything() {
+        let v = [3.0, 1.0, 2.0];
+        let breaks = jenks_breaks(&v, 1);
+        assert_eq!(breaks, vec![3.0]);
+        assert_eq!(classify(2.5, &breaks), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(jenks_breaks(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn dp_beats_equal_width_on_skewed_data() {
+        // Cluster structure: {0..0.1} x 10, {5.0}: Jenks puts the lone
+        // outlier in its own class rather than splitting the dense cluster.
+        let mut v: Vec<f64> = (0..10).map(|i| i as f64 * 0.01).collect();
+        v.push(5.0);
+        let breaks = jenks_breaks(&v, 2);
+        assert!(breaks[0] < 1.0 && breaks[1] == 5.0);
+        assert_eq!(classify(5.0, &breaks), 1);
+        assert_eq!(classify(0.09, &breaks), 0);
+    }
+
+    #[test]
+    fn classify_above_all_breaks_is_top_class() {
+        let breaks = vec![0.5, 1.0];
+        assert_eq!(classify(2.0, &breaks), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = jenks_breaks(&[1.0], 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Weight-group computation: Jenks natural breaks over profiled hit rates.
+
+use crate::hints::HintMap;
+use crate::jenks::{classify, jenks_breaks};
+use std::collections::HashMap;
+use uopcache_model::{Addr, UopCacheConfig};
+
+/// How hit rates are grouped into weights.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct WeightConfig {
+    /// Hint width in bits (paper: 3 → 8 groups, the Fig. 19 sweep varies
+    /// this from 1 to 8).
+    pub bits: u8,
+    /// Compute breaks per cache set (the paper's choice, since replacement
+    /// decisions are per set) instead of globally.
+    pub per_set: bool,
+}
+
+impl Default for WeightConfig {
+    fn default() -> Self {
+        WeightConfig { bits: 3, per_set: true }
+    }
+}
+
+/// Groups `hit_rates` into `2^bits` weight classes with Jenks natural breaks
+/// and returns the resulting hint map (weight 0 = lowest hit rate).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use uopcache_core::{compute_weights, WeightConfig};
+/// use uopcache_model::{Addr, UopCacheConfig};
+///
+/// let mut rates = HashMap::new();
+/// // 0x0000 and 0x1000 map to the same set of the 64-set Zen3 cache.
+/// rates.insert(Addr::new(0x0000), 0.05);
+/// rates.insert(Addr::new(0x1000), 0.95);
+/// let hints = compute_weights(&rates, &UopCacheConfig::zen3(), &WeightConfig::default());
+/// assert!(hints.get(Addr::new(0x1000)) > hints.get(Addr::new(0x0000)));
+/// ```
+pub fn compute_weights(
+    hit_rates: &HashMap<Addr, f64>,
+    cfg: &UopCacheConfig,
+    wcfg: &WeightConfig,
+) -> HintMap {
+    let classes = 1usize << wcfg.bits;
+    let mut hints = HintMap::new(wcfg.bits);
+    if hit_rates.is_empty() {
+        return hints;
+    }
+    if wcfg.per_set {
+        let mut per_set: HashMap<usize, Vec<(Addr, f64)>> = HashMap::new();
+        for (&a, &r) in hit_rates {
+            per_set.entry(cfg.set_index_for(a, 64)).or_default().push((a, r));
+        }
+        for group in per_set.values() {
+            assign(group, classes, &mut hints);
+        }
+    } else {
+        let group: Vec<(Addr, f64)> = hit_rates.iter().map(|(&a, &r)| (a, r)).collect();
+        assign(&group, classes, &mut hints);
+    }
+    hints
+}
+
+fn assign(group: &[(Addr, f64)], classes: usize, hints: &mut HintMap) {
+    let values: Vec<f64> = group.iter().map(|&(_, r)| r).collect();
+    let breaks = jenks_breaks(&values, classes);
+    for &(a, r) in group {
+        hints.set(a, classify(r, &breaks) as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> UopCacheConfig {
+        UopCacheConfig::zen3()
+    }
+
+    #[test]
+    fn weights_are_monotone_in_hit_rate_within_a_set() {
+        // Addresses 0x000, 0x1000, 0x2000... spaced by sets*64 = 4096 bytes
+        // map to the same set.
+        let mut rates = HashMap::new();
+        let addrs: Vec<Addr> = (0..8u64).map(|i| Addr::new(i * 4096)).collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            rates.insert(a, i as f64 / 7.0);
+        }
+        let hints = compute_weights(&rates, &cfg(), &WeightConfig::default());
+        for w in addrs.windows(2) {
+            assert!(hints.get(w[0]) <= hints.get(w[1]));
+        }
+        assert_eq!(hints.get(addrs[0]), 0);
+        assert_eq!(hints.get(addrs[7]), 7);
+    }
+
+    #[test]
+    fn fewer_bits_coarsen_groups() {
+        let mut rates = HashMap::new();
+        for i in 0..16u64 {
+            rates.insert(Addr::new(i * 4096), i as f64 / 15.0);
+        }
+        let fine = compute_weights(&rates, &cfg(), &WeightConfig { bits: 3, per_set: true });
+        let coarse = compute_weights(&rates, &cfg(), &WeightConfig { bits: 1, per_set: true });
+        let fine_distinct: std::collections::HashSet<u8> =
+            rates.keys().map(|&a| fine.get(a)).collect();
+        let coarse_distinct: std::collections::HashSet<u8> =
+            rates.keys().map(|&a| coarse.get(a)).collect();
+        assert!(coarse_distinct.len() <= 2);
+        assert!(fine_distinct.len() > coarse_distinct.len());
+    }
+
+    #[test]
+    fn global_mode_spans_sets() {
+        let mut rates = HashMap::new();
+        rates.insert(Addr::new(0), 0.1);
+        rates.insert(Addr::new(64), 0.9); // different set
+        let hints = compute_weights(&rates, &cfg(), &WeightConfig { bits: 3, per_set: false });
+        assert!(hints.get(Addr::new(64)) > hints.get(Addr::new(0)));
+    }
+
+    #[test]
+    fn empty_rates_yield_empty_hints() {
+        let hints = compute_weights(&HashMap::new(), &cfg(), &WeightConfig::default());
+        assert!(hints.is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! Residual flow network and the successive-shortest-path solver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to an edge added with [`FlowGraph::add_edge`], used to read back the
+/// flow routed through it after solving.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct EdgeId(usize);
+
+/// Outcome of a min-cost-flow computation.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct McmfResult {
+    /// Units of flow actually routed (may be less than requested if the
+    /// network saturates first).
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: i64,
+}
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: u32,
+    cap: i64,
+    cost: i64,
+}
+
+/// A directed flow network with costs.
+///
+/// Edges are stored with their residual twins; `add_edge(u, v, cap, cost)`
+/// creates the forward edge and a zero-capacity reverse edge with negated
+/// cost.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_flow::FlowGraph;
+///
+/// let mut g = FlowGraph::new(2);
+/// let e = g.add_edge(0, 1, 10, -3); // negative costs are allowed
+/// let r = g.min_cost_flow(0, 1, 10);
+/// assert_eq!((r.flow, r.cost), (10, -30));
+/// assert_eq!(g.flow_on(e), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowGraph {
+    edges: Vec<Edge>,
+    /// Adjacency list: per-node indices into `edges`.
+    adj: Vec<Vec<u32>>,
+    /// Whether every added edge goes from a lower to a higher node index
+    /// (lets the solver seed potentials with one topological pass).
+    is_forward_dag: bool,
+}
+
+impl FlowGraph {
+    /// Creates a network with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Self {
+        FlowGraph { edges: Vec::new(), adj: vec![Vec::new(); nodes], is_forward_dag: true }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (forward) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge with the given capacity and per-unit cost and
+    /// returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, if `from == to`, or if
+    /// `cap` is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> EdgeId {
+        assert!(from < self.adj.len() && to < self.adj.len(), "edge endpoint out of range");
+        assert!(from != to, "self-loops are not supported");
+        assert!(cap >= 0, "capacity must be non-negative");
+        if from >= to {
+            self.is_forward_dag = false;
+        }
+        let id = self.edges.len();
+        self.edges.push(Edge { to: to as u32, cap, cost });
+        self.edges.push(Edge { to: from as u32, cap: 0, cost: -cost });
+        self.adj[from].push(id as u32);
+        self.adj[to].push(id as u32 + 1);
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through the edge (the residual capacity of its
+    /// reverse twin). Valid after [`FlowGraph::min_cost_flow`].
+    pub fn flow_on(&self, id: EdgeId) -> i64 {
+        self.edges[id.0 ^ 1].cap
+    }
+
+    /// Remaining capacity of the edge.
+    pub fn residual_on(&self, id: EdgeId) -> i64 {
+        self.edges[id.0].cap
+    }
+
+    /// Routes up to `max_flow` units from `source` to `sink` at minimum total
+    /// cost, mutating the network's residual capacities.
+    ///
+    /// Negative edge costs are supported. When the network (as constructed)
+    /// is a forward DAG, initial potentials come from a linear relaxation
+    /// pass; otherwise Bellman–Ford is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn min_cost_flow(&mut self, source: usize, sink: usize, max_flow: i64) -> McmfResult {
+        assert!(source < self.adj.len() && sink < self.adj.len(), "endpoint out of range");
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.adj.len();
+        let mut potential = if self.edges.iter().all(|e| e.cost >= 0) {
+            vec![0i64; n]
+        } else if self.is_forward_dag {
+            self.dag_potentials(source)
+        } else {
+            self.bellman_ford_potentials(source)
+        };
+
+        let mut total = McmfResult::default();
+        let mut dist = vec![i64::MAX; n];
+        let mut par_edge = vec![u32::MAX; n];
+
+        while total.flow < max_flow {
+            // Dijkstra on reduced costs.
+            dist.fill(i64::MAX);
+            par_edge.fill(u32::MAX);
+            dist[source] = 0;
+            let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+            heap.push(Reverse((0, source as u32)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                let u = u as usize;
+                if d > dist[u] {
+                    continue;
+                }
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap <= 0 {
+                        continue;
+                    }
+                    let v = e.to as usize;
+                    if potential[u] == i64::MAX || potential[v] == i64::MAX {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[u] - potential[v];
+                    debug_assert!(
+                        e.cost + potential[u] - potential[v] >= 0,
+                        "reduced cost must be non-negative"
+                    );
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        par_edge[v] = eid;
+                        heap.push(Reverse((nd, v as u32)));
+                    }
+                }
+            }
+            if dist[sink] == i64::MAX {
+                break; // saturated
+            }
+            for v in 0..n {
+                if dist[v] != i64::MAX {
+                    potential[v] = potential[v].saturating_add(dist[v]);
+                }
+            }
+            // Find bottleneck along the shortest path.
+            let mut push = max_flow - total.flow;
+            let mut v = sink;
+            while v != source {
+                let eid = par_edge[v] as usize;
+                push = push.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            // Apply.
+            let mut v = sink;
+            let mut path_cost = 0;
+            while v != source {
+                let eid = par_edge[v] as usize;
+                self.edges[eid].cap -= push;
+                self.edges[eid ^ 1].cap += push;
+                path_cost += self.edges[eid].cost;
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            total.flow += push;
+            total.cost += push * path_cost;
+        }
+        total
+    }
+
+    /// Shortest distances from `source` via one pass in node order — exact for
+    /// forward DAGs (every edge goes from a lower to a higher index).
+    fn dag_potentials(&self, source: usize) -> Vec<i64> {
+        let n = self.adj.len();
+        let mut dist = vec![i64::MAX; n];
+        dist[source] = 0;
+        for u in 0..n {
+            if dist[u] == i64::MAX {
+                continue;
+            }
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid as usize];
+                if e.cap <= 0 {
+                    continue;
+                }
+                let v = e.to as usize;
+                // Residual twins point backwards; skip them (they have no
+                // capacity before any flow is routed anyway).
+                if v <= u {
+                    continue;
+                }
+                let nd = dist[u] + e.cost;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                }
+            }
+        }
+        // Unreachable nodes keep MAX; Dijkstra skips them via the potential
+        // check.
+        dist
+    }
+
+    /// Bellman–Ford (queue-based) potentials for general graphs with negative
+    /// costs.
+    fn bellman_ford_potentials(&self, source: usize) -> Vec<i64> {
+        let n = self.adj.len();
+        let mut dist = vec![i64::MAX; n];
+        let mut in_queue = vec![false; n];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        in_queue[source] = true;
+        let mut relaxations = 0usize;
+        let budget = n.saturating_mul(self.edges.len()).max(1);
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid as usize];
+                if e.cap <= 0 || dist[u] == i64::MAX {
+                    continue;
+                }
+                let v = e.to as usize;
+                let nd = dist[u] + e.cost;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    relaxations += 1;
+                    assert!(relaxations <= budget, "negative cycle detected");
+                    if !in_queue[v] {
+                        queue.push_back(v);
+                        in_queue[v] = true;
+                    }
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowGraph::new(2);
+        let e = g.add_edge(0, 1, 4, 7);
+        let r = g.min_cost_flow(0, 1, 10);
+        assert_eq!(r, McmfResult { flow: 4, cost: 28 });
+        assert_eq!(g.flow_on(e), 4);
+        assert_eq!(g.residual_on(e), 0);
+    }
+
+    #[test]
+    fn prefers_cheap_path() {
+        let mut g = FlowGraph::new(4);
+        let a = g.add_edge(0, 1, 3, 1);
+        g.add_edge(1, 3, 3, 0);
+        let b = g.add_edge(0, 2, 3, 5);
+        g.add_edge(2, 3, 3, 0);
+        let r = g.min_cost_flow(0, 3, 4);
+        assert_eq!(r.flow, 4);
+        assert_eq!(r.cost, 3 + 5);
+        assert_eq!(g.flow_on(a), 3);
+        assert_eq!(g.flow_on(b), 1);
+    }
+
+    #[test]
+    fn negative_costs_on_dag() {
+        // Taking the negative edge is cheaper even though it is longer.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 3, 1, 0);
+        let neg = g.add_edge(0, 1, 1, -5);
+        g.add_edge(1, 2, 1, 1);
+        g.add_edge(2, 3, 1, 1);
+        let r = g.min_cost_flow(0, 3, 1);
+        assert_eq!(r.flow, 1);
+        assert_eq!(r.cost, -3);
+        assert_eq!(g.flow_on(neg), 1);
+    }
+
+    #[test]
+    fn negative_costs_general_graph() {
+        // Edge from high to low index forces Bellman–Ford.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 2, 2, 3);
+        g.add_edge(2, 1, 2, -2);
+        g.add_edge(1, 3, 2, 1);
+        let r = g.min_cost_flow(0, 3, 2);
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, 2 * (3 - 2 + 1));
+    }
+
+    #[test]
+    fn respects_max_flow_cap() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 100, 1);
+        let r = g.min_cost_flow(0, 1, 7);
+        assert_eq!(r.flow, 7);
+        assert_eq!(r.cost, 7);
+    }
+
+    #[test]
+    fn disconnected_sink_yields_zero() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 5, 1);
+        let r = g.min_cost_flow(0, 2, 5);
+        assert_eq!(r, McmfResult::default());
+    }
+
+    #[test]
+    fn reroutes_through_residual_edges() {
+        // Classic case where the second augmentation must cancel flow on the
+        // first path.
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(0, 2, 1, 2);
+        g.add_edge(1, 2, 1, -2);
+        g.add_edge(1, 3, 1, 4);
+        g.add_edge(2, 3, 1, 1);
+        let r = g.min_cost_flow(0, 3, 2);
+        assert_eq!(r.flow, 2);
+        // Optimal: 0->1->2->3 (cost 0) and 0->2? cap of 2->3 is 1... so
+        // 0->1->3 (5) + 0->2->3 (3) = 8, or 0->1->2->3 (0) + 0->2..blocked ->
+        // via residual: 0->2 (2), 2->... only 2->3 used; rerouted optimum:
+        // 0->1->3 (5) and 0->2->3 (3) vs 0->1->2->3 (0) and 0->2->(2->3 full)
+        // -> residual 2->1 (+2), 1->3 (4): total 2+2+4=8. Both give 8.
+        assert_eq!(r.cost, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(1, 1, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, -1, 0);
+    }
+
+    /// Brute-force min-cost flow by enumerating all ways to route integral
+    /// flow on tiny graphs, for cross-checking.
+    fn brute_force_min_cost(edges: &[(usize, usize, i64, i64)], n: usize, want: i64) -> i64 {
+        // Successive shortest path via exhaustive path search (exponential,
+        // tiny inputs only): here we instead compute by LP-free enumeration of
+        // per-edge flows. Limit: each edge cap <= 2, few edges.
+        fn rec(
+            edges: &[(usize, usize, i64, i64)],
+            flows: &mut Vec<i64>,
+            idx: usize,
+            n: usize,
+            want: i64,
+        ) -> Option<i64> {
+            if idx == edges.len() {
+                // Check conservation: net out of node 0 == want, into n-1 ==
+                // want, others zero.
+                let mut net = vec![0i64; n];
+                for (f, &(u, v, _, _)) in flows.iter().zip(edges) {
+                    net[u] += f;
+                    net[v] -= f;
+                }
+                if net[0] == want && net[n - 1] == -want && net[1..n - 1].iter().all(|&x| x == 0) {
+                    return Some(flows.iter().zip(edges).map(|(f, e)| f * e.3).sum());
+                }
+                return None;
+            }
+            let mut best = None;
+            for f in 0..=edges[idx].2 {
+                flows.push(f);
+                if let Some(c) = rec(edges, flows, idx + 1, n, want) {
+                    best = Some(best.map_or(c, |b: i64| b.min(c)));
+                }
+                flows.pop();
+            }
+            best
+        }
+        rec(edges, &mut Vec::new(), 0, n, want).expect("feasible")
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_small_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(3..5);
+            let m = rng.gen_range(3..7);
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                let u = rng.gen_range(0..n - 1);
+                let v = rng.gen_range(u + 1..n); // forward DAG
+                let cap = rng.gen_range(0..=2i64);
+                let cost = rng.gen_range(-3..=3i64);
+                edges.push((u, v, cap, cost));
+            }
+            let mut g = FlowGraph::new(n);
+            for &(u, v, cap, cost) in &edges {
+                g.add_edge(u, v, cap, cost);
+            }
+            // Request 1 unit if feasible.
+            let r = g.min_cost_flow(0, n - 1, 1);
+            if r.flow == 1 {
+                let expect = brute_force_min_cost(&edges, n, 1);
+                assert_eq!(r.cost, expect, "edges: {edges:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # uopcache-policies
+//!
+//! Online replacement-policy baselines for the micro-op cache, matching the
+//! set the paper compares against (§III-E, §VI):
+//!
+//! * [`SrripPolicy`] — static re-reference interval prediction (2-bit RRPV).
+//! * [`ShipPlusPlusPolicy`] — SHiP++: PC-signature history counter table.
+//! * [`GhrpPolicy`] — global-history-based dead-block prediction with bypass.
+//! * [`MockingjayPolicy`] — sampled reuse-distance prediction (ETA eviction).
+//! * [`ThermometerPolicy`] — profile-guided hot/warm/cold classification.
+//! * [`RandomPolicy`] / [`FifoPolicy`] — sanity baselines for tests.
+//!
+//! (LRU, the paper's baseline, lives in `uopcache-cache` as
+//! [`uopcache_cache::LruPolicy`]; FURBYS, the paper's contribution, lives in
+//! `uopcache-core`.)
+//!
+//! The crate also provides [`run_trace`], a synchronous insert-on-miss driver
+//! used for policy comparisons that do not need frontend timing, and
+//! [`profile::lru_hit_rates`] for building Thermometer profiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use uopcache_cache::UopCache;
+//! use uopcache_model::UopCacheConfig;
+//! use uopcache_policies::{run_trace, SrripPolicy};
+//! use uopcache_trace::{build_trace, AppId, InputVariant};
+//!
+//! let trace = build_trace(AppId::Kafka, InputVariant::default(), 5_000);
+//! let mut cache = UopCache::new(UopCacheConfig::zen3(), Box::new(SrripPolicy::new()));
+//! let stats = run_trace(&mut cache, &trace);
+//! assert!(stats.uops_hit > 0);
+//! ```
+
+pub mod fifo;
+pub mod ghrp;
+pub mod mockingjay;
+pub mod profile;
+pub mod random;
+pub mod runner;
+pub mod ship;
+pub mod slots;
+pub mod srrip;
+pub mod thermometer;
+
+pub use fifo::FifoPolicy;
+pub use ghrp::GhrpPolicy;
+pub use mockingjay::MockingjayPolicy;
+pub use random::RandomPolicy;
+pub use runner::{run_trace, run_trace_observed};
+pub use ship::ShipPlusPlusPolicy;
+pub use slots::SlotTable;
+pub use srrip::SrripPolicy;
+pub use thermometer::{HotClass, ThermometerPolicy};

@@ -1,0 +1,70 @@
+//! Lazily-grown per-(set, slot) state storage shared by the policies.
+
+/// A 2-D table of policy state indexed by `(set, slot)`, growing on demand.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_policies::SlotTable;
+///
+/// let mut t: SlotTable<u8> = SlotTable::new();
+/// *t.get_mut(3, 1) = 7;
+/// assert_eq!(*t.get(3, 1), 7);
+/// assert_eq!(*t.get(0, 0), 0); // untouched cells read as default
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SlotTable<T: Default + Clone> {
+    rows: Vec<Vec<T>>,
+    default: T,
+}
+
+impl<T: Default + Clone> SlotTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SlotTable { rows: Vec::new(), default: T::default() }
+    }
+
+    /// Mutable access to the cell, growing the table as needed.
+    pub fn get_mut(&mut self, set: usize, slot: u8) -> &mut T {
+        if self.rows.len() <= set {
+            self.rows.resize_with(set + 1, Vec::new);
+        }
+        let row = &mut self.rows[set];
+        let slot = usize::from(slot);
+        if row.len() <= slot {
+            row.resize_with(slot + 1, T::default);
+        }
+        &mut row[slot]
+    }
+
+    /// Read access; returns the default for untouched cells.
+    pub fn get(&self, set: usize, slot: u8) -> &T {
+        self.rows
+            .get(set)
+            .and_then(|row| row.get(usize::from(slot)))
+            .unwrap_or(&self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_independently_per_row() {
+        let mut t: SlotTable<u32> = SlotTable::new();
+        *t.get_mut(5, 7) = 42;
+        assert_eq!(*t.get(5, 7), 42);
+        assert_eq!(*t.get(5, 6), 0);
+        assert_eq!(*t.get(4, 7), 0);
+        assert_eq!(*t.get(100, 100), 0);
+    }
+
+    #[test]
+    fn overwrites_persist() {
+        let mut t: SlotTable<i64> = SlotTable::new();
+        *t.get_mut(0, 0) = -1;
+        *t.get_mut(0, 0) = 9;
+        assert_eq!(*t.get(0, 0), 9);
+    }
+}

@@ -1,0 +1,406 @@
+//! The frontend simulation loop.
+
+use std::collections::VecDeque;
+use uopcache_cache::{LineCache, LineOutcome, LookupResult, PwReplacementPolicy, UopCache};
+use uopcache_model::{FrontendConfig, LookupTrace, PwDesc, SimResult};
+
+/// Exposed L2 latency charged on an L1i miss. Table I's L2 is 16 cycles, but
+/// decoupled frontends hide roughly half of it with fetch-ahead (the paper
+/// leaves FDIP unmodelled, §VII); we charge the exposed portion.
+const L2_LATENCY: u64 = 8;
+/// Re-steer penalty on a BTB miss for a taken branch.
+const BTB_MISS_PENALTY: u64 = 2;
+/// Micro-ops the micro-op cache path can deliver per cycle (8 per entry, one
+/// entry per cycle — the paper notes only one PW is released per cycle).
+const UOPC_DELIVERY_PER_CYCLE: u64 = 8;
+/// Assumed micro-ops per x86 instruction for instruction-count reporting.
+const UOPS_PER_INST: f64 = 1.12;
+
+/// Non-architectural simulation switches.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct SimOptions {
+    /// Classify micro-op cache misses into cold/capacity/conflict
+    /// (adds a fully-associative shadow; slows simulation slightly).
+    pub classify_misses: bool,
+}
+
+/// The trace-driven frontend simulator.
+///
+/// Construct with a configuration and a replacement policy, then [`run`] a
+/// lookup trace. The simulator may be run repeatedly; statistics accumulate
+/// on the underlying structures while [`run`] returns per-run deltas.
+///
+/// [`run`]: Frontend::run
+pub struct Frontend {
+    cfg: FrontendConfig,
+    uopc: UopCache,
+    l1i: LineCache,
+    btb: LineCache,
+    /// Pending asynchronous insertions: (ready_cycle, window).
+    insert_queue: VecDeque<(u64, PwDesc)>,
+    /// Whether the previous window was served by the micro-op cache.
+    uopc_mode: bool,
+    /// Frontend cycle counter.
+    cycle: u64,
+    /// Fractional backend-absorption accumulator.
+    backend_debt: f64,
+}
+
+impl Frontend {
+    /// Creates a frontend with the given configuration and micro-op cache
+    /// replacement policy.
+    pub fn new(cfg: FrontendConfig, policy: Box<dyn PwReplacementPolicy>) -> Self {
+        Self::with_options(cfg, policy, SimOptions::default())
+    }
+
+    /// As [`Frontend::new`] with explicit simulation options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometries are inconsistent.
+    pub fn with_options(
+        cfg: FrontendConfig,
+        policy: Box<dyn PwReplacementPolicy>,
+        opts: SimOptions,
+    ) -> Self {
+        let mut uopc =
+            UopCache::with_line_bytes(cfg.uop_cache, policy, u64::from(cfg.icache.line_bytes));
+        if opts.classify_misses {
+            uopc.enable_classification();
+        }
+        let l1i = LineCache::new(cfg.icache.size_bytes, cfg.icache.ways, cfg.icache.line_bytes);
+        // BTB: tagged at 4-byte granularity.
+        let btb = LineCache::with_entries(cfg.bpu.btb_entries, cfg.bpu.btb_ways, 4);
+        Frontend {
+            cfg,
+            uopc,
+            l1i,
+            btb,
+            insert_queue: VecDeque::new(),
+            uopc_mode: false,
+            cycle: 0,
+            backend_debt: 0.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.cfg
+    }
+
+    /// The micro-op cache (for inspection in tests and experiments).
+    pub fn uop_cache(&self) -> &UopCache {
+        &self.uopc
+    }
+
+    /// Drives the lookup trace through the frontend and returns the
+    /// statistics of this run.
+    pub fn run(&mut self, trace: &LookupTrace) -> SimResult {
+        let uopc_before = *self.uopc.stats();
+        let l1i_before = *self.l1i.stats();
+        let btb_before = *self.btb.stats();
+        let cycle_before = self.cycle;
+        let mut result = SimResult::default();
+
+        for access in trace.iter() {
+            let pw = access.pw;
+            let mut add: u64 = 0;
+
+            // Retire pending asynchronous insertions that are now ready.
+            self.drain_insertions();
+
+            // Branch prediction for the branch that produced this window.
+            result.events.bp_accesses += 1;
+            result.events.btb_accesses += 1;
+            if !self.cfg.perfect.btb {
+                if let LineOutcome::Miss { .. } =
+                    self.btb.access(uopcache_model::Addr::new(pw.start.get()).line(4))
+                {
+                    add += BTB_MISS_PENALTY;
+                }
+            }
+            if access.mispredicted && !self.cfg.perfect.branch_predictor {
+                result.mispredictions += 1;
+                add += u64::from(self.cfg.bpu.mispredict_penalty);
+            }
+
+            // Micro-op cache lookup.
+            result.events.uopc_lookups += 1;
+            let lookup = if self.cfg.perfect.uop_cache {
+                LookupResult::Hit { uops: pw.uops }
+            } else {
+                self.uopc.lookup(&pw)
+            };
+            let hit_uops = u64::from(lookup.hit_uops());
+            let miss_uops = u64::from(lookup.miss_uops(pw.uops));
+            result.events.uopc_entry_reads +=
+                hit_uops.div_ceil(u64::from(self.cfg.uop_cache.uops_per_entry));
+
+            if miss_uops == 0 {
+                // Served entirely by the micro-op cache.
+                if !self.uopc_mode {
+                    add += u64::from(self.cfg.uop_cache.switch_penalty);
+                    self.uopc_mode = true;
+                }
+                add += hit_uops.div_ceil(UOPC_DELIVERY_PER_CYCLE).max(1);
+                // Inclusion keeps the window's lines in L1i; their recency
+                // tracks micro-op cache hits (no energy is spent — the L1i
+                // array is clock-gated on this path).
+                if !self.cfg.perfect.icache && self.cfg.uop_cache.inclusive_with_l1i {
+                    let line_bytes = u64::from(self.cfg.icache.line_bytes);
+                    for line in pw.lines(line_bytes) {
+                        self.l1i.touch(line);
+                    }
+                }
+            } else {
+                // Deliver any partial-hit prefix from the micro-op cache.
+                if hit_uops > 0 {
+                    add += hit_uops.div_ceil(UOPC_DELIVERY_PER_CYCLE);
+                }
+                // Switch to the legacy path and refill the decode pipeline.
+                if self.uopc_mode {
+                    add += u64::from(self.cfg.uop_cache.switch_penalty);
+                    self.uopc_mode = false;
+                    add += u64::from(self.cfg.decoder.latency);
+                }
+                // Fetch the window's lines through L1i.
+                let line_bytes = u64::from(self.cfg.icache.line_bytes);
+                for line in pw.lines(line_bytes) {
+                    result.events.icache_reads += 1;
+                    if self.cfg.perfect.icache {
+                        continue;
+                    }
+                    match self.l1i.access(line) {
+                        LineOutcome::Hit => {}
+                        LineOutcome::Miss { evicted } => {
+                            add += L2_LATENCY;
+                            result.events.icache_fills += 1;
+                            if let Some(victim) = evicted {
+                                if self.cfg.uop_cache.inclusive_with_l1i
+                                    && !self.cfg.perfect.uop_cache
+                                {
+                                    self.uopc.invalidate_line(victim);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Decode the missed micro-ops.
+                let decode_cycles = miss_uops
+                    .div_ceil(u64::from(self.cfg.decoder.width))
+                    .max(1);
+                add += decode_cycles;
+                result.events.decoded_uops += miss_uops;
+                result.events.decoder_active_cycles += decode_cycles;
+                // Schedule the asynchronous insertion of the full window.
+                if !self.cfg.perfect.uop_cache {
+                    let ready =
+                        self.cycle + add + u64::from(self.cfg.decoder.latency);
+                    self.insert_queue.push_back((ready, pw));
+                }
+            }
+
+            // The backend absorbs micro-ops at its IPC ceiling; the frontend
+            // only dents IPC when it under-supplies.
+            self.backend_debt += f64::from(pw.uops) / self.cfg.backend.uop_ipc_ceiling;
+            let backend_cycles = self.backend_debt.floor() as u64;
+            self.backend_debt -= backend_cycles as f64;
+            self.cycle += add.max(backend_cycles);
+
+            result.events.retired_uops += u64::from(pw.uops);
+        }
+        // Flush remaining insertions so repeated runs start clean.
+        self.flush_insertions();
+
+        result.uopc = *self.uopc.stats() - uopc_before;
+        if self.cfg.perfect.uop_cache {
+            // The perfect micro-op cache bypasses the real structure: credit
+            // its hits directly.
+            result.uopc.lookups = trace.len() as u64;
+            result.uopc.pw_hits = trace.len() as u64;
+            result.uopc.uops_requested = trace.total_uops();
+            result.uopc.uops_hit = trace.total_uops();
+        }
+        let mut l1i_stats = *self.l1i.stats();
+        l1i_stats.accesses -= l1i_before.accesses;
+        l1i_stats.hits -= l1i_before.hits;
+        l1i_stats.misses -= l1i_before.misses;
+        l1i_stats.evictions -= l1i_before.evictions;
+        l1i_stats.fills -= l1i_before.fills;
+        result.icache = l1i_stats;
+        let mut btb_stats = *self.btb.stats();
+        btb_stats.accesses -= btb_before.accesses;
+        btb_stats.hits -= btb_before.hits;
+        btb_stats.misses -= btb_before.misses;
+        btb_stats.evictions -= btb_before.evictions;
+        btb_stats.fills -= btb_before.fills;
+        result.btb = btb_stats;
+        result.events.cycles = self.cycle - cycle_before;
+        result.events.uopc_entry_writes = result.uopc.entries_written;
+        result.events.retired_instructions =
+            (result.events.retired_uops as f64 / UOPS_PER_INST).round() as u64;
+        result
+    }
+
+    fn drain_insertions(&mut self) {
+        while let Some(&(ready, pw)) = self.insert_queue.front() {
+            if ready > self.cycle {
+                break;
+            }
+            self.insert_queue.pop_front();
+            self.uopc.insert(&pw);
+        }
+    }
+
+    fn flush_insertions(&mut self) {
+        while let Some((_, pw)) = self.insert_queue.pop_front() {
+            self.uopc.insert(&pw);
+        }
+    }
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontend")
+            .field("cfg", &self.cfg)
+            .field("cycle", &self.cycle)
+            .field("uopc_mode", &self.uopc_mode)
+            .field("pending_insertions", &self.insert_queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uopcache_cache::LruPolicy;
+    use uopcache_model::{Addr, PwAccess, PwTermination};
+    use uopcache_trace::{build_trace, AppId, InputVariant};
+
+    fn lru() -> Box<dyn PwReplacementPolicy> {
+        Box::new(LruPolicy::new())
+    }
+
+    #[test]
+    fn runs_and_accounts() {
+        let trace = build_trace(AppId::Kafka, InputVariant(0), 10_000);
+        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let r = fe.run(&trace);
+        assert_eq!(r.uopc.lookups, 10_000);
+        assert_eq!(r.uopc.uops_hit + r.uopc.uops_missed, r.uopc.uops_requested);
+        assert!(r.events.cycles > 0);
+        assert!(r.ipc() > 0.1 && r.ipc() < 6.0, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn perfect_uop_cache_never_misses() {
+        let trace = build_trace(AppId::Python, InputVariant(0), 5_000);
+        let mut cfg = FrontendConfig::zen3();
+        cfg.perfect.uop_cache = true;
+        let mut fe = Frontend::new(cfg, lru());
+        let r = fe.run(&trace);
+        assert_eq!(r.uopc.uops_missed, 0);
+        assert_eq!(r.events.decoded_uops, 0);
+        assert_eq!(r.events.icache_reads, 0);
+    }
+
+    #[test]
+    fn perfect_structures_improve_ipc() {
+        let trace = build_trace(AppId::Wordpress, InputVariant(0), 20_000);
+        let base = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        for which in ["uopc", "icache", "btb", "bp"] {
+            let mut cfg = FrontendConfig::zen3();
+            match which {
+                "uopc" => cfg.perfect.uop_cache = true,
+                "icache" => cfg.perfect.icache = true,
+                "btb" => cfg.perfect.btb = true,
+                _ => cfg.perfect.branch_predictor = true,
+            }
+            let r = Frontend::new(cfg, lru()).run(&trace);
+            assert!(
+                r.ipc() >= base.ipc(),
+                "{which}: perfect {} < base {}",
+                r.ipc(),
+                base.ipc()
+            );
+        }
+    }
+
+    #[test]
+    fn asynchronous_insertion_is_delayed() {
+        // Two back-to-back lookups of the same window: the second arrives
+        // before the insertion from the first miss completes, so it also
+        // misses (the asynchrony of §II-B).
+        let pw = PwDesc::new(Addr::new(0x1000), 4, 12, PwTermination::TakenBranch);
+        let t: LookupTrace =
+            [PwAccess::new(pw), PwAccess::new(pw)].into_iter().collect();
+        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let r = fe.run(&t);
+        assert_eq!(r.uopc.pw_misses, 2, "second lookup races the in-flight insertion");
+    }
+
+    #[test]
+    fn spaced_reaccess_hits_after_insertion_completes() {
+        let pw = PwDesc::new(Addr::new(0x1000), 4, 12, PwTermination::TakenBranch);
+        let filler = PwDesc::new(Addr::new(0x8000), 8, 24, PwTermination::TakenBranch);
+        let mut accs = vec![PwAccess::new(pw)];
+        for _ in 0..6 {
+            accs.push(PwAccess::new(filler));
+        }
+        accs.push(PwAccess::new(pw));
+        let t: LookupTrace = accs.into_iter().collect();
+        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let r = fe.run(&t);
+        assert!(r.uopc.pw_hits >= 1, "spaced re-access should hit: {:?}", r.uopc);
+    }
+
+    #[test]
+    fn inclusion_invalidations_occur_under_icache_pressure() {
+        let trace = build_trace(AppId::Clang, InputVariant(0), 60_000);
+        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let r = fe.run(&trace);
+        assert!(
+            r.uopc.inclusion_invalidations > 0,
+            "L1i evictions must invalidate PWs: {:?}",
+            r.uopc
+        );
+    }
+
+    #[test]
+    fn better_policy_means_better_or_equal_ipc() {
+        let trace = build_trace(AppId::Postgres, InputVariant(0), 30_000);
+        let lru_r = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        let mut big = FrontendConfig::zen3();
+        big.uop_cache = big.uop_cache.with_entries(4096);
+        let big_r = Frontend::new(big, lru()).run(&trace);
+        assert!(big_r.uopc.uops_missed <= lru_r.uopc.uops_missed);
+        assert!(big_r.ipc() >= lru_r.ipc());
+    }
+
+    #[test]
+    fn misprediction_penalty_costs_cycles() {
+        let trace = build_trace(AppId::Wordpress, InputVariant(0), 10_000);
+        let base = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        let mut cfg = FrontendConfig::zen3();
+        cfg.perfect.branch_predictor = true;
+        let perfect = Frontend::new(cfg, lru()).run(&trace);
+        assert!(perfect.events.cycles < base.events.cycles);
+        assert_eq!(perfect.mispredictions, 0);
+    }
+
+    #[test]
+    fn classification_option_populates_3c_breakdown() {
+        let trace = build_trace(AppId::Kafka, InputVariant(0), 20_000);
+        let mut fe = Frontend::with_options(
+            FrontendConfig::zen3(),
+            lru(),
+            SimOptions { classify_misses: true },
+        );
+        let r = fe.run(&trace);
+        let classified =
+            r.uopc.cold_miss_uops + r.uopc.capacity_miss_uops + r.uopc.conflict_miss_uops;
+        assert_eq!(classified, r.uopc.uops_missed);
+        // Data-center shape: capacity misses dominate, cold misses are rare.
+        assert!(r.uopc.capacity_miss_uops > r.uopc.cold_miss_uops);
+    }
+}

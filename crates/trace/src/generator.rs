@@ -1,0 +1,73 @@
+//! Top-level trace generation entry points.
+
+use crate::program::Program;
+use crate::pwstream::collect_trace;
+use crate::walker::Walker;
+use crate::workload::{AppId, InputVariant, WorkloadSpec};
+use uopcache_model::LookupTrace;
+
+/// Generates `accesses` micro-op cache lookups for an application and input
+/// variant. Deterministic: the same arguments always produce the same trace.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_trace::{build_trace, AppId, InputVariant};
+///
+/// let a = build_trace(AppId::Postgres, InputVariant::default(), 1000);
+/// let b = build_trace(AppId::Postgres, InputVariant::default(), 1000);
+/// assert_eq!(a, b);
+/// ```
+pub fn build_trace(app: AppId, variant: InputVariant, accesses: usize) -> LookupTrace {
+    build_trace_with_spec(&app.spec(), variant, accesses)
+}
+
+/// As [`build_trace`] with an explicit (possibly customised) workload spec.
+pub fn build_trace_with_spec(
+    spec: &WorkloadSpec,
+    variant: InputVariant,
+    accesses: usize,
+) -> LookupTrace {
+    let program = Program::synthesize(spec);
+    let walker = Walker::new(&program, spec, variant);
+    collect_trace(&program, walker, 64, accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_length() {
+        let t = build_trace(AppId::Finagle, InputVariant(2), 777);
+        assert_eq!(t.len(), 777);
+    }
+
+    #[test]
+    fn variants_share_the_static_code() {
+        let a = build_trace(AppId::Kafka, InputVariant(0), 30_000);
+        let b = build_trace(AppId::Kafka, InputVariant(1), 30_000);
+        // Dynamic streams differ...
+        assert_ne!(a, b);
+        // ...but the bulk of variant-b *accesses* go to addresses variant-a
+        // also touched (same binary, shared hot code; the cold Zipf tail may
+        // differ by sampling).
+        let sa: std::collections::HashSet<u64> =
+            a.iter().map(|x| x.pw.start.get()).collect();
+        let shared_accesses =
+            b.iter().filter(|x| sa.contains(&x.pw.start.get())).count();
+        assert!(
+            shared_accesses * 10 > b.len() * 6,
+            "{shared_accesses} of {} accesses hit shared code",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn custom_spec_is_respected() {
+        let mut spec = AppId::Python.spec();
+        spec.regions = 50;
+        let t = build_trace_with_spec(&spec, InputVariant(0), 2000);
+        assert!(t.unique_starts() < 50 * 60);
+    }
+}

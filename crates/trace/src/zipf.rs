@@ -1,0 +1,126 @@
+//! Zipfian sampling over ranked items.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`: rank `k` has weight
+/// `1 / (k + 1)^alpha`. Sampling is O(log n) via a precomputed CDF.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_trace::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a distribution over `n` ranks with skew `alpha`
+    /// (`alpha = 0` is uniform; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true — kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(10, 1.2);
+        for k in 1..10 {
+            assert!(z.pmf(0) > z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_follow_skew() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

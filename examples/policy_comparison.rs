@@ -1,0 +1,76 @@
+//! Compare every replacement policy — online baselines, the offline oracles
+//! and the paper's FLACK/FURBYS — on one application.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [app] [accesses]
+//! ```
+//! `app` is a Table II name (default `postgres`).
+
+use uopcache::cache::{LruPolicy, UopCache};
+use uopcache::core::{Flack, FurbysPipeline};
+use uopcache::model::FrontendConfig;
+use uopcache::offline::BeladyPolicy;
+use uopcache::policies::{
+    run_trace, GhrpPolicy, MockingjayPolicy, ShipPlusPlusPolicy, SrripPolicy,
+};
+use uopcache::sim::Frontend;
+use uopcache::trace::{build_trace, AppId, InputVariant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = args
+        .first()
+        .and_then(|name| AppId::ALL.into_iter().find(|a| a.name() == name))
+        .unwrap_or(AppId::Postgres);
+    let len: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+
+    let cfg = FrontendConfig::zen3();
+    let trace = build_trace(app, InputVariant::DEFAULT, len);
+    println!("{app}: {len} lookups, footprint {} entries\n", trace.footprint_entries(8));
+    println!("{:<22} {:>10} {:>14}", "policy", "miss rate", "vs LRU");
+
+    // Online policies through the timed frontend simulator.
+    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    let report = |name: &str, miss_rate: f64, reduction: f64| {
+        println!("{name:<22} {:>9.2}% {reduction:>+13.2}%", miss_rate * 100.0);
+    };
+    report("LRU (baseline)", lru.uopc.uop_miss_rate(), 0.0);
+
+    let online: Vec<Box<dyn uopcache::cache::PwReplacementPolicy>> = vec![
+        Box::new(SrripPolicy::new()),
+        Box::new(ShipPlusPlusPolicy::new()),
+        Box::new(MockingjayPolicy::new()),
+        Box::new(GhrpPolicy::new()),
+    ];
+    for policy in online {
+        let name = policy.name();
+        let r = Frontend::new(cfg, policy).run(&trace);
+        report(name, r.uopc.uop_miss_rate(), r.uopc.miss_reduction_vs(&lru.uopc));
+    }
+
+    // FURBYS (profile-guided).
+    let pipeline = FurbysPipeline::new(cfg);
+    let profile = pipeline.profile(&trace);
+    let furbys = pipeline.deploy_and_run(&profile, &trace);
+    report("FURBYS", furbys.uopc.uop_miss_rate(), furbys.uopc.miss_reduction_vs(&lru.uopc));
+
+    // Offline oracles (synchronous placement replay, vs a synchronous LRU).
+    println!("\noffline bounds (synchronous replay):");
+    let mut sync_lru = UopCache::new(cfg.uop_cache, Box::new(LruPolicy::new()));
+    let sync_lru_stats = run_trace(&mut sync_lru, &trace);
+    let mut belady = UopCache::new(cfg.uop_cache, Box::new(BeladyPolicy::from_trace(&trace)));
+    let belady_stats = run_trace(&mut belady, &trace);
+    report(
+        "Belady",
+        belady_stats.uop_miss_rate(),
+        belady_stats.miss_reduction_vs(&sync_lru_stats),
+    );
+    for variant in [Flack::ablation(false, false, false), Flack::new()] {
+        let out = variant.run(&trace, &cfg.uop_cache);
+        report(
+            variant.label(),
+            out.stats.uop_miss_rate(),
+            out.stats.miss_reduction_vs(&sync_lru_stats),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # uopcache
+//!
+//! A from-scratch Rust reproduction of **"From Optimal to Practical:
+//! Efficient Micro-op Cache Replacement Policies for Data Center
+//! Applications"** (HPCA 2025): the FLACK near-optimal offline replacement
+//! policy, the FURBYS practical profile-guided policy, every baseline they
+//! are compared against, and the simulation substrate (synthetic data-center
+//! workloads, a frontend simulator with a detailed micro-op cache model, a
+//! min-cost-flow solver, and a McPAT/CACTI-style power model).
+//!
+//! This crate is a facade: each subsystem lives in its own workspace crate
+//! and is re-exported here under a short module name.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `uopcache-model` | addresses, prediction windows, configs, statistics |
+//! | [`trace`] | `uopcache-trace` | synthetic workloads (Table II apps), PW stream formation |
+//! | [`flow`] | `uopcache-flow` | min-cost max-flow solver |
+//! | [`cache`] | `uopcache-cache` | micro-op cache structure, policy trait, L1i |
+//! | [`policies`] | `uopcache-policies` | LRU/SRRIP/SHiP++/GHRP/Mockingjay/Thermometer |
+//! | [`offline`] | `uopcache-offline` | Belady, FOO, decision replay |
+//! | [`sim`] | `uopcache-sim` | timed frontend simulator |
+//! | [`power`] | `uopcache-power` | energy model, performance-per-watt |
+//! | [`core`] | `uopcache-core` | **FLACK**, **FURBYS**, Jenks breaks, the 7-step pipeline |
+//!
+//! # Examples
+//!
+//! Compare LRU with FURBYS on a synthetic Kafka trace:
+//!
+//! ```
+//! use uopcache::cache::LruPolicy;
+//! use uopcache::core::FurbysPipeline;
+//! use uopcache::model::FrontendConfig;
+//! use uopcache::sim::Frontend;
+//! use uopcache::trace::{build_trace, AppId, InputVariant};
+//!
+//! let cfg = FrontendConfig::zen3();
+//! let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 10_000);
+//!
+//! let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+//!
+//! let pipeline = FurbysPipeline::new(cfg);
+//! let profile = pipeline.profile(&trace);
+//! let furbys = pipeline.deploy_and_run(&profile, &trace);
+//!
+//! assert!(furbys.uopc.uops_missed <= lru.uopc.uops_missed);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use uopcache_cache as cache;
+pub use uopcache_core as core;
+pub use uopcache_flow as flow;
+pub use uopcache_model as model;
+pub use uopcache_offline as offline;
+pub use uopcache_policies as policies;
+pub use uopcache_power as power;
+pub use uopcache_sim as sim;
+pub use uopcache_trace as trace;

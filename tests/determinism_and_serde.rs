@@ -1,0 +1,105 @@
+//! Determinism and serialisation guarantees: every experiment input is a
+//! pure function of its parameters, and the artifacts the pipeline stores
+//! between steps (traces, hints, results) round-trip through JSON.
+
+use uopcache::cache::LruPolicy;
+use uopcache::core::{Flack, FurbysPipeline};
+use uopcache::model::{FrontendConfig, LookupTrace, SimResult};
+use uopcache::sim::Frontend;
+use uopcache::trace::{build_trace, AppId, InputVariant, Program, TraceStats};
+
+#[test]
+fn traces_are_pure_functions_of_their_parameters() {
+    for app in [AppId::Kafka, AppId::Wordpress] {
+        for variant in [0u32, 3] {
+            let a = build_trace(app, InputVariant::new(variant), 5_000);
+            let b = build_trace(app, InputVariant::new(variant), 5_000);
+            assert_eq!(a, b, "{app} input-{variant}");
+        }
+    }
+}
+
+#[test]
+fn simulation_results_are_deterministic() {
+    let trace = build_trace(AppId::Mysql, InputVariant::DEFAULT, 10_000);
+    let cfg = FrontendConfig::zen3();
+    let run = || Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn flack_solutions_are_deterministic() {
+    let trace = build_trace(AppId::Finagle, InputVariant::DEFAULT, 8_000);
+    let cfg = FrontendConfig::zen3().uop_cache;
+    let a = Flack::new().run(&trace, &cfg);
+    let b = Flack::new().run(&trace, &cfg);
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn furbys_profiles_are_deterministic() {
+    let trace = build_trace(AppId::Cassandra, InputVariant::DEFAULT, 8_000);
+    let pipeline = FurbysPipeline::new(FrontendConfig::zen3());
+    let a = pipeline.profile(&trace);
+    let b = pipeline.profile(&trace);
+    assert_eq!(a.hints, b.hints);
+}
+
+#[test]
+fn trace_round_trips_through_json() {
+    let trace = build_trace(AppId::Python, InputVariant::DEFAULT, 2_000);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: LookupTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn program_and_stats_round_trip_through_json() {
+    let spec = AppId::Tomcat.spec();
+    let program = Program::synthesize(&spec);
+    let json = serde_json::to_string(&program).unwrap();
+    let back: Program = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, program);
+
+    let trace = build_trace(AppId::Tomcat, InputVariant::DEFAULT, 2_000);
+    let stats = TraceStats::from_trace(&trace, 8);
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: TraceStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+}
+
+#[test]
+fn sim_results_round_trip_through_json() {
+    let trace = build_trace(AppId::Drupal, InputVariant::DEFAULT, 3_000);
+    let result = Frontend::new(FrontendConfig::zen3(), Box::new(LruPolicy::new())).run(&trace);
+    let json = serde_json::to_string(&result).unwrap();
+    let back: SimResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, result);
+}
+
+#[test]
+fn hint_maps_round_trip_and_survive_the_pipeline() {
+    let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 6_000);
+    let cfg = FrontendConfig::zen3();
+    let pipeline = FurbysPipeline::new(cfg);
+    let profile = pipeline.profile(&trace);
+    let json = profile.hints.to_json().unwrap();
+    let restored = uopcache::core::HintMap::from_json(&json).unwrap();
+    assert_eq!(restored, profile.hints);
+    // Deploying from the restored hints gives identical results.
+    let mut restored_profile = profile.clone();
+    restored_profile.hints = restored;
+    let a = pipeline.deploy_and_run(&profile, &trace);
+    let b = pipeline.deploy_and_run(&restored_profile, &trace);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn frontend_configs_round_trip_through_json() {
+    for cfg in [FrontendConfig::zen3(), FrontendConfig::zen4()] {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FrontendConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

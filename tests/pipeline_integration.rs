@@ -1,0 +1,107 @@
+//! Cross-crate integration: the full FURBYS pipeline from synthetic trace to
+//! timed deployment, and the offline bounds around it.
+
+use uopcache::cache::{LruPolicy, UopCache};
+use uopcache::core::{Flack, FurbysPipeline, OracleKind};
+use uopcache::model::FrontendConfig;
+use uopcache::offline::BeladyPolicy;
+use uopcache::policies::run_trace;
+use uopcache::sim::Frontend;
+use uopcache::trace::{build_trace, AppId, InputVariant};
+
+const LEN: usize = 20_000;
+
+#[test]
+fn ordering_lru_furbys_flack_holds_in_aggregate() {
+    // The paper's central ordering: LRU < FURBYS < FLACK (misses reduced).
+    let cfg = FrontendConfig::zen3();
+    let mut lru_missed = 0u64;
+    let mut furbys_missed = 0u64;
+    let mut flack_missed = 0u64;
+    let mut sync_lru_missed = 0u64;
+    for app in [AppId::Kafka, AppId::Postgres, AppId::Clang] {
+        let trace = build_trace(app, InputVariant::DEFAULT, LEN);
+        let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+        lru_missed += lru.uopc.uops_missed;
+        let pipeline = FurbysPipeline::new(cfg);
+        let profile = pipeline.profile(&trace);
+        furbys_missed += pipeline.deploy_and_run(&profile, &trace).uopc.uops_missed;
+        flack_missed += Flack::new().run(&trace, &cfg.uop_cache).stats.uops_missed;
+        let mut sync = UopCache::new(cfg.uop_cache, Box::new(LruPolicy::new()));
+        sync_lru_missed += run_trace(&mut sync, &trace).uops_missed;
+    }
+    assert!(furbys_missed < lru_missed, "FURBYS {furbys_missed} vs LRU {lru_missed}");
+    assert!(flack_missed < sync_lru_missed, "FLACK {flack_missed} vs sync LRU {sync_lru_missed}");
+    // FLACK (offline, synchronous) is far below the online policies.
+    assert!(flack_missed < furbys_missed);
+}
+
+#[test]
+fn flack_outperforms_belady_which_outperforms_foo() {
+    let cfg = FrontendConfig::zen3();
+    let mut foo = 0u64;
+    let mut belady = 0u64;
+    let mut flack = 0u64;
+    for app in [AppId::Kafka, AppId::Mysql, AppId::Python] {
+        let trace = build_trace(app, InputVariant::DEFAULT, LEN);
+        foo += Flack::ablation(false, false, false).run(&trace, &cfg.uop_cache).stats.uops_missed;
+        let mut bel = UopCache::new(cfg.uop_cache, Box::new(BeladyPolicy::from_trace(&trace)));
+        belady += run_trace(&mut bel, &trace).uops_missed;
+        flack += Flack::new().run(&trace, &cfg.uop_cache).stats.uops_missed;
+    }
+    assert!(flack < belady, "FLACK {flack} vs Belady {belady}");
+    assert!(belady < foo, "Belady {belady} vs FOO {foo}");
+}
+
+#[test]
+fn profiles_transfer_across_inputs() {
+    let cfg = FrontendConfig::zen3();
+    let app = AppId::Drupal;
+    let train = build_trace(app, InputVariant::new(0), LEN);
+    let test = build_trace(app, InputVariant::new(1), LEN);
+    let pipeline = FurbysPipeline::new(cfg);
+    let profile = pipeline.profile(&train);
+    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&test);
+    let cross = pipeline.deploy_and_run(&profile, &test);
+    assert!(
+        cross.uopc.uops_missed < lru.uopc.uops_missed,
+        "a cross-input profile must still beat LRU"
+    );
+}
+
+#[test]
+fn all_oracles_feed_the_pipeline() {
+    let cfg = FrontendConfig::zen3();
+    let trace = build_trace(AppId::Tomcat, InputVariant::DEFAULT, 10_000);
+    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    for oracle in [OracleKind::Flack, OracleKind::Belady, OracleKind::Foo] {
+        let mut pipeline = FurbysPipeline::new(cfg);
+        pipeline.oracle = oracle;
+        let profile = pipeline.profile(&trace);
+        let r = pipeline.deploy_and_run(&profile, &trace);
+        assert!(
+            r.uopc.uops_missed <= lru.uopc.uops_missed,
+            "{} profile should not lose to LRU",
+            oracle.label()
+        );
+    }
+}
+
+#[test]
+fn iso_capacity_shape_furbys_at_512_beats_lru_at_768() {
+    // Fig. 12's claim at the aggregate level.
+    let trace = build_trace(AppId::Postgres, InputVariant::DEFAULT, 40_000);
+    let cfg = FrontendConfig::zen3();
+    let pipeline = FurbysPipeline::new(cfg);
+    let profile = pipeline.profile(&trace);
+    let furbys = pipeline.deploy_and_run(&profile, &trace);
+    let mut big = cfg;
+    big.uop_cache = big.uop_cache.with_entries(768);
+    let lru_big = Frontend::new(big, Box::new(LruPolicy::new())).run(&trace);
+    assert!(
+        furbys.uopc.uops_missed < lru_big.uopc.uops_missed,
+        "FURBYS@512 ({}) should beat LRU@768 ({})",
+        furbys.uopc.uops_missed,
+        lru_big.uopc.uops_missed
+    );
+}
