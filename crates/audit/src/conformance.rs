@@ -1,0 +1,165 @@
+//! Runtime conformance checks: every online replacement policy is driven
+//! through a seeded random PW stream under [`CheckedPolicy`], so any
+//! violation of the [`PwReplacementPolicy`] contract surfaces as a failure
+//! here rather than as a silently wrong figure.
+//!
+//! [`PwReplacementPolicy`]: uopcache_cache::PwReplacementPolicy
+
+use uopcache_cache::checked::verify_stats;
+use uopcache_cache::{CheckedPolicy, LruPolicy, PwReplacementPolicy, UopCache};
+use uopcache_core::{FurbysPolicy, HintMap};
+use uopcache_model::rng::{Prng, Rng};
+use uopcache_model::{Addr, LookupTrace, PwAccess, PwDesc, PwTermination, UopCacheConfig};
+use uopcache_policies::{
+    run_trace, FifoPolicy, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy,
+    SrripPolicy, ThermometerPolicy,
+};
+
+/// Outcome of one policy's conformance run.
+#[derive(Clone, Debug)]
+pub struct ConformanceResult {
+    /// The policy's `name()`.
+    pub policy: &'static str,
+    /// `Ok(hooks_checked)` or the violation's panic message.
+    pub outcome: Result<u64, String>,
+}
+
+/// The nine online policies, freshly constructed with deterministic inputs.
+fn online_policies() -> Vec<Box<dyn PwReplacementPolicy>> {
+    let mut hints = HintMap::new(3);
+    let mut rates = std::collections::HashMap::new();
+    for i in 0..24u64 {
+        hints.set(
+            Addr::new(0x1000 + i * 64),
+            u8::try_from(i % 8).expect("i % 8 < 8"),
+        );
+        rates.insert(
+            Addr::new(0x1000 + i * 64),
+            f64::from(u32::try_from(i).expect("i < 24")) / 24.0,
+        );
+    }
+    vec![
+        Box::new(LruPolicy::new()),
+        Box::new(FifoPolicy::new()),
+        Box::new(RandomPolicy::new(99)),
+        Box::new(SrripPolicy::new()),
+        Box::new(ShipPlusPlusPolicy::new()),
+        Box::new(GhrpPolicy::new()),
+        Box::new(MockingjayPolicy::new()),
+        Box::new(ThermometerPolicy::from_hit_rates(&rates)),
+        Box::new(FurbysPolicy::new(hints)),
+    ]
+}
+
+/// A seeded random PW stream exercising overlap, multi-entry windows and
+/// heavy eviction pressure.
+fn stress_trace(seed: u64, len: usize) -> LookupTrace {
+    let mut rng = Prng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let slot = rng.gen_range(0..24u64);
+            let uops = rng.gen_range(1..28u32);
+            PwAccess::new(PwDesc::new(
+                Addr::new(0x1000 + slot * 64),
+                uops,
+                uops * 3,
+                PwTermination::TakenBranch,
+            ))
+        })
+        .collect()
+}
+
+/// The small geometry used for conformance stress: few ways, so victim
+/// selection and slot recycling fire constantly.
+fn stress_cfg() -> UopCacheConfig {
+    UopCacheConfig {
+        entries: 8,
+        ways: 4,
+        uops_per_entry: 8,
+        switch_penalty: 1,
+        inclusive_with_l1i: true,
+        max_entries_per_pw: 4,
+    }
+}
+
+/// Runs every online policy under [`CheckedPolicy`] over `rounds` seeded
+/// traces of `len` accesses each, returning one result per policy.
+///
+/// A policy's entry is `Ok(total_hooks_checked)` if every hook in every
+/// round satisfied the contract, otherwise the first violation's panic
+/// message (which carries the replay coordinate).
+pub fn run_conformance(rounds: u64, len: usize) -> Vec<ConformanceResult> {
+    let cfg = stress_cfg();
+    let policy_count = online_policies().len();
+    (0..policy_count)
+        .map(|pi| {
+            let name = online_policies()[pi].name();
+            let mut hooks = 0u64;
+            for seed in 0..rounds {
+                let trace = stress_trace(0xA0D17 + seed, len);
+                let outcome = std::panic::catch_unwind(|| {
+                    let policy = online_policies().swap_remove(pi);
+                    let checked = CheckedPolicy::new(policy, cfg.ways);
+                    let mut cache = UopCache::new(cfg, Box::new(checked));
+                    let stats = run_trace(&mut cache, &trace);
+                    verify_stats(&stats);
+                    stats.lookups
+                });
+                match outcome {
+                    Ok(checked_hooks) => hooks += checked_hooks,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        return ConformanceResult {
+                            policy: name,
+                            outcome: Err(format!("seed {seed}: {msg}")),
+                        };
+                    }
+                }
+            }
+            ConformanceResult {
+                policy: name,
+                outcome: Ok(hooks),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_online_policies_conform() {
+        let results = run_conformance(4, 400);
+        assert_eq!(results.len(), 9);
+        for r in &results {
+            match &r.outcome {
+                Ok(hooks) => assert!(*hooks > 0, "{}: no hooks checked", r.policy),
+                Err(e) => panic!("{} violated the contract: {e}", r.policy),
+            }
+        }
+    }
+
+    #[test]
+    fn policy_names_are_the_canonical_nine() {
+        let names: Vec<_> = run_conformance(1, 10).iter().map(|r| r.policy).collect();
+        assert_eq!(
+            names,
+            [
+                "LRU",
+                "FIFO",
+                "Random",
+                "SRRIP",
+                "SHiP++",
+                "GHRP",
+                "Mockingjay",
+                "Thermometer",
+                "FURBYS"
+            ]
+        );
+    }
+}

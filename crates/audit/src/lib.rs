@@ -1,0 +1,33 @@
+//! # uopcache-audit
+//!
+//! The workspace's correctness-tooling layer: a zero-external-dependency
+//! static-analysis pass plus a runtime policy-conformance harness.
+//!
+//! The paper's headline results (FLACK optimality, FURBYS miss reduction)
+//! are only as trustworthy as the policy implementations — a single
+//! off-by-one in victim indexing or slot recycling silently shifts every
+//! figure. This crate guards that boundary from two sides:
+//!
+//! * **Lint pass** ([`run_lint`]): a hand-rolled Rust tokenizer walks every
+//!   workspace `.rs` file and enforces repo-specific rules — no `unwrap()`
+//!   (or undocumented `expect()`) in the correctness-core crates, no exact
+//!   float equality in metrics code, no unchecked narrowing casts in
+//!   slot/set arithmetic, and unique `name()` strings across replacement
+//!   policies. Violations print `file:line` diagnostics; an [`Allowlist`]
+//!   file (or an inline `audit:allow(rule)` comment) suppresses justified
+//!   exceptions.
+//! * **Conformance harness** ([`run_conformance`]): drives all nine online
+//!   replacement policies through seeded random PW streams under
+//!   [`uopcache_cache::CheckedPolicy`] (feature `strict-invariants`), so any
+//!   violation of the `PwReplacementPolicy` contract panics at the exact
+//!   hook with a replayable diagnostic.
+//!
+//! Both halves are exposed through the CLI's `audit` subcommand, which
+//! exits nonzero if either finds a problem.
+
+pub mod conformance;
+pub mod lexer;
+pub mod rules;
+
+pub use conformance::{run_conformance, ConformanceResult};
+pub use rules::{run_lint, Allowlist, Diagnostic};

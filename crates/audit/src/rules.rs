@@ -1,0 +1,582 @@
+//! The audit's lint rules, the allowlist that configures them, and the
+//! workspace walker that applies them.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Diagnostic {
+    /// Path of the offending file (as walked, workspace-relative when the
+    /// audit is run from the workspace root).
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule identifier (`no-unwrap`, `no-float-eq`, `no-narrowing-cast`,
+    /// `unique-policy-names`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Rule suppressions parsed from an allowlist file.
+///
+/// Format, one entry per line:
+///
+/// ```text
+/// # comment
+/// <rule> <path-suffix>            # suppress <rule> in files ending in <path-suffix>
+/// <rule> <path-suffix>:<line>     # suppress only on that line
+/// ```
+///
+/// In addition, a source line containing the comment `audit:allow(<rule>)`
+/// suppresses that rule on that line without an allowlist entry.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, Option<u32>)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!(
+                    "allowlist line {}: expected `<rule> <path>`",
+                    i + 1
+                ));
+            };
+            let (suffix, line_no) = match path.rsplit_once(':') {
+                Some((p, l)) if l.chars().all(|c| c.is_ascii_digit()) && !l.is_empty() => {
+                    let n = l
+                        .parse()
+                        .map_err(|e| format!("allowlist line {}: bad line number: {e}", i + 1))?;
+                    (p, Some(n))
+                }
+                _ => (path, None),
+            };
+            entries.push((rule.to_string(), suffix.to_string(), line_no));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads the allowlist from `path`; a missing file is an empty allowlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the file exists but cannot be read or parsed.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("cannot read allowlist {}: {e}", path.display())),
+        }
+    }
+
+    /// Whether the allowlist suppresses `rule` at `file:line`.
+    pub fn permits(&self, rule: &str, file: &Path, line: u32) -> bool {
+        let file = file.to_string_lossy();
+        self.entries.iter().any(|(r, suffix, l)| {
+            r == rule && file.ends_with(suffix.as_str()) && l.is_none_or(|n| n == line)
+        })
+    }
+}
+
+/// Crates whose non-test code must not call `unwrap()` (or undocumented
+/// `expect()`): the simulation-correctness core.
+const NO_UNWRAP_CRATES: [&str; 5] = ["cache", "policies", "offline", "core", "sim"];
+
+/// A parsed source file ready for linting.
+struct SourceFile {
+    path: PathBuf,
+    toks: Vec<Tok>,
+    /// Token-index ranges belonging to `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// `(line, rule)` pairs from inline `audit:allow(rule)` comments.
+    inline_allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    fn parse(path: PathBuf, src: &str) -> Self {
+        let toks = tokenize(src);
+        let test_ranges = find_test_ranges(&toks);
+        let inline_allows = src
+            .lines()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                let marker = l.find("audit:allow(")?;
+                let rest = &l[marker + "audit:allow(".len()..];
+                let rule = rest.split(')').next()?.trim().to_string();
+                Some((
+                    u32::try_from(i).expect("allowlist lines fit in u32") + 1,
+                    rule,
+                ))
+            })
+            .collect();
+        SourceFile {
+            path,
+            toks,
+            test_ranges,
+            inline_allows,
+        }
+    }
+
+    fn in_test_code(&self, tok_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| (s..=e).contains(&tok_idx))
+    }
+
+    fn allowed_inline(&self, rule: &str, line: u32) -> bool {
+        self.inline_allows
+            .iter()
+            .any(|(l, r)| *l == line && r == rule)
+    }
+}
+
+/// Finds token ranges covered by `#[cfg(test)]`-annotated items: from the
+/// attribute to the end of the item's brace block (or its terminating `;`).
+fn find_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(")")
+            && toks[i + 6].is_punct("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the end of the annotated item: brace-match the first `{`,
+        // or stop at a `;` that precedes any `{` (e.g. `use` under cfg).
+        let start = i;
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        while j < toks.len() {
+            if toks[j].is_punct("{") {
+                depth += 1;
+                seen_brace = true;
+            } else if toks[j].is_punct("}") {
+                depth = depth.saturating_sub(1);
+                if seen_brace && depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_punct(";") && !seen_brace {
+                break;
+            }
+            j += 1;
+        }
+        ranges.push((start, j.min(toks.len().saturating_sub(1))));
+        i = j + 1;
+    }
+    ranges
+}
+
+fn path_in_crates(path: &Path, crates: &[&str]) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    crates
+        .iter()
+        .any(|c| p.contains(&format!("crates/{c}/src/")))
+}
+
+/// Rule `no-unwrap`: `.unwrap()` is forbidden in the non-test code of the
+/// correctness-core crates; `.expect(...)` must document its invariant with
+/// a non-empty string literal.
+fn rule_no_unwrap(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !path_in_crates(&f.path, &NO_UNWRAP_CRATES) {
+        return;
+    }
+    for (i, w) in f.toks.windows(3).enumerate() {
+        if f.in_test_code(i) || !w[0].is_punct(".") || !w[2].is_punct("(") {
+            continue;
+        }
+        if w[1].is_ident("unwrap") {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: w[1].line,
+                rule: "no-unwrap",
+                message: "unwrap() in correctness-core library code; use \
+                          expect(\"invariant\") or propagate the error"
+                    .into(),
+            });
+        } else if w[1].is_ident("expect") {
+            let documented = f
+                .toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Str && !t.text.trim().is_empty());
+            if !documented {
+                out.push(Diagnostic {
+                    file: f.path.clone(),
+                    line: w[1].line,
+                    rule: "no-unwrap",
+                    message: "expect() without a literal invariant message in \
+                              correctness-core library code"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `no-float-eq`: `==`/`!=` with a floating-point literal operand, in
+/// any non-test workspace code (metrics must use tolerant comparisons).
+fn rule_no_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..f.toks.len() {
+        let t = &f.toks[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || f.in_test_code(i) {
+            continue;
+        }
+        let float_adjacent = (i > 0 && f.toks[i - 1].kind == TokKind::Float)
+            || f.toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Float);
+        if float_adjacent {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "no-float-eq",
+                message: format!(
+                    "exact float comparison `{}` against a float literal; \
+                     compare with a tolerance or restructure the guard",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `no-narrowing-cast`: `as u8` / `as u16` in the cache crate's non-test
+/// code — slot ids and entry counts must use `try_from` with a documented
+/// invariant so silent truncation can't corrupt set indexing.
+fn rule_no_narrowing_cast(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !path_in_crates(&f.path, &["cache"]) {
+        return;
+    }
+    for (i, w) in f.toks.windows(2).enumerate() {
+        if f.in_test_code(i) {
+            continue;
+        }
+        if w[0].is_ident("as") && (w[1].is_ident("u8") || w[1].is_ident("u16")) {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: w[0].line,
+                rule: "no-narrowing-cast",
+                message: format!(
+                    "unchecked narrowing `as {}` in slot/set arithmetic; use \
+                     `{}::try_from(..).expect(\"invariant\")`",
+                    w[1].text, w[1].text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `unique-policy-names`: every `impl PwReplacementPolicy for T` block
+/// that returns a string literal from `fn name` must use a distinct string.
+fn rule_unique_policy_names(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<String, (PathBuf, u32, String)> = HashMap::new();
+    for f in files {
+        let toks = &f.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("impl") {
+                continue;
+            }
+            // Find `PwReplacementPolicy for <Type>` within the next few
+            // tokens (skipping generics and paths).
+            let header_end = toks[i..]
+                .iter()
+                .position(|t| t.is_punct("{"))
+                .map(|p| i + p)
+                .unwrap_or(toks.len());
+            let header = &toks[i..header_end];
+            let is_policy_impl = header.iter().any(|t| t.is_ident("PwReplacementPolicy"))
+                && header.iter().any(|t| t.is_ident("for"));
+            if !is_policy_impl {
+                continue;
+            }
+            let impl_for = header
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && t.text != "for")
+                .map_or_else(|| "?".to_string(), |t| t.text.clone());
+            // Brace-match the impl block, then find `fn name` and the first
+            // string literal inside that fn's body.
+            let mut depth = 0usize;
+            let mut j = header_end;
+            let mut impl_close = toks.len();
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        impl_close = j;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let body = &toks[header_end..impl_close];
+            let Some(fn_name_pos) = body
+                .windows(2)
+                .position(|w| w[0].is_ident("fn") && w[1].is_ident("name"))
+            else {
+                continue; // forwards name() without a literal — fine
+            };
+            let Some(lit) = body[fn_name_pos + 2..]
+                .iter()
+                .take_while(|t| !t.is_ident("fn"))
+                .find(|t| t.kind == TokKind::Str)
+            else {
+                continue;
+            };
+            match seen.get(&lit.text) {
+                Some((other_file, other_line, other_ty)) if *other_ty != impl_for => {
+                    out.push(Diagnostic {
+                        file: f.path.clone(),
+                        line: lit.line,
+                        rule: "unique-policy-names",
+                        message: format!(
+                            "policy name \"{}\" for `{}` duplicates the one declared for \
+                             `{}` at {}:{}",
+                            lit.text,
+                            impl_for,
+                            other_ty,
+                            other_file.display(),
+                            other_line
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    seen.insert(
+                        lit.text.clone(),
+                        (f.path.clone(), lit.line, impl_for.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether a path is exempt wholesale: tests, benches, examples, build
+/// scripts and generated artifacts.
+fn exempt_path(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.contains("/target/")
+        || p.ends_with("build.rs")
+}
+
+/// Recursively collects the workspace's `.rs` files under `root`.
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the full lint pass over every workspace `.rs` file under `root`,
+/// returning the diagnostics that survive the allowlist, sorted by file and
+/// line.
+///
+/// # Errors
+///
+/// Returns a message if `root` contains no `.rs` files (almost certainly a
+/// wrong `--root`).
+pub fn run_lint(root: &Path, allowlist: &Allowlist) -> Result<Vec<Diagnostic>, String> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths);
+    if paths.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+    let files: Vec<SourceFile> = paths
+        .into_iter()
+        .filter(|p| !exempt_path(p))
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(&p).ok()?;
+            let rel = p
+                .strip_prefix(root)
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|_| p.clone());
+            Some(SourceFile::parse(rel, &src))
+        })
+        .collect();
+
+    let mut diags = Vec::new();
+    for f in &files {
+        rule_no_unwrap(f, &mut diags);
+        rule_no_float_eq(f, &mut diags);
+        rule_no_narrowing_cast(f, &mut diags);
+    }
+    rule_unique_policy_names(&files, &mut diags);
+
+    let by_file: HashMap<PathBuf, &SourceFile> =
+        files.iter().map(|f| (f.path.clone(), f)).collect();
+    diags.retain(|d| {
+        !allowlist.permits(d.rule, &d.file, d.line)
+            && !by_file
+                .get(&d.file)
+                .is_some_and(|f| f.allowed_inline(d.rule, d.line))
+    });
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from(path), src);
+        let mut out = Vec::new();
+        rule_no_unwrap(&f, &mut out);
+        rule_no_float_eq(&f, &mut out);
+        rule_no_narrowing_cast(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_core_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(lint_one("crates/cache/src/a.rs", src).len(), 1);
+        assert_eq!(lint_one("crates/trace/src/a.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn documented_expect_passes_bare_expect_fails() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.expect(\"always set by new()\") }";
+        assert_eq!(lint_one("crates/sim/src/a.rs", ok).len(), 0);
+        let bare = "fn f(x: Option<u8>, m: &str) -> u8 { x.expect(m) }";
+        assert_eq!(lint_one("crates/sim/src/a.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}";
+        assert_eq!(lint_one("crates/core/src/a.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn float_eq_flagged_everywhere() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        let d = lint_one("crates/power/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-float-eq");
+        assert_eq!(
+            lint_one("crates/power/src/a.rs", "fn f(x: u32) -> bool { x == 0 }").len(),
+            0
+        );
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_in_cache_only() {
+        let src = "fn f(x: u32) -> u8 { x as u8 }";
+        assert_eq!(lint_one("crates/cache/src/a.rs", src).len(), 1);
+        assert_eq!(lint_one("crates/model/src/a.rs", src).len(), 0);
+        // usize casts for indexing are fine.
+        assert_eq!(
+            lint_one(
+                "crates/cache/src/a.rs",
+                "fn f(x: u32) -> usize { x as usize }"
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn duplicate_policy_names_reported() {
+        let a = SourceFile::parse(
+            PathBuf::from("crates/policies/src/a.rs"),
+            "impl PwReplacementPolicy for A { fn name(&self) -> &'static str { \"LRU\" } }",
+        );
+        let b = SourceFile::parse(
+            PathBuf::from("crates/policies/src/b.rs"),
+            "impl PwReplacementPolicy for B { fn name(&self) -> &'static str { \"LRU\" } }",
+        );
+        let mut out = Vec::new();
+        rule_unique_policy_names(&[a, b], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unique-policy-names");
+        assert!(out[0].message.contains("duplicates"));
+    }
+
+    #[test]
+    fn forwarding_name_impls_are_ignored() {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/cache/src/w.rs"),
+            "impl<P: PwReplacementPolicy> PwReplacementPolicy for Wrap<P> {\n\
+             fn name(&self) -> &'static str { self.inner.name() } }",
+        );
+        let mut out = Vec::new();
+        rule_unique_policy_names(&[f], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allowlist_suffix_and_line_forms() {
+        let al =
+            Allowlist::parse("# comment\nno-unwrap crates/cache/src/a.rs\nno-float-eq b.rs:17\n")
+                .expect("parses");
+        assert!(al.permits("no-unwrap", Path::new("crates/cache/src/a.rs"), 3));
+        assert!(!al.permits("no-float-eq", Path::new("crates/cache/src/a.rs"), 3));
+        assert!(al.permits("no-float-eq", Path::new("x/b.rs"), 17));
+        assert!(!al.permits("no-float-eq", Path::new("x/b.rs"), 18));
+        assert!(Allowlist::parse("too many words here\n").is_err());
+    }
+
+    #[test]
+    fn inline_allow_comment_suppresses() {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/cache/src/a.rs"),
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // audit:allow(no-unwrap)",
+        );
+        assert!(f.allowed_inline("no-unwrap", 1));
+        assert!(!f.allowed_inline("no-float-eq", 1));
+    }
+}

@@ -29,7 +29,11 @@ fn main() {
          simulator); the *shapes* — orderings, ratios, crossovers — are the \
          reproduction target. Regenerate with \
          `cargo run -p uopcache-bench --release --bin reproduce-all`{}.\n",
-        if quick { " (this file was produced in QUICK mode)" } else { "" }
+        if quick {
+            " (this file was produced in QUICK mode)"
+        } else {
+            ""
+        }
     );
     let _ = writeln!(
         md,

@@ -156,7 +156,10 @@ pub fn by_id(id: &str) -> Option<Experiment> {
 
 /// The apps used in quick mode.
 pub(crate) fn quick_apps() -> Vec<uopcache_trace::AppId> {
-    vec![uopcache_trace::AppId::Kafka, uopcache_trace::AppId::Postgres]
+    vec![
+        uopcache_trace::AppId::Kafka,
+        uopcache_trace::AppId::Postgres,
+    ]
 }
 
 /// The app set for a mode.
@@ -188,7 +191,11 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
-        assert_eq!(ids.len(), 24, "tables + figures + section studies + extension");
+        assert_eq!(
+            ids.len(),
+            24,
+            "tables + figures + section studies + extension"
+        );
         assert!(by_id("fig08").is_some());
         assert!(by_id("nope").is_none());
     }

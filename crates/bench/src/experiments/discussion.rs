@@ -31,7 +31,11 @@ pub fn sec7_noninclusive(quick: bool) -> Vec<Table> {
         let non = fur_n.ipc_speedup_vs(&lru_n);
         inc_all.push(inc);
         non_all.push(non);
-        t.row(&[app.name().to_string(), format!("{inc:.3}%"), format!("{non:.3}%")]);
+        t.row(&[
+            app.name().to_string(),
+            format!("{inc:.3}%"),
+            format!("{non:.3}%"),
+        ]);
     }
     t.row(&[
         "MEAN".into(),
@@ -62,8 +66,7 @@ pub fn sec6_hw_overhead(_quick: bool) -> Vec<Table> {
     let uop_bits = 56u32;
     let imm_bits = 32u32;
     let imms_per_entry = 4u32;
-    let per_set_payload =
-        (uop_bits * cfg.uops_per_entry + imm_bits * imms_per_entry) * cfg.ways;
+    let per_set_payload = (uop_bits * cfg.uops_per_entry + imm_bits * imms_per_entry) * cfg.ways;
 
     let mut t = Table::new(
         "SVI: FURBYS hardware overhead per micro-op cache set",
@@ -82,7 +85,10 @@ pub fn sec6_hw_overhead(_quick: bool) -> Vec<Table> {
     t.row(&[
         "overhead".into(),
         "1%".into(),
-        format!("{:.2}%", f64::from(per_set_overhead) / f64::from(per_set_payload) * 100.0),
+        format!(
+            "{:.2}%",
+            f64::from(per_set_overhead) / f64::from(per_set_payload) * 100.0
+        ),
     ]);
     vec![t]
 }
@@ -110,14 +116,10 @@ pub fn ext1_phased_furbys(quick: bool) -> Vec<Table> {
         let profile = pipeline.profile(&trace);
         let flat = pipeline.deploy_and_run(&profile, &trace);
         let obs = pipeline.oracle_observations(&trace);
-        let phased_profile = PhasedProfile::from_observations(
-            &obs,
-            &cfg.uop_cache,
-            &pipeline.weight_cfg,
-            segments,
-        );
-        let phased = Frontend::new(cfg, Box::new(PhasedFurbysPolicy::new(phased_profile)))
-            .run(&trace);
+        let phased_profile =
+            PhasedProfile::from_observations(&obs, &cfg.uop_cache, &pipeline.weight_cfg, segments);
+        let phased =
+            Frontend::new(cfg, Box::new(PhasedFurbysPolicy::new(phased_profile))).run(&trace);
         let f = flat.uopc.miss_reduction_vs(&lru.uopc);
         let p = phased.uopc.miss_reduction_vs(&lru.uopc);
         flat_all.push(f);

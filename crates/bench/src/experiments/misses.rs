@@ -34,9 +34,9 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
         conf.push(lru.conflict_miss_uops as f64 / total * 100.0);
         t.row(&[
             app.name().to_string(),
-            format!("{:.2}", cold.last().unwrap()),
-            format!("{:.2}", cap.last().unwrap()),
-            format!("{:.2}", conf.last().unwrap()),
+            format!("{:.2}", cold.last().expect("pushed above")),
+            format!("{:.2}", cap.last().expect("pushed above")),
+            format!("{:.2}", conf.last().expect("pushed above")),
         ]);
 
         // Near-optimal (FLACK) classified misses vs the synchronous LRU
@@ -46,13 +46,17 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
         let flack = Flack::new();
         let sol = foo::solve(&trace, &cfg, &flack.foo_config());
         let (opt, _) = replay_full(&trace, &cfg, &sol, EvictionTiming::Lazy, true);
-        let mut lru_sync = uopcache_cache::UopCache::new(
-            cfg,
-            Box::new(uopcache_cache::LruPolicy::new()),
-        );
+        let mut lru_sync =
+            uopcache_cache::UopCache::new(cfg, Box::new(uopcache_cache::LruPolicy::new()));
         lru_sync.enable_classification();
         let base = uopcache_policies::run_trace(&mut lru_sync, &trace);
-        let red = |o: u64, b: u64| if b == 0 { 0.0 } else { (1.0 - o as f64 / b as f64) * 100.0 };
+        let red = |o: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                (1.0 - o as f64 / b as f64) * 100.0
+            }
+        };
         cap_red.push(red(opt.capacity_miss_uops, base.capacity_miss_uops));
         conf_red.push(red(opt.conflict_miss_uops, base.conflict_miss_uops));
         tot_red.push(red(opt.uops_missed, base.uops_missed));
@@ -67,9 +71,21 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
         "SIII-B: near-optimal reduction (paper: capacity -23.9%, conflict -31.6%, total -24.5%)",
         &["metric", "paper", "measured"],
     );
-    t2.row(&["capacity miss reduction".into(), "23.9%".into(), format!("{:.1}%", mean(&cap_red))]);
-    t2.row(&["conflict miss reduction".into(), "31.6%".into(), format!("{:.1}%", mean(&conf_red))]);
-    t2.row(&["total miss reduction".into(), "24.5%".into(), format!("{:.1}%", mean(&tot_red))]);
+    t2.row(&[
+        "capacity miss reduction".into(),
+        "23.9%".into(),
+        format!("{:.1}%", mean(&cap_red)),
+    ]);
+    t2.row(&[
+        "conflict miss reduction".into(),
+        "31.6%".into(),
+        format!("{:.1}%", mean(&conf_red)),
+    ]);
+    t2.row(&[
+        "total miss reduction".into(),
+        "24.5%".into(),
+        format!("{:.1}%", mean(&tot_red)),
+    ]);
     vec![t, t2]
 }
 
@@ -80,7 +96,15 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
     let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer"];
     let mut t = Table::new(
         "Fig. 5: miss reduction over LRU (existing policies vs offline FLACK)",
-        &["app", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FLACK"],
+        &[
+            "app",
+            "SRRIP",
+            "SHiP++",
+            "Mockingjay",
+            "GHRP",
+            "Thermometer",
+            "FLACK",
+        ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
     for app in apps_for(quick) {
@@ -101,11 +125,17 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
     }
     t.row(&mean_row);
     let mut t2 = Table::new("Fig. 5 summary", &["metric", "paper", "measured"]);
-    let best = cols[..policies.len()].iter().map(|c| mean(c)).fold(f64::MIN, f64::max);
+    let best = cols[..policies.len()]
+        .iter()
+        .map(|c| mean(c))
+        .fold(f64::MIN, f64::max);
     t2.row(&[
         "best existing / FLACK".into(),
         "31.52%".into(),
-        format!("{:.1}%", best / mean(&cols[policies.len()]).max(1e-9) * 100.0),
+        format!(
+            "{:.1}%",
+            best / mean(&cols[policies.len()]).max(1e-9) * 100.0
+        ),
     ]);
     vec![t, t2]
 }
@@ -114,10 +144,26 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
 /// GHRP best existing at 7.81%, FURBYS = 57.85% of FLACK).
 pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
-    let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+    let policies = [
+        "SRRIP",
+        "SHiP++",
+        "Mockingjay",
+        "GHRP",
+        "Thermometer",
+        "FURBYS",
+    ];
     let mut t = Table::new(
         "Fig. 8: miss reduction over LRU",
-        &["app", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS", "FLACK"],
+        &[
+            "app",
+            "SRRIP",
+            "SHiP++",
+            "Mockingjay",
+            "GHRP",
+            "Thermometer",
+            "FURBYS",
+            "FLACK",
+        ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
     for app in apps_for(quick) {
@@ -142,11 +188,19 @@ pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
     let flack = mean(&cols[6]);
     let best_existing = cols[..5].iter().map(|c| mean(c)).fold(f64::MIN, f64::max);
     let mut t2 = Table::new("Fig. 8 summary", &["metric", "paper", "measured"]);
-    t2.row(&["FURBYS avg miss reduction".into(), "14.34%".into(), format!("{furbys:.2}%")]);
+    t2.row(&[
+        "FURBYS avg miss reduction".into(),
+        "14.34%".into(),
+        format!("{furbys:.2}%"),
+    ]);
     t2.row(&[
         "FURBYS / best existing".into(),
         "1.84x (vs GHRP 7.81%)".into(),
-        format!("{:.2}x (vs {:.2}%)", furbys / best_existing.max(1e-9), best_existing),
+        format!(
+            "{:.2}x (vs {:.2}%)",
+            furbys / best_existing.max(1e-9),
+            best_existing
+        ),
     ]);
     t2.row(&[
         "FURBYS / FLACK".into(),
@@ -190,7 +244,11 @@ pub fn fig10_flack_ablation(quick: bool) -> Vec<Table> {
     }
     t.row(&mean_row);
     let mut t2 = Table::new("Fig. 10 summary", &["metric", "paper", "measured"]);
-    t2.row(&["FLACK avg miss reduction".into(), "30.21%".into(), format!("{:.2}%", mean(&cols[4]))]);
+    t2.row(&[
+        "FLACK avg miss reduction".into(),
+        "30.21%".into(),
+        format!("{:.2}%", mean(&cols[4])),
+    ]);
     t2.row(&[
         "FLACK - Belady".into(),
         "4.46%".into(),
@@ -266,8 +324,7 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
         let train0 = trace_for(app, 0, len);
         let train1 = trace_for(app, 1, len);
         let test = trace_for(app, 2, len);
-        let lru_test =
-            Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&test);
+        let lru_test = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&test);
         // Same-input: profile the test input itself.
         let same_profile = pipeline.profile(&test);
         let same = pipeline
@@ -286,7 +343,14 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
             app.name().to_string(),
             format!("{same:.2}"),
             format!("{cross:.2}"),
-            format!("{:.1}%", if same.abs() < 1e-9 { 0.0 } else { cross / same * 100.0 }),
+            format!(
+                "{:.1}%",
+                if same.abs() < 1e-9 {
+                    0.0
+                } else {
+                    cross / same * 100.0
+                }
+            ),
         ]);
     }
     let mut t2 = Table::new("Fig. 18 summary", &["metric", "paper", "measured"]);
@@ -298,7 +362,10 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
     t2.row(&[
         "retained vs same-input".into(),
         "94.34%".into(),
-        format!("{:.1}%", mean(&cross_all) / mean(&same_all).max(1e-9) * 100.0),
+        format!(
+            "{:.1}%",
+            mean(&cross_all) / mean(&same_all).max(1e-9) * 100.0
+        ),
     ]);
     vec![t, t2]
 }
@@ -310,7 +377,13 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
     let len = len_for(quick);
     let mut t = Table::new(
         "Fig. 21: FURBYS with bypass off/on",
-        &["app", "bypass off", "bypass on", "delta", "bypassed insertions"],
+        &[
+            "app",
+            "bypass off",
+            "bypass on",
+            "delta",
+            "bypassed insertions",
+        ],
     );
     let mut off_all = Vec::new();
     let mut on_all = Vec::new();
@@ -334,7 +407,7 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
             format!("{off_red:.2}"),
             format!("{on_red:.2}"),
             format!("{:.2}", on_red - off_red),
-            format!("{:.1}%", rate_all.last().unwrap()),
+            format!("{:.1}%", rate_all.last().expect("pushed above")),
         ]);
     }
     let mut t2 = Table::new("Fig. 21 summary", &["metric", "paper", "measured"]);
@@ -378,8 +451,11 @@ pub fn fig22_hotness(quick: bool) -> Vec<Table> {
             2 // cold
         }
     };
-    let index_of: HashMap<Addr, usize> =
-        ranked.iter().enumerate().map(|(i, &(a, _))| (a, i)).collect();
+    let index_of: HashMap<Addr, usize> = ranked
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, _))| (a, i))
+        .collect();
 
     let class_rates = |obs: &[(Addr, u32, u32)]| -> [f64; 3] {
         let mut hit = [0u64; 3];
@@ -462,8 +538,11 @@ mod tests {
         let t = &tables[0];
         let rendered = t.render();
         let mean_line = rendered.lines().last().unwrap();
-        let nums: Vec<f64> =
-            mean_line.split_whitespace().skip(1).map(|s| s.parse().unwrap()).collect();
+        let nums: Vec<f64> = mean_line
+            .split_whitespace()
+            .skip(1)
+            .map(|s| s.parse().unwrap())
+            .collect();
         assert!(nums[2] <= nums[4], "A <= FLACK: {nums:?}");
     }
 

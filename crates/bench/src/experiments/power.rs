@@ -13,7 +13,13 @@ pub fn fig02_perfect_structures(quick: bool) -> Vec<Table> {
     let model = EnergyModel::zen3_22nm(&base_cfg);
     let mut t = Table::new(
         "Fig. 2: PPW gain of perfect structures over the LRU baseline",
-        &["app", "perfect uop cache", "perfect icache", "perfect BTB", "perfect BP"],
+        &[
+            "app",
+            "perfect uop cache",
+            "perfect icache",
+            "perfect BTB",
+            "perfect BP",
+        ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut labs: Vec<Lab> = (0..4)
@@ -54,7 +60,10 @@ pub fn fig02_perfect_structures(quick: bool) -> Vec<Table> {
     t2.row(&[
         "uop cache is the largest lever".into(),
         "yes".into(),
-        format!("{}", cols.iter().map(|c| mean(c)).fold(f64::MIN, f64::max) <= mean(&cols[0]) + 1e-9),
+        format!(
+            "{}",
+            cols.iter().map(|c| mean(c)).fold(f64::MIN, f64::max) <= mean(&cols[0]) + 1e-9
+        ),
     ]);
     vec![t, t2]
 }
@@ -83,10 +92,25 @@ pub fn fig17_zen4_ppw(quick: bool) -> Vec<Table> {
 fn ppw_table(cfg: FrontendConfig, quick: bool, title: &str, paper_furbys: &str) -> Vec<Table> {
     let model = EnergyModel::zen3_22nm(&cfg);
     let mut lab = Lab::with_len(cfg, len_for(quick));
-    let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+    let policies = [
+        "SRRIP",
+        "SHiP++",
+        "Mockingjay",
+        "GHRP",
+        "Thermometer",
+        "FURBYS",
+    ];
     let mut t = Table::new(
         title,
-        &["app", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"],
+        &[
+            "app",
+            "SRRIP",
+            "SHiP++",
+            "Mockingjay",
+            "GHRP",
+            "Thermometer",
+            "FURBYS",
+        ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for app in apps_for(quick) {
@@ -145,16 +169,36 @@ pub fn fig13_energy_breakdown(quick: bool) -> Vec<Table> {
     );
     let total = base_b.total();
     let pct = |v: f64| format!("{:.1}%", v / total * 100.0);
-    t.row(&["decoder".into(), pct(base_b.decoder), pct(lru_b.decoder), pct(furbys_b.decoder)]);
-    t.row(&["icache".into(), pct(base_b.icache), pct(lru_b.icache), pct(furbys_b.icache)]);
+    t.row(&[
+        "decoder".into(),
+        pct(base_b.decoder),
+        pct(lru_b.decoder),
+        pct(furbys_b.decoder),
+    ]);
+    t.row(&[
+        "icache".into(),
+        pct(base_b.icache),
+        pct(lru_b.icache),
+        pct(furbys_b.icache),
+    ]);
     t.row(&[
         "uop cache".into(),
         pct(base_b.uop_cache),
         pct(lru_b.uop_cache),
         pct(furbys_b.uop_cache),
     ]);
-    t.row(&["others".into(), pct(base_b.others()), pct(lru_b.others()), pct(furbys_b.others())]);
-    t.row(&["TOTAL".into(), pct(total), pct(lru_b.total()), pct(furbys_b.total())]);
+    t.row(&[
+        "others".into(),
+        pct(base_b.others()),
+        pct(lru_b.others()),
+        pct(furbys_b.others()),
+    ]);
+    t.row(&[
+        "TOTAL".into(),
+        pct(total),
+        pct(lru_b.total()),
+        pct(furbys_b.total()),
+    ]);
 
     let mut t2 = Table::new("Fig. 13 summary", &["metric", "paper", "measured"]);
     t2.row(&[
@@ -192,7 +236,13 @@ pub fn fig14_energy_reduction(quick: bool) -> Vec<Table> {
     let mut other = Vec::new();
     let mut t = Table::new(
         "Fig. 14: energy-reduction breakdown of FURBYS vs LRU",
-        &["app", "decoder", "icache", "uop cache (insertions)", "others"],
+        &[
+            "app",
+            "decoder",
+            "icache",
+            "uop cache (insertions)",
+            "others",
+        ],
     );
     for app in apps_for(quick) {
         let lru = model.evaluate(&lab.run_online("LRU", app, 0));
@@ -222,9 +272,21 @@ pub fn fig14_energy_reduction(quick: bool) -> Vec<Table> {
         format!("{:.1}%", mean(&other)),
     ]);
     let mut t2 = Table::new("Fig. 14 summary", &["source", "paper", "measured"]);
-    t2.row(&["uop cache insertions".into(), "73.26%".into(), format!("{:.1}%", mean(&uopc))]);
-    t2.row(&["decoder".into(), "16.35%".into(), format!("{:.1}%", mean(&decoder))]);
-    t2.row(&["icache".into(), "7.75%".into(), format!("{:.1}%", mean(&icache))]);
+    t2.row(&[
+        "uop cache insertions".into(),
+        "73.26%".into(),
+        format!("{:.1}%", mean(&uopc)),
+    ]);
+    t2.row(&[
+        "decoder".into(),
+        "16.35%".into(),
+        format!("{:.1}%", mean(&decoder)),
+    ]);
+    t2.row(&[
+        "icache".into(),
+        "7.75%".into(),
+        format!("{:.1}%", mean(&icache)),
+    ]);
     vec![t, t2]
 }
 

@@ -15,7 +15,15 @@ pub fn fig16_size_assoc(quick: bool) -> Vec<Table> {
     let configs: &[(u32, u32)] = if quick {
         &[(256, 8), (512, 8)]
     } else {
-        &[(256, 4), (256, 8), (512, 4), (512, 8), (512, 16), (1024, 8), (2048, 8)]
+        &[
+            (256, 4),
+            (256, 8),
+            (512, 4),
+            (512, 8),
+            (512, 16),
+            (1024, 8),
+            (2048, 8),
+        ]
     };
     let mut t = Table::new(
         "Fig. 16: avg miss reduction over LRU by geometry (entries x ways)",
@@ -47,7 +55,11 @@ pub fn fig16_size_assoc(quick: bool) -> Vec<Table> {
 pub fn fig19_weight_groups(quick: bool) -> Vec<Table> {
     let cfg = FrontendConfig::zen3();
     let len = len_for(quick);
-    let bits: &[u8] = if quick { &[1, 3] } else { &[1, 2, 3, 4, 5, 6, 8] };
+    let bits: &[u8] = if quick {
+        &[1, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 8]
+    };
     let mut t = Table::new(
         "Fig. 19: avg miss reduction by weight-group bits (paper picks 3)",
         &["bits", "groups", "miss reduction"],
@@ -67,7 +79,11 @@ pub fn fig19_weight_groups(quick: bool) -> Vec<Table> {
             let r = p.deploy_and_run(&profile, tr);
             vals.push(r.uopc.miss_reduction_vs(&lru.uopc));
         }
-        t.row(&[format!("{b}"), format!("{}", 1u16 << b), format!("{:.2}%", mean(&vals))]);
+        t.row(&[
+            format!("{b}"),
+            format!("{}", 1u16 << b),
+            format!("{:.2}%", mean(&vals)),
+        ]);
     }
     vec![t]
 }

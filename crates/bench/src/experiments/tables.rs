@@ -8,21 +8,29 @@ use uopcache_trace::{build_trace, InputVariant, TraceStats};
 /// Table I: the Zen3-like simulation parameters, paper vs. configured.
 pub fn tab1_parameters(_quick: bool) -> Vec<Table> {
     let cfg = FrontendConfig::zen3();
-    let mut t = Table::new("Table I: simulation parameters", &["parameter", "paper", "configured"]);
+    let mut t = Table::new(
+        "Table I: simulation parameters",
+        &["parameter", "paper", "configured"],
+    );
     let rows: Vec<(&str, String, String)> = vec![
         (
             "CPU",
             "3.2GHz, 6-wide OoO, 256-entry ROB, 96-entry RS".into(),
             format!(
                 "{:.1}GHz, {}-wide OoO, {}-entry ROB, {}-entry RS",
-                cfg.backend.freq_ghz, cfg.backend.width, cfg.backend.rob_entries,
+                cfg.backend.freq_ghz,
+                cfg.backend.width,
+                cfg.backend.rob_entries,
                 cfg.backend.rs_entries
             ),
         ),
         (
             "Decoder",
             "4-wide, 5-cycle latency".into(),
-            format!("{}-wide, {}-cycle latency", cfg.decoder.width, cfg.decoder.latency),
+            format!(
+                "{}-wide, {}-cycle latency",
+                cfg.decoder.width, cfg.decoder.latency
+            ),
         ),
         (
             "Branch predictor",
@@ -67,7 +75,14 @@ pub fn tab1_parameters(_quick: bool) -> Vec<Table> {
 pub fn tab2_applications(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "Table II: data center applications",
-        &["app", "description", "paper MPKI", "trace MPKI", "footprint (entries)", "reuse>30"],
+        &[
+            "app",
+            "description",
+            "paper MPKI",
+            "trace MPKI",
+            "footprint (entries)",
+            "reuse>30",
+        ],
     );
     let len = len_for(quick);
     for app in apps_for(quick) {

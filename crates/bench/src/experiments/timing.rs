@@ -9,10 +9,25 @@ use uopcache_model::FrontendConfig;
 /// miss reduction translates only partially into IPC).
 pub fn fig11_ipc_speedup(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
-    let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+    let policies = [
+        "SRRIP",
+        "SHiP++",
+        "Mockingjay",
+        "GHRP",
+        "Thermometer",
+        "FURBYS",
+    ];
     let mut t = Table::new(
         "Fig. 11: IPC speedup over LRU (%)",
-        &["app", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"],
+        &[
+            "app",
+            "SRRIP",
+            "SHiP++",
+            "Mockingjay",
+            "GHRP",
+            "Thermometer",
+            "FURBYS",
+        ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for app in apps_for(quick) {
@@ -32,7 +47,11 @@ pub fn fig11_ipc_speedup(quick: bool) -> Vec<Table> {
     }
     t.row(&mean_row);
     let mut t2 = Table::new("Fig. 11 summary", &["metric", "paper", "measured"]);
-    t2.row(&["FURBYS IPC speedup".into(), "0.47%".into(), format!("{:.3}%", mean(&cols[5]))]);
+    t2.row(&[
+        "FURBYS IPC speedup".into(),
+        "0.47%".into(),
+        format!("{:.3}%", mean(&cols[5])),
+    ]);
     t2.row(&[
         "speedup is much smaller than miss reduction".into(),
         "yes (0.47% vs 14.34%)".into(),
@@ -51,7 +70,15 @@ pub fn fig12_iso_performance(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "Fig. 12: LRU missed uops by capacity vs FURBYS@512 (per-app)",
-        &["app", "FURBYS@512", "LRU@512", "LRU@768", "LRU@1024", "LRU@2048", "ISO size"],
+        &[
+            "app",
+            "FURBYS@512",
+            "LRU@512",
+            "LRU@768",
+            "LRU@1024",
+            "LRU@2048",
+            "ISO size",
+        ],
     );
     let mut ratios = Vec::new();
     let mut labs: Vec<(u32, Lab)> = sizes
@@ -73,9 +100,15 @@ pub fn fig12_iso_performance(quick: bool) -> Vec<Table> {
             .iter()
             .find(|(_, m)| *m <= furbys)
             .map(|(s, _)| *s)
-            .unwrap_or(*sizes.last().unwrap());
+            .unwrap_or(*sizes.last().expect("sizes is nonempty"));
         ratios.push(f64::from(iso) / 512.0);
-        let get = |s: u32| by_size.iter().find(|(x, _)| *x == s).map(|(_, m)| *m).unwrap_or(0);
+        let get = |s: u32| {
+            by_size
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, m)| *m)
+                .unwrap_or(0)
+        };
         t.row(&[
             app.name().to_string(),
             format!("{furbys}"),

@@ -11,8 +11,15 @@ use uopcache_policies::{
 
 /// The online policies compared throughout the evaluation, in figure order
 /// (LRU is the baseline and listed first).
-pub const ONLINE_POLICIES: [&str; 7] =
-    ["LRU", "SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer", "FURBYS"];
+pub const ONLINE_POLICIES: [&str; 7] = [
+    "LRU",
+    "SRRIP",
+    "SHiP++",
+    "Mockingjay",
+    "GHRP",
+    "Thermometer",
+    "FURBYS",
+];
 
 /// Profile inputs needed by the profile-guided policies.
 pub struct ProfileInputs {

@@ -58,7 +58,9 @@ impl Lab {
     /// The (cached) trace for an app and input variant.
     pub fn trace(&mut self, app: AppId, variant: u32) -> &LookupTrace {
         let len = self.len;
-        self.traces.entry((app, variant)).or_insert_with(|| trace_for(app, variant, len))
+        self.traces
+            .entry((app, variant))
+            .or_insert_with(|| trace_for(app, variant, len))
     }
 
     /// The (cached) profile inputs for an app/variant (profiled on that same
@@ -105,16 +107,20 @@ impl Lab {
     /// Runs Belady (synchronous) on an app.
     pub fn run_belady(&mut self, app: AppId) -> UopCacheStats {
         let trace = self.trace(app, 0).clone();
-        let mut cache =
-            UopCache::new(self.cfg.uop_cache, Box::new(BeladyPolicy::from_trace(&trace)));
+        let mut cache = UopCache::new(
+            self.cfg.uop_cache,
+            Box::new(BeladyPolicy::from_trace(&trace)),
+        );
         run_trace(&mut cache, &trace)
     }
 
     /// Synchronous LRU baseline for the offline-bound comparisons.
     pub fn run_sync_lru(&mut self, app: AppId) -> UopCacheStats {
         let trace = self.trace(app, 0).clone();
-        let mut cache =
-            UopCache::new(self.cfg.uop_cache, Box::new(uopcache_cache::LruPolicy::new()));
+        let mut cache = UopCache::new(
+            self.cfg.uop_cache,
+            Box::new(uopcache_cache::LruPolicy::new()),
+        );
         run_trace(&mut cache, &trace)
     }
 

@@ -25,6 +25,8 @@
 //! assert_eq!(cache.lookup(&pw), LookupResult::Hit { uops: 6 });
 //! ```
 
+#[cfg(feature = "strict-invariants")]
+pub mod checked;
 pub mod classify;
 pub mod linecache;
 pub mod lru;
@@ -34,6 +36,8 @@ pub mod pwset;
 pub mod shadow;
 pub mod uopcache;
 
+#[cfg(feature = "strict-invariants")]
+pub use checked::CheckedPolicy;
 pub use classify::{MissClass, MissClassifier};
 pub use linecache::{LineCache, LineOutcome};
 pub use lru::LruPolicy;

@@ -53,7 +53,10 @@ impl LineCache {
     /// a power of two.
     pub fn new(size_bytes: u32, ways: u32, line_bytes: u32) -> Self {
         let lines = size_bytes / line_bytes;
-        assert!(ways > 0 && lines.is_multiple_of(ways), "lines must divide into ways");
+        assert!(
+            ways > 0 && lines.is_multiple_of(ways),
+            "lines must divide into ways"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         LineCache {
@@ -90,7 +93,10 @@ impl LineCache {
         self.stats.misses += 1;
         self.stats.fills += 1;
         let evicted = if set.len() < self.ways {
-            set.push(Way { line, last_access: self.now });
+            set.push(Way {
+                line,
+                last_access: self.now,
+            });
             None
         } else {
             let lru = set
@@ -100,7 +106,10 @@ impl LineCache {
                 .map(|(i, _)| i)
                 .expect("non-empty set");
             let old = set[lru].line;
-            set[lru] = Way { line, last_access: self.now };
+            set[lru] = Way {
+                line,
+                last_access: self.now,
+            };
             self.stats.evictions += 1;
             Some(old)
         };
@@ -150,7 +159,10 @@ mod tests {
     #[test]
     fn fill_then_hit() {
         let mut c = LineCache::new(4 * 64, 2, 64); // 2 sets x 2 ways
-        assert!(matches!(c.access(line(0)), LineOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(line(0)),
+            LineOutcome::Miss { evicted: None }
+        ));
         assert_eq!(c.access(line(0)), LineOutcome::Hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
@@ -159,7 +171,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut c = LineCache::new(4 * 64, 2, 64); // sets 0,1
-        // Lines 0, 128, 256 all map to set 0.
+                                                   // Lines 0, 128, 256 all map to set 0.
         c.access(line(0));
         c.access(line(128));
         c.access(line(0)); // refresh 0; 128 is now LRU

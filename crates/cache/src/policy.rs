@@ -69,6 +69,51 @@ pub trait PwReplacementPolicy {
     }
 }
 
+impl PwReplacementPolicy for Box<dyn PwReplacementPolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_lookup(&mut self, pw: &PwDesc) {
+        (**self).on_lookup(pw);
+    }
+
+    fn on_hit(&mut self, set: usize, meta: &PwMeta) {
+        (**self).on_hit(set, meta);
+    }
+
+    fn on_insert(&mut self, set: usize, meta: &PwMeta) {
+        (**self).on_insert(set, meta);
+    }
+
+    fn on_evict(&mut self, set: usize, meta: &PwMeta) {
+        (**self).on_evict(set, meta);
+    }
+
+    fn on_invalidate(&mut self, set: usize, meta: &PwMeta) {
+        (**self).on_invalidate(set, meta);
+    }
+
+    fn should_bypass(
+        &mut self,
+        set: usize,
+        incoming: &PwDesc,
+        needed_entries: u32,
+        free_entries: u32,
+        resident: &[PwMeta],
+    ) -> bool {
+        (**self).should_bypass(set, incoming, needed_entries, free_entries, resident)
+    }
+
+    fn choose_victim(&mut self, set: usize, incoming: &PwDesc, resident: &[PwMeta]) -> usize {
+        (**self).choose_victim(set, incoming, resident)
+    }
+
+    fn last_selection_was_fallback(&self) -> bool {
+        (**self).last_selection_was_fallback()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::PwReplacementPolicy;

@@ -28,7 +28,12 @@ impl PwSet {
     /// Panics if `ways` is zero or greater than 64.
     pub fn new(ways: u32) -> Self {
         assert!((1..=64).contains(&ways), "ways must be in 1..=64");
-        PwSet { ways: ways as u8, residents: Vec::new(), used_entries: 0 }
+        let ways = u8::try_from(ways).expect("ways checked to be in 1..=64");
+        PwSet {
+            ways,
+            residents: Vec::new(),
+            used_entries: 0,
+        }
     }
 
     /// Entry slots in use.
@@ -61,12 +66,18 @@ impl PwSet {
     /// start address is resident (the cache keeps the larger of two
     /// overlapping windows).
     pub fn find(&self, start: Addr) -> Option<&PwMeta> {
-        self.residents.iter().flatten().find(|m| m.desc.start == start)
+        self.residents
+            .iter()
+            .flatten()
+            .find(|m| m.desc.start == start)
     }
 
     /// Mutable variant of [`PwSet::find`].
     pub fn find_mut(&mut self, start: Addr) -> Option<&mut PwMeta> {
-        self.residents.iter_mut().flatten().find(|m| m.desc.start == start)
+        self.residents
+            .iter_mut()
+            .flatten()
+            .find(|m| m.desc.start == start)
     }
 
     /// Inserts a PW occupying `entries` slots, returning its metadata.
@@ -76,13 +87,19 @@ impl PwSet {
     /// Panics if there is not enough free space (the caller must evict first)
     /// or if a PW with the same start address is already resident.
     pub fn insert(&mut self, desc: PwDesc, entries: u32, now: u64) -> PwMeta {
-        assert!(entries >= 1 && entries <= u32::from(self.ways), "PW entries out of range");
+        assert!(
+            entries >= 1 && entries <= u32::from(self.ways),
+            "PW entries out of range"
+        );
         assert!(
             entries <= self.free_entries(),
             "set overflow: inserting {entries} entries with {} free",
             self.free_entries()
         );
-        assert!(self.find(desc.start).is_none(), "duplicate start address in set");
+        assert!(
+            self.find(desc.start).is_none(),
+            "duplicate start address in set"
+        );
         let slot = match self.residents.iter().position(Option::is_none) {
             Some(i) => i,
             None => {
@@ -92,14 +109,14 @@ impl PwSet {
         };
         let meta = PwMeta {
             desc,
-            slot: slot as u8,
-            entries: entries as u8,
+            slot: u8::try_from(slot).expect("at most `ways` slots ever allocated"),
+            entries: u8::try_from(entries).expect("entries checked against ways <= 64"),
             inserted_at: now,
             last_access: now,
             hits: 0,
         };
         self.residents[slot] = Some(meta);
-        self.used_entries += entries as u8;
+        self.used_entries += u8::try_from(entries).expect("entries checked against ways <= 64");
         meta
     }
 
@@ -109,7 +126,9 @@ impl PwSet {
     ///
     /// Panics if the slot is empty or out of range.
     pub fn remove_slot(&mut self, slot: u8) -> PwMeta {
-        let meta = self.residents[usize::from(slot)].take().expect("slot occupied");
+        let meta = self.residents[usize::from(slot)]
+            .take()
+            .expect("slot occupied");
         self.used_entries -= meta.entries;
         meta
     }
@@ -126,7 +145,9 @@ impl PwSet {
     ///
     /// Panics if the slot is empty.
     pub fn touch(&mut self, slot: u8, now: u64) -> PwMeta {
-        let meta = self.residents[usize::from(slot)].as_mut().expect("slot occupied");
+        let meta = self.residents[usize::from(slot)]
+            .as_mut()
+            .expect("slot occupied");
         meta.last_access = now;
         meta.hits += 1;
         *meta

@@ -40,7 +40,10 @@ impl ShadowFaCache {
     ///
     /// Panics if either argument is zero.
     pub fn new(capacity_entries: u32, uops_per_entry: u32) -> Self {
-        assert!(capacity_entries > 0 && uops_per_entry > 0, "capacity must be positive");
+        assert!(
+            capacity_entries > 0 && uops_per_entry > 0,
+            "capacity must be positive"
+        );
         ShadowFaCache {
             capacity_entries,
             uops_per_entry,
@@ -56,14 +59,18 @@ impl ShadowFaCache {
     /// it, evicting LRU windows as needed.
     pub fn access(&mut self, pw: &PwDesc) -> bool {
         self.now += 1;
-        let entries = pw.uops.div_ceil(self.uops_per_entry).min(self.capacity_entries);
+        let entries = pw
+            .uops
+            .div_ceil(self.uops_per_entry)
+            .min(self.capacity_entries);
         let hit = match self.resident.get(&pw.start) {
             Some(&(old_entries, old_uops, old_use)) => {
                 self.order.remove(&old_use);
                 let keep_uops = old_uops.max(pw.uops);
                 let keep_entries = old_entries.max(entries);
                 self.used_entries = self.used_entries - old_entries + keep_entries;
-                self.resident.insert(pw.start, (keep_entries, keep_uops, self.now));
+                self.resident
+                    .insert(pw.start, (keep_entries, keep_uops, self.now));
                 self.order.insert(self.now, pw.start);
                 old_uops >= pw.uops
             }
@@ -95,7 +102,9 @@ impl ShadowFaCache {
     /// Whether a resident window fully covers `pw` (same start, at least as
     /// many micro-ops) — i.e. the lookup would fully hit here.
     pub fn covers(&self, pw: &PwDesc) -> bool {
-        self.resident.get(&pw.start).is_some_and(|&(_, uops, _)| uops >= pw.uops)
+        self.resident
+            .get(&pw.start)
+            .is_some_and(|&(_, uops, _)| uops >= pw.uops)
     }
 
     /// Entries currently used.
@@ -152,8 +161,11 @@ mod tests {
     fn capacity_respected_across_many_inserts() {
         let mut s = ShadowFaCache::new(8, 8);
         for i in 0..100u64 {
-            s.access(&pw(i * 64, ((i % 3 + 1) * 8) as u32));
-            assert!(s.used_entries() <= 8 + 3, "transient overshoot only for current pw");
+            s.access(&pw(i * 64, u32::try_from((i % 3 + 1) * 8).expect("small")));
+            assert!(
+                s.used_entries() <= 8 + 3,
+                "transient overshoot only for current pw"
+            );
         }
     }
 }

@@ -132,7 +132,10 @@ impl UopCache {
     /// Enables cold/capacity/conflict miss classification (adds a
     /// fully-associative LRU shadow of equal entry capacity).
     pub fn enable_classification(&mut self) {
-        self.classifier = Some(MissClassifier::new(self.cfg.entries, self.cfg.uops_per_entry));
+        self.classifier = Some(MissClassifier::new(
+            self.cfg.entries,
+            self.cfg.uops_per_entry,
+        ));
     }
 
     /// The configuration this cache was built with.
@@ -170,7 +173,9 @@ impl UopCache {
         self.stats.uops_requested += u64::from(pw.uops);
         self.policy.on_lookup(pw);
         let set_idx = self.set_index(pw.start);
-        let found = self.sets[set_idx].find(pw.start).map(|m| (m.slot, m.desc.uops));
+        let found = self.sets[set_idx]
+            .find(pw.start)
+            .map(|m| (m.slot, m.desc.uops));
         let result = match found {
             Some((slot, stored_uops)) => {
                 let meta = self.sets[set_idx].touch(slot, self.now);
@@ -191,7 +196,10 @@ impl UopCache {
                 self.stats.pw_hits += 1;
                 self.stats.uops_hit += u64::from(uops);
             }
-            LookupResult::PartialHit { hit_uops, miss_uops } => {
+            LookupResult::PartialHit {
+                hit_uops,
+                miss_uops,
+            } => {
                 self.stats.pw_partial_hits += 1;
                 self.stats.uops_hit += u64::from(hit_uops);
                 self.stats.uops_missed += u64::from(miss_uops);
@@ -243,7 +251,10 @@ impl UopCache {
 
         let resident = self.sets[set_idx].resident_metas();
         let free = self.sets[set_idx].free_entries();
-        if self.policy.should_bypass(set_idx, pw, entries, free, &resident) {
+        if self
+            .policy
+            .should_bypass(set_idx, pw, entries, free, &resident)
+        {
             self.stats.bypasses += 1;
             return InsertOutcome::Bypassed;
         }
@@ -336,7 +347,12 @@ mod tests {
     use uopcache_model::PwTermination;
 
     fn pw(start: u64, uops: u32) -> PwDesc {
-        PwDesc::new(Addr::new(start), uops, (uops * 3).max(1), PwTermination::TakenBranch)
+        PwDesc::new(
+            Addr::new(start),
+            uops,
+            (uops * 3).max(1),
+            PwTermination::TakenBranch,
+        )
     }
 
     fn small_cache() -> UopCache {
@@ -372,7 +388,13 @@ mod tests {
         let short = pw(0x40, 4);
         let long = pw(0x40, 10);
         c.insert(&short);
-        assert_eq!(c.lookup(&long), LookupResult::PartialHit { hit_uops: 4, miss_uops: 6 });
+        assert_eq!(
+            c.lookup(&long),
+            LookupResult::PartialHit {
+                hit_uops: 4,
+                miss_uops: 6
+            }
+        );
         assert_eq!(c.stats().pw_partial_hits, 1);
     }
 
@@ -388,7 +410,10 @@ mod tests {
         let mut c = small_cache();
         c.insert(&pw(0x40, 4));
         assert_eq!(c.resident_uops(Addr::new(0x40)), Some(4));
-        assert!(matches!(c.insert(&pw(0x40, 12)), InsertOutcome::Inserted { .. }));
+        assert!(matches!(
+            c.insert(&pw(0x40, 12)),
+            InsertOutcome::Inserted { .. }
+        ));
         assert_eq!(c.resident_uops(Addr::new(0x40)), Some(12));
         // Re-inserting the short window does nothing.
         assert_eq!(c.insert(&pw(0x40, 4)), InsertOutcome::AlreadyPresent);
@@ -512,7 +537,7 @@ mod tests {
     fn occupancy_never_exceeds_capacity() {
         let mut c = small_cache();
         for i in 0..100u64 {
-            let w = pw(i * 64, (i % 20 + 1) as u32);
+            let w = pw(i * 64, u32::try_from(i % 20 + 1).expect("small"));
             c.lookup(&w);
             c.insert(&w);
             assert!(c.occupied_entries() <= 8);

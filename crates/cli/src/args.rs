@@ -74,7 +74,8 @@ impl Args {
     ///
     /// Returns an error naming the missing flag.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("missing --{key}")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing --{key}")))
     }
 
     /// A parsed numeric flag with a default.
@@ -85,9 +86,9 @@ impl Args {
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError(format!("--{key} {v:?} is not a valid value")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} {v:?} is not a valid value"))),
         }
     }
 

@@ -26,6 +26,9 @@ commands:
   compare    -i FILE [--config ...] compare every policy (incl. offline bounds)
   experiment ID [--quick]           regenerate one paper table/figure
   list-experiments                  show all experiment ids
+  audit      [--root DIR] [--allowlist FILE] [--lint-only]
+                                    run the workspace lint pass and the
+                                    policy-conformance checks
 
 policies: lru srrip ship++ mockingjay ghrp thermometer furbys";
 
@@ -45,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("compare") => cmd_compare(&args),
         Some("experiment") => cmd_experiment(&args),
         Some("list-experiments") => cmd_list_experiments(),
+        Some("audit") => cmd_audit(&args),
         Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
         None => Err(Box::new(ArgError("no command given".into()))),
     }
@@ -76,7 +80,10 @@ fn load_trace(args: &Args) -> Result<LookupTrace, Box<dyn Error>> {
 }
 
 fn cmd_apps() -> Result<(), Box<dyn Error>> {
-    let mut t = Table::new("Table II applications", &["app", "branch MPKI", "description"]);
+    let mut t = Table::new(
+        "Table II applications",
+        &["app", "branch MPKI", "description"],
+    );
     for app in AppId::ALL {
         t.row(&[
             app.name().to_string(),
@@ -95,7 +102,10 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn Error>> {
     let out = args.require("output")?;
     let trace = build_trace(app, variant, len);
     trace_io::save(Path::new(out), &trace)?;
-    println!("wrote {len} accesses ({} uops) for {app} {variant} to {out}", trace.total_uops());
+    println!(
+        "wrote {len} accesses ({} uops) for {app} {variant} to {out}",
+        trace.total_uops()
+    );
     Ok(())
 }
 
@@ -106,14 +116,28 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
     t.row(&["accesses".into(), format!("{}", s.accesses)]);
     t.row(&["micro-ops".into(), format!("{}", s.total_uops)]);
     t.row(&["mean uops per PW".into(), format!("{:.2}", s.mean_pw_uops)]);
-    t.row(&["distinct start addresses".into(), format!("{}", s.unique_starts)]);
-    t.row(&["footprint (entries)".into(), format!("{}", s.footprint_entries)]);
-    t.row(&["reuse distance > 30".into(), format!("{:.1}%", s.reuse_gt_30 * 100.0)]);
-    t.row(&["implied branch MPKI".into(), format!("{:.2}", s.implied_mpki)]);
+    t.row(&[
+        "distinct start addresses".into(),
+        format!("{}", s.unique_starts),
+    ]);
+    t.row(&[
+        "footprint (entries)".into(),
+        format!("{}", s.footprint_entries),
+    ]);
+    t.row(&[
+        "reuse distance > 30".into(),
+        format!("{:.1}%", s.reuse_gt_30 * 100.0),
+    ]);
+    t.row(&[
+        "implied branch MPKI".into(),
+        format!("{:.2}", s.implied_mpki),
+    ]);
     for (i, count) in s.entry_histogram.iter().enumerate() {
         if *count > 0 {
-            t.row(&[format!("PWs of {} entr{}", i + 1, if i == 0 { "y" } else { "ies" }),
-                format!("{count}")]);
+            t.row(&[
+                format!("PWs of {} entr{}", i + 1, if i == 0 { "y" } else { "ies" }),
+                format!("{count}"),
+            ]);
         }
     }
     t.print();
@@ -130,17 +154,29 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let model = EnergyModel::zen3_22nm(&cfg);
     let b = model.evaluate(&result);
 
-    let mut t = Table::new(&format!("{name} on {} accesses", trace.len()), &["metric", "value"]);
-    t.row(&["uop miss rate".into(), format!("{:.2}%", result.uopc.uop_miss_rate() * 100.0)]);
-    t.row(&["PW hits / partial / misses".into(), format!(
-        "{} / {} / {}",
-        result.uopc.pw_hits, result.uopc.pw_partial_hits, result.uopc.pw_misses
-    )]);
-    t.row(&["insertions (bypassed)".into(), format!(
-        "{} ({:.1}%)",
-        result.uopc.insertions,
-        result.uopc.bypass_rate() * 100.0
-    )]);
+    let mut t = Table::new(
+        &format!("{name} on {} accesses", trace.len()),
+        &["metric", "value"],
+    );
+    t.row(&[
+        "uop miss rate".into(),
+        format!("{:.2}%", result.uopc.uop_miss_rate() * 100.0),
+    ]);
+    t.row(&[
+        "PW hits / partial / misses".into(),
+        format!(
+            "{} / {} / {}",
+            result.uopc.pw_hits, result.uopc.pw_partial_hits, result.uopc.pw_misses
+        ),
+    ]);
+    t.row(&[
+        "insertions (bypassed)".into(),
+        format!(
+            "{} ({:.1}%)",
+            result.uopc.insertions,
+            result.uopc.bypass_rate() * 100.0
+        ),
+    ]);
     t.row(&["IPC".into(), format!("{:.3}", result.ipc())]);
     t.row(&["cycles".into(), format!("{}", result.events.cycles)]);
     t.row(&["energy (arb.)".into(), format!("{:.1}", b.total())]);
@@ -220,6 +256,51 @@ fn cmd_experiment(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
+    let root = args.get("root").unwrap_or(".").to_string();
+    let allowlist_path = args
+        .get("allowlist")
+        .unwrap_or("audit.allowlist")
+        .to_string();
+    let allowlist =
+        uopcache_audit::Allowlist::load(Path::new(&allowlist_path)).map_err(ArgError)?;
+    let diags = uopcache_audit::run_lint(Path::new(&root), &allowlist).map_err(ArgError)?;
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    let mut failures = diags.len();
+    if failures == 0 {
+        println!("lint: clean");
+    } else {
+        eprintln!("lint: {failures} violation(s)");
+    }
+
+    if !args.has("lint-only") {
+        let mut t = Table::new("policy conformance", &["policy", "result"]);
+        for r in uopcache_audit::run_conformance(8, 1_000) {
+            match r.outcome {
+                Ok(hooks) => t.row(&[
+                    r.policy.to_string(),
+                    format!("ok ({hooks} lookups checked)"),
+                ]),
+                Err(e) => {
+                    failures += 1;
+                    t.row(&[r.policy.to_string(), format!("VIOLATION: {e}")]);
+                }
+            }
+        }
+        t.print();
+    }
+
+    if failures > 0 {
+        Err(Box::new(ArgError(format!(
+            "audit failed with {failures} problem(s)"
+        ))))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_list_experiments() -> Result<(), Box<dyn Error>> {
     let mut t = Table::new("experiments", &["id", "caption"]);
     for exp in uopcache_bench::experiments::all() {
@@ -243,7 +324,12 @@ mod tests {
     use super::*;
 
     fn run(line: &str) -> Result<(), Box<dyn Error>> {
-        dispatch(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+        dispatch(
+            &line
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -271,7 +357,11 @@ mod tests {
         .unwrap();
         run(&format!("stats -i {}", trc.display())).unwrap();
         run(&format!("simulate -i {} --policy furbys", trc.display())).unwrap();
-        run(&format!("simulate -i {} --policy lru --entries 1024", trc.display())).unwrap();
+        run(&format!(
+            "simulate -i {} --policy lru --entries 1024",
+            trc.display()
+        ))
+        .unwrap();
         run(&format!(
             "profile -i {} --oracle belady -o {}",
             trc.display(),
@@ -288,6 +378,9 @@ mod tests {
     fn canonical_policy_accepts_any_case() {
         assert_eq!(canonical_policy("FURBYS").unwrap(), "FURBYS");
         assert_eq!(canonical_policy("ship++").unwrap(), "SHiP++");
-        assert!(canonical_policy("belady").is_err(), "offline policies are not online options");
+        assert!(
+            canonical_policy("belady").is_err(),
+            "offline policies are not online options"
+        );
     }
 }

@@ -42,14 +42,22 @@ pub struct Flack {
 impl Flack {
     /// Full FLACK: all three features enabled.
     pub fn new() -> Self {
-        Flack { asynchrony: true, variable_cost: true, selective_bypass: true }
+        Flack {
+            asynchrony: true,
+            variable_cost: true,
+            selective_bypass: true,
+        }
     }
 
     /// Raw FOO baseline / ablation points for Fig. 10
     /// (`ablation(false, false, false)` is FOO; `(true, false, false)` is A;
     /// `(true, true, false)` is A+VC; `(true, true, true)` is FLACK).
     pub fn ablation(asynchrony: bool, variable_cost: bool, selective_bypass: bool) -> Self {
-        Flack { asynchrony, variable_cost, selective_bypass }
+        Flack {
+            asynchrony,
+            variable_cost,
+            selective_bypass,
+        }
     }
 
     /// Short label used in figures.
@@ -96,7 +104,11 @@ impl Flack {
         let solution = foo::solve(trace, cfg, &self.foo_config());
         let (stats, obs) = replay::replay_observed(trace, cfg, &solution, self.timing());
         let hit_rates = uopcache_policies::profile::hit_rates_from_observations(obs);
-        FlackOutcome { solution, stats, hit_rates }
+        FlackOutcome {
+            solution,
+            stats,
+            hit_rates,
+        }
     }
 }
 

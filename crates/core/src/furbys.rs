@@ -2,10 +2,10 @@
 //! detecting-miSses — the practical online replacement policy.
 
 use crate::hints::HintMap;
+use std::collections::VecDeque;
 use uopcache_cache::{PwMeta, PwReplacementPolicy};
 use uopcache_model::{Addr, PwDesc};
 use uopcache_policies::SlotTable;
-use std::collections::VecDeque;
 
 const RRPV_MAX: u8 = 3;
 const RRPV_INSERT: u8 = 2;

@@ -7,8 +7,8 @@
 //! [`HintMap`] attached to the deployed executable: a mapping from PW start
 //! address to its weight group, serialisable alongside the binary.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use uopcache_model::json::{FromJson, Json, JsonError, ToJson};
 use uopcache_model::Addr;
 
 /// Weight-group hints for a program binary.
@@ -28,7 +28,7 @@ use uopcache_model::Addr;
 /// let restored = HintMap::from_json(&json).unwrap();
 /// assert_eq!(restored.get(Addr::new(0x400100)), 5);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HintMap {
     /// Number of reserved bits per hint (paper: 3 → 8 weight groups).
     bits: u8,
@@ -42,8 +42,14 @@ impl HintMap {
     ///
     /// Panics if `bits` is 0 or greater than 8.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=8).contains(&bits), "hint widths of 1..=8 bits are supported");
-        HintMap { bits, weights: HashMap::new() }
+        assert!(
+            (1..=8).contains(&bits),
+            "hint widths of 1..=8 bits are supported"
+        );
+        HintMap {
+            bits,
+            weights: HashMap::new(),
+        }
     }
 
     /// The number of weight groups expressible (`2^bits`).
@@ -90,23 +96,47 @@ impl HintMap {
         self.weights.iter()
     }
 
-    /// Serialises to JSON (the artifact's on-disk hint format).
+    /// Serialises to JSON (the artifact's on-disk hint format). Entries are
+    /// written in ascending start-address order so the output is
+    /// deterministic.
     ///
     /// # Errors
     ///
     /// Returns an error if serialisation fails (it cannot for this type, but
-    /// the signature is honest about the serde boundary).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// the signature is honest about the serialisation boundary).
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let mut entries: Vec<(u64, u8)> = self.weights.iter().map(|(a, &w)| (a.get(), w)).collect();
+        entries.sort_unstable();
+        let obj = Json::Obj(vec![
+            ("bits".to_string(), Json::U64(u64::from(self.bits))),
+            ("weights".to_string(), entries.to_json()),
+        ]);
+        Ok(obj.to_string())
     }
 
     /// Deserialises from JSON.
     ///
     /// # Errors
     ///
-    /// Returns an error if `s` is not a valid serialised [`HintMap`].
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns an error if `s` is not a valid serialised [`HintMap`] — wrong
+    /// shape, an unsupported hint width, or a weight that does not fit.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let j = Json::parse(s)?;
+        let bits = u8::from_json(j.field("bits")?)?;
+        if !(1..=8).contains(&bits) {
+            return Err(JsonError(format!("hint width {bits} outside 1..=8")));
+        }
+        let entries = Vec::<(u64, u8)>::from_json(j.field("weights")?)?;
+        let mut map = HintMap::new(bits);
+        for (addr, weight) in entries {
+            if u16::from(weight) >= map.groups() {
+                return Err(JsonError(format!(
+                    "weight {weight} does not fit in {bits} bits"
+                )));
+            }
+            map.set(Addr::new(addr), weight);
+        }
+        Ok(map)
     }
 }
 
@@ -147,7 +177,9 @@ mod tests {
 
     #[test]
     fn collect_and_iterate() {
-        let h: HintMap = [(Addr::new(1), 3u8), (Addr::new(2), 7u8)].into_iter().collect();
+        let h: HintMap = [(Addr::new(1), 3u8), (Addr::new(2), 7u8)]
+            .into_iter()
+            .collect();
         assert_eq!(h.len(), 2);
         assert!(!h.is_empty());
         assert_eq!(h.iter().count(), 2);

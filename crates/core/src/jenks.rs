@@ -149,7 +149,7 @@ mod tests {
         let mut v: Vec<f64> = (0..10).map(|i| i as f64 * 0.01).collect();
         v.push(5.0);
         let breaks = jenks_breaks(&v, 2);
-        assert!(breaks[0] < 1.0 && breaks[1] == 5.0);
+        assert!(breaks[0] < 1.0 && (breaks[1] - 5.0).abs() < 1e-12);
         assert_eq!(classify(5.0, &breaks), 1);
         assert_eq!(classify(0.09, &breaks), 0);
     }

@@ -99,10 +99,19 @@ impl PhasedFurbysPolicy {
     ///
     /// Panics if the profile has no tables.
     pub fn new(profile: PhasedProfile) -> Self {
-        assert!(!profile.tables.is_empty(), "profile must have at least one table");
+        assert!(
+            !profile.tables.is_empty(),
+            "profile must have at least one table"
+        );
         let scores = vec![0; profile.tables.len()];
         let engine = FurbysPolicy::new(profile.tables[0].clone());
-        PhasedFurbysPolicy { tables: profile.tables, engine, active: 0, scores, lookups: 0 }
+        PhasedFurbysPolicy {
+            tables: profile.tables,
+            engine,
+            active: 0,
+            scores,
+            lookups: 0,
+        }
     }
 
     /// The index of the currently active table (0 = whole-execution).
@@ -178,7 +187,8 @@ impl PwReplacementPolicy for PhasedFurbysPolicy {
         free_entries: u32,
         resident: &[PwMeta],
     ) -> bool {
-        self.engine.should_bypass(set, incoming, needed_entries, free_entries, resident)
+        self.engine
+            .should_bypass(set, incoming, needed_entries, free_entries, resident)
     }
 
     fn choose_victim(&mut self, set: usize, incoming: &PwDesc, resident: &[PwMeta]) -> usize {
@@ -196,13 +206,21 @@ mod tests {
     use uopcache_model::{Addr, LookupTrace, PwAccess, PwTermination};
 
     fn obs_for(starts: &[(u64, u32, u32)]) -> Vec<(Addr, u32, u32)> {
-        starts.iter().map(|&(s, h, t)| (Addr::new(s), h, t)).collect()
+        starts
+            .iter()
+            .map(|&(s, h, t)| (Addr::new(s), h, t))
+            .collect()
     }
 
     #[test]
     fn profile_has_global_plus_segment_tables() {
         let cfg = UopCacheConfig::zen3();
-        let obs = obs_for(&[(0x1000, 4, 4), (0x2000, 0, 4), (0x3000, 4, 4), (0x4000, 0, 4)]);
+        let obs = obs_for(&[
+            (0x1000, 4, 4),
+            (0x2000, 0, 4),
+            (0x3000, 4, 4),
+            (0x4000, 0, 4),
+        ]);
         let p = PhasedProfile::from_observations(&obs, &cfg, &WeightConfig::default(), 2);
         assert_eq!(p.tables.len(), 3);
     }
@@ -250,9 +268,11 @@ mod tests {
                 ))
             })
             .collect();
-        let obs: Vec<_> = trace.iter().map(|a| (a.pw.start, a.pw.uops, a.pw.uops)).collect();
-        let profile =
-            PhasedProfile::from_observations(&obs, &cfg, &WeightConfig::default(), 4);
+        let obs: Vec<_> = trace
+            .iter()
+            .map(|a| (a.pw.start, a.pw.uops, a.pw.uops))
+            .collect();
+        let profile = PhasedProfile::from_observations(&obs, &cfg, &WeightConfig::default(), 4);
         let mut cache =
             uopcache_cache::UopCache::new(cfg, Box::new(PhasedFurbysPolicy::new(profile)));
         let stats = uopcache_policies::run_trace(&mut cache, &trace);

@@ -175,7 +175,10 @@ mod tests {
         let furbys = pipeline.deploy_and_run(&profile, &trace);
         let lru = lru_run(cfg, &trace);
         let reduction = furbys.uopc.miss_reduction_vs(&lru.uopc);
-        assert!(reduction > 3.0, "FURBYS miss reduction only {reduction:.2}%");
+        assert!(
+            reduction > 3.0,
+            "FURBYS miss reduction only {reduction:.2}%"
+        );
     }
 
     #[test]

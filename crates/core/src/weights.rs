@@ -18,7 +18,10 @@ pub struct WeightConfig {
 
 impl Default for WeightConfig {
     fn default() -> Self {
-        WeightConfig { bits: 3, per_set: true }
+        WeightConfig {
+            bits: 3,
+            per_set: true,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ pub fn compute_weights(
     if wcfg.per_set {
         let mut per_set: HashMap<usize, Vec<(Addr, f64)>> = HashMap::new();
         for (&a, &r) in hit_rates {
-            per_set.entry(cfg.set_index_for(a, 64)).or_default().push((a, r));
+            per_set
+                .entry(cfg.set_index_for(a, 64))
+                .or_default()
+                .push((a, r));
         }
         for group in per_set.values() {
             assign(group, classes, &mut hints);
@@ -68,7 +74,10 @@ fn assign(group: &[(Addr, f64)], classes: usize, hints: &mut HintMap) {
     let values: Vec<f64> = group.iter().map(|&(_, r)| r).collect();
     let breaks = jenks_breaks(&values, classes);
     for &(a, r) in group {
-        hints.set(a, classify(r, &breaks) as u8);
+        hints.set(
+            a,
+            u8::try_from(classify(r, &breaks)).expect("at most 8 weight classes"),
+        );
     }
 }
 
@@ -103,8 +112,22 @@ mod tests {
         for i in 0..16u64 {
             rates.insert(Addr::new(i * 4096), i as f64 / 15.0);
         }
-        let fine = compute_weights(&rates, &cfg(), &WeightConfig { bits: 3, per_set: true });
-        let coarse = compute_weights(&rates, &cfg(), &WeightConfig { bits: 1, per_set: true });
+        let fine = compute_weights(
+            &rates,
+            &cfg(),
+            &WeightConfig {
+                bits: 3,
+                per_set: true,
+            },
+        );
+        let coarse = compute_weights(
+            &rates,
+            &cfg(),
+            &WeightConfig {
+                bits: 1,
+                per_set: true,
+            },
+        );
         let fine_distinct: std::collections::HashSet<u8> =
             rates.keys().map(|&a| fine.get(a)).collect();
         let coarse_distinct: std::collections::HashSet<u8> =
@@ -118,7 +141,14 @@ mod tests {
         let mut rates = HashMap::new();
         rates.insert(Addr::new(0), 0.1);
         rates.insert(Addr::new(64), 0.9); // different set
-        let hints = compute_weights(&rates, &cfg(), &WeightConfig { bits: 3, per_set: false });
+        let hints = compute_weights(
+            &rates,
+            &cfg(),
+            &WeightConfig {
+                bits: 3,
+                per_set: false,
+            },
+        );
         assert!(hints.get(Addr::new(64)) > hints.get(Addr::new(0)));
     }
 

@@ -55,7 +55,11 @@ pub struct FlowGraph {
 impl FlowGraph {
     /// Creates a network with `nodes` nodes and no edges.
     pub fn new(nodes: usize) -> Self {
-        FlowGraph { edges: Vec::new(), adj: vec![Vec::new(); nodes], is_forward_dag: true }
+        FlowGraph {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); nodes],
+            is_forward_dag: true,
+        }
     }
 
     /// Number of nodes.
@@ -76,15 +80,26 @@ impl FlowGraph {
     /// Panics if either endpoint is out of range, if `from == to`, or if
     /// `cap` is negative.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> EdgeId {
-        assert!(from < self.adj.len() && to < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "edge endpoint out of range"
+        );
         assert!(from != to, "self-loops are not supported");
         assert!(cap >= 0, "capacity must be non-negative");
         if from >= to {
             self.is_forward_dag = false;
         }
         let id = self.edges.len();
-        self.edges.push(Edge { to: to as u32, cap, cost });
-        self.edges.push(Edge { to: from as u32, cap: 0, cost: -cost });
+        self.edges.push(Edge {
+            to: to as u32,
+            cap,
+            cost,
+        });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+            cost: -cost,
+        });
         self.adj[from].push(id as u32);
         self.adj[to].push(id as u32 + 1);
         EdgeId(id)
@@ -112,7 +127,10 @@ impl FlowGraph {
     ///
     /// Panics if `source == sink` or either is out of range.
     pub fn min_cost_flow(&mut self, source: usize, sink: usize, max_flow: i64) -> McmfResult {
-        assert!(source < self.adj.len() && sink < self.adj.len(), "endpoint out of range");
+        assert!(
+            source < self.adj.len() && sink < self.adj.len(),
+            "endpoint out of range"
+        );
         assert_ne!(source, sink, "source and sink must differ");
         let n = self.adj.len();
         let mut potential = if self.edges.iter().all(|e| e.cost >= 0) {
@@ -406,10 +424,10 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_small_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use uopcache_model::rng::{Prng, Rng};
+        let mut rng = Prng::seed_from_u64(7);
         for _ in 0..50 {
-            let n = rng.gen_range(3..5);
+            let n = rng.gen_range(3..5usize);
             let m = rng.gen_range(3..7);
             let mut edges = Vec::new();
             for _ in 0..m {

@@ -1,13 +1,14 @@
 //! Prediction-window lookup traces: the input consumed by the simulator and
 //! by the offline (oracle) replacement policies.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::json_struct;
 use crate::pw::PwDesc;
 use crate::Addr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One micro-op cache lookup: a prediction window requested by the frontend.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct PwAccess {
     /// The requested window.
     pub pw: PwDesc,
@@ -20,7 +21,10 @@ pub struct PwAccess {
 impl PwAccess {
     /// Creates a correctly-predicted access.
     pub fn new(pw: PwDesc) -> Self {
-        PwAccess { pw, mispredicted: false }
+        PwAccess {
+            pw,
+            mispredicted: false,
+        }
     }
 }
 
@@ -42,7 +46,7 @@ impl PwAccess {
 /// assert_eq!(trace.total_uops(), 12);
 /// assert_eq!(trace.unique_starts(), 2);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LookupTrace {
     accesses: Vec<PwAccess>,
 }
@@ -50,12 +54,16 @@ pub struct LookupTrace {
 impl LookupTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        LookupTrace { accesses: Vec::new() }
+        LookupTrace {
+            accesses: Vec::new(),
+        }
     }
 
     /// Creates a trace with pre-allocated capacity.
     pub fn with_capacity(n: usize) -> Self {
-        LookupTrace { accesses: Vec::with_capacity(n) }
+        LookupTrace {
+            accesses: Vec::with_capacity(n),
+        }
     }
 
     /// Appends an access.
@@ -105,7 +113,10 @@ impl LookupTrace {
             let e = max_uops.entry(a.pw.start).or_insert(0);
             *e = (*e).max(a.pw.uops);
         }
-        max_uops.values().map(|&u| u64::from(u.div_ceil(uops_per_entry))).sum()
+        max_uops
+            .values()
+            .map(|&u| u64::from(u.div_ceil(uops_per_entry)))
+            .sum()
     }
 
     /// Per-start-address access counts, for hotness classification (Fig. 22).
@@ -123,13 +134,17 @@ impl LookupTrace {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> LookupTrace {
-        LookupTrace { accesses: self.accesses[range].to_vec() }
+        LookupTrace {
+            accesses: self.accesses[range].to_vec(),
+        }
     }
 }
 
 impl FromIterator<PwAccess> for LookupTrace {
     fn from_iter<T: IntoIterator<Item = PwAccess>>(iter: T) -> Self {
-        LookupTrace { accesses: iter.into_iter().collect() }
+        LookupTrace {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -157,13 +172,33 @@ impl IntoIterator for LookupTrace {
     }
 }
 
+json_struct!(PwAccess { pw, mispredicted });
+
+impl ToJson for LookupTrace {
+    /// Serialises transparently as the array of accesses.
+    fn to_json(&self) -> Json {
+        self.accesses.to_json()
+    }
+}
+
+impl FromJson for LookupTrace {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Vec::<PwAccess>::from_json(j).map(|accesses| LookupTrace { accesses })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pw::PwTermination;
 
     fn acc(start: u64, uops: u32) -> PwAccess {
-        PwAccess::new(PwDesc::new(Addr::new(start), uops, uops * 3, PwTermination::TakenBranch))
+        PwAccess::new(PwDesc::new(
+            Addr::new(start),
+            uops,
+            uops * 3,
+            PwTermination::TakenBranch,
+        ))
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Byte and cache-line address newtypes.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A virtual byte address of an instruction.
@@ -17,10 +17,7 @@ use std::fmt;
 /// assert_eq!(a.line(64).base().get(), 0x40_0100);
 /// assert_eq!(a.line_offset(64), 0x23);
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -40,7 +37,10 @@ impl Addr {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn line(self, line_bytes: u64) -> LineAddr {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 & !(line_bytes - 1))
     }
 
@@ -50,7 +50,10 @@ impl Addr {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn line_offset(self, line_bytes: u64) -> u64 {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.0 & (line_bytes - 1)
     }
 
@@ -95,10 +98,7 @@ impl fmt::UpperHex for Addr {
 /// let line = Addr::new(0x1234).line(64);
 /// assert_eq!(line.base().get(), 0x1200);
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -115,14 +115,46 @@ impl LineAddr {
     /// Panics if `sets` or `line_bytes` is not a power of two.
     pub fn set_index(self, sets: u64, line_bytes: u64) -> usize {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        ((self.0 / line_bytes) & (sets - 1)) as usize
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        // Masked by `sets - 1`, so the value always fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = ((self.0 / line_bytes) & (sets - 1)) as usize;
+        idx
     }
 }
 
 impl fmt::Display for LineAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:#x}", self.0)
+    }
+}
+
+impl ToJson for Addr {
+    /// Serialises transparently as the raw byte value.
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Addr {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j).map(Addr)
+    }
+}
+
+impl ToJson for LineAddr {
+    /// Serialises transparently as the line base address.
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for LineAddr {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j).map(LineAddr)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Hardware configuration for the simulated frontend, with presets matching
 //! the paper's Table I (AMD Zen3-like) and the Zen4-like sensitivity setup.
 
-use serde::{Deserialize, Serialize};
+use crate::json_struct;
 
 /// Micro-op cache geometry and behaviour.
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.sets(), 64);
 /// assert_eq!(cfg.capacity_uops(), 4096);
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct UopCacheConfig {
     /// Total number of entries (entries = sets × ways).
     pub entries: u32,
@@ -81,7 +81,10 @@ impl UopCacheConfig {
     ///
     /// Panics if `entries` is not a multiple of `ways`.
     pub fn sets(&self) -> u32 {
-        assert!(self.ways > 0 && self.entries.is_multiple_of(self.ways), "entries must divide into ways");
+        assert!(
+            self.ways > 0 && self.entries.is_multiple_of(self.ways),
+            "entries must divide into ways"
+        );
         self.entries / self.ways
     }
 
@@ -100,7 +103,10 @@ impl UopCacheConfig {
         if sets.is_power_of_two() {
             start.line(line_bytes).set_index(sets, line_bytes)
         } else {
-            ((start.get() / line_bytes) % sets) as usize
+            // Reduced modulo `sets`, so the value always fits in usize.
+            #[allow(clippy::cast_possible_truncation)]
+            let idx = ((start.get() / line_bytes) % sets) as usize;
+            idx
         }
     }
 }
@@ -112,7 +118,7 @@ impl Default for UopCacheConfig {
 }
 
 /// L1 instruction cache geometry (Table I: 32 KiB, 8-way, 64 B lines, LRU).
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct IcacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -127,7 +133,12 @@ pub struct IcacheConfig {
 impl IcacheConfig {
     /// Table I preset: 32 KiB, 8-way, 64 B lines, 1-cycle.
     pub const fn zen3() -> Self {
-        IcacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64, latency: 1 }
+        IcacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 1,
+        }
     }
 
     /// Number of sets.
@@ -137,7 +148,10 @@ impl IcacheConfig {
     /// Panics if the geometry does not divide evenly.
     pub fn sets(&self) -> u32 {
         let lines = self.size_bytes / self.line_bytes;
-        assert!(self.ways > 0 && lines.is_multiple_of(self.ways), "lines must divide into ways");
+        assert!(
+            self.ways > 0 && lines.is_multiple_of(self.ways),
+            "lines must divide into ways"
+        );
         lines / self.ways
     }
 }
@@ -149,7 +163,7 @@ impl Default for IcacheConfig {
 }
 
 /// Legacy decode pipeline (Table I: 4-wide, 5-cycle latency).
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct DecoderConfig {
     /// Instructions decoded per cycle.
     pub width: u32,
@@ -161,7 +175,10 @@ pub struct DecoderConfig {
 impl DecoderConfig {
     /// Table I preset: 4-wide, 5-cycle.
     pub const fn zen3() -> Self {
-        DecoderConfig { width: 4, latency: 5 }
+        DecoderConfig {
+            width: 4,
+            latency: 5,
+        }
     }
 }
 
@@ -173,7 +190,7 @@ impl Default for DecoderConfig {
 
 /// Branch prediction unit (Table I: 8192-entry 4-way BTB, 32-entry RAS,
 /// TAGE-SC-L-class conditional predictor, 4096-entry IBTB).
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct BpuConfig {
     /// Branch target buffer entries.
     pub btb_entries: u32,
@@ -211,7 +228,7 @@ impl Default for BpuConfig {
 }
 
 /// Out-of-order backend abstraction (Table I: 3.2 GHz, 6-wide, 256-entry ROB).
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct BackendConfig {
     /// Core frequency in GHz (for energy/PPW reporting).
     pub freq_ghz: f64,
@@ -247,7 +264,7 @@ impl Default for BackendConfig {
 
 /// Which structures are modelled as *perfect* (always hit / always correct),
 /// for the Figure 2 limit study.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
 pub struct PerfectStructures {
     /// Micro-op cache always hits (after first touch).
     pub uop_cache: bool,
@@ -262,7 +279,12 @@ pub struct PerfectStructures {
 impl PerfectStructures {
     /// Nothing perfect: the realistic baseline.
     pub const fn none() -> Self {
-        PerfectStructures { uop_cache: false, icache: false, btb: false, branch_predictor: false }
+        PerfectStructures {
+            uop_cache: false,
+            icache: false,
+            btb: false,
+            branch_predictor: false,
+        }
     }
 }
 
@@ -278,7 +300,7 @@ impl PerfectStructures {
 /// let zen4 = FrontendConfig::zen4();
 /// assert!(zen4.uop_cache.entries > zen3.uop_cache.entries);
 /// ```
-#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub struct FrontendConfig {
     /// Micro-op cache.
     pub uop_cache: UopCacheConfig,
@@ -314,12 +336,60 @@ impl FrontendConfig {
         cfg.uop_cache = UopCacheConfig::zen4();
         cfg.bpu.btb_entries = 16384;
         cfg.icache.size_bytes = 32 * 1024;
-        cfg.decoder = DecoderConfig { width: 4, latency: 4 };
+        cfg.decoder = DecoderConfig {
+            width: 4,
+            latency: 4,
+        };
         cfg.backend.width = 8;
         cfg.backend.uop_ipc_ceiling = 3.3;
         cfg
     }
 }
+
+json_struct!(UopCacheConfig {
+    entries,
+    ways,
+    uops_per_entry,
+    switch_penalty,
+    inclusive_with_l1i,
+    max_entries_per_pw,
+});
+json_struct!(IcacheConfig {
+    size_bytes,
+    ways,
+    line_bytes,
+    latency
+});
+json_struct!(DecoderConfig { width, latency });
+json_struct!(BpuConfig {
+    btb_entries,
+    btb_ways,
+    ras_entries,
+    ibtb_entries,
+    cond_entries,
+    mispredict_penalty,
+});
+json_struct!(BackendConfig {
+    freq_ghz,
+    width,
+    rob_entries,
+    rs_entries,
+    uop_ipc_ceiling
+});
+json_struct!(PerfectStructures {
+    uop_cache,
+    icache,
+    btb,
+    branch_predictor
+});
+json_struct!(FrontendConfig {
+    uop_cache,
+    icache,
+    decoder,
+    bpu,
+    backend,
+    perfect
+});
 
 #[cfg(test)]
 mod tests {

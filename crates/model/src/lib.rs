@@ -24,7 +24,9 @@
 pub mod access;
 pub mod addr;
 pub mod config;
+pub mod json;
 pub mod pw;
+pub mod rng;
 pub mod stats;
 
 pub use access::{LookupTrace, PwAccess};

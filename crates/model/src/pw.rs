@@ -1,11 +1,12 @@
 //! Prediction windows: the unit of micro-op cache lookup and insertion.
 
 use crate::addr::{Addr, LineAddr};
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::json_struct;
 use std::fmt;
 
 /// Why a prediction window ended.
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub enum PwTermination {
     /// The PW ends at a predicted-taken branch (including calls, returns and
     /// unconditional jumps).
@@ -42,7 +43,7 @@ impl fmt::Display for PwTermination {
 /// assert!(long.covers(&short));
 /// assert!(!short.covers(&long));
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub struct PwDesc {
     /// First instruction address of the window (the lookup key).
     pub start: Addr,
@@ -63,9 +64,17 @@ impl PwDesc {
     /// Panics if `uops` or `bytes` is zero — an empty prediction window cannot
     /// exist.
     pub fn new(start: Addr, uops: u32, bytes: u32, term: PwTermination) -> Self {
-        assert!(uops > 0, "a prediction window contains at least one micro-op");
+        assert!(
+            uops > 0,
+            "a prediction window contains at least one micro-op"
+        );
         assert!(bytes > 0, "a prediction window spans at least one byte");
-        PwDesc { start, uops, bytes, term }
+        PwDesc {
+            start,
+            uops,
+            bytes,
+            term,
+        }
     }
 
     /// The PW's **cost**: the number of micro-ops it supplies, i.e. the number
@@ -81,7 +90,10 @@ impl PwDesc {
     ///
     /// Panics if `uops_per_entry` is zero.
     pub fn entries(&self, uops_per_entry: u32) -> u32 {
-        assert!(uops_per_entry > 0, "entries must hold at least one micro-op");
+        assert!(
+            uops_per_entry > 0,
+            "entries must hold at least one micro-op"
+        );
         self.uops.div_ceil(uops_per_entry)
     }
 
@@ -108,16 +120,46 @@ impl PwDesc {
         let last = Addr::new(self.end().get() - 1).line(line_bytes);
         let step = line_bytes;
         (first.base().get()..=last.base().get())
-            .step_by(step as usize)
+            .step_by(usize::try_from(step).expect("line size fits in usize"))
             .map(move |b| Addr::new(b).line(step))
     }
 }
 
 impl fmt::Display for PwDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PW[{} +{}B, {} uops, {}]", self.start, self.bytes, self.uops, self.term)
+        write!(
+            f,
+            "PW[{} +{}B, {} uops, {}]",
+            self.start, self.bytes, self.uops, self.term
+        )
     }
 }
+
+impl ToJson for PwTermination {
+    /// Serialises as the display string (`"taken-branch"` / `"line-boundary"`).
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for PwTermination {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("taken-branch") => Ok(PwTermination::TakenBranch),
+            Some("line-boundary") => Ok(PwTermination::LineBoundary),
+            _ => Err(JsonError(format!(
+                "expected PW termination string, got {j:?}"
+            ))),
+        }
+    }
+}
+
+json_struct!(PwDesc {
+    start,
+    uops,
+    bytes,
+    term
+});
 
 #[cfg(test)]
 mod tests {

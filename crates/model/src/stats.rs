@@ -1,11 +1,11 @@
 //! Statistics containers: cache statistics, per-structure event counts for the
 //! power model, and the top-level simulation result.
 
-use serde::{Deserialize, Serialize};
+use crate::json_struct;
 use std::ops::AddAssign;
 
 /// Generic cache statistics (used for L1i, BTB and similar structures).
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub struct CacheStats {
     /// Total lookups.
     pub accesses: u64,
@@ -58,7 +58,7 @@ impl AddAssign for CacheStats {
 /// s.uops_missed = 20;
 /// assert!((s.uop_miss_rate() - 0.2).abs() < 1e-12);
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub struct UopCacheStats {
     /// PW lookups issued to the micro-op cache.
     pub lookups: u64,
@@ -196,7 +196,7 @@ impl AddAssign for UopCacheStats {
 
 /// Per-structure activity counts consumed by the power model
 /// (the "dynamic activity statistics" fed to McPAT in the paper's flow).
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub struct EventCounts {
     /// Elapsed core cycles.
     pub cycles: u64,
@@ -243,7 +243,7 @@ impl AddAssign for EventCounts {
 
 /// Result of one simulation run: timing, micro-op cache behaviour, i-cache
 /// behaviour, and the activity counts for the power model.
-#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub struct SimResult {
     /// Micro-op cache statistics.
     pub uopc: UopCacheStats,
@@ -277,7 +277,9 @@ impl SimResult {
     /// IPC speedup of `self` over `baseline`, in percent.
     pub fn ipc_speedup_vs(&self, baseline: &SimResult) -> f64 {
         let b = baseline.ipc();
-        if b == 0.0 {
+        // A zero (or denormal/NaN) baseline has no meaningful speedup; the
+        // guard avoids both the division and a float equality comparison.
+        if !b.is_normal() {
             return 0.0;
         }
         (self.ipc() / b - 1.0) * 100.0
@@ -292,11 +294,61 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+json_struct!(CacheStats {
+    accesses,
+    hits,
+    misses,
+    evictions,
+    fills
+});
+json_struct!(UopCacheStats {
+    lookups,
+    pw_hits,
+    pw_partial_hits,
+    pw_misses,
+    uops_requested,
+    uops_hit,
+    uops_missed,
+    insertions,
+    entries_written,
+    bypasses,
+    evicted_pws,
+    evicted_entries,
+    inclusion_invalidations,
+    cold_miss_uops,
+    capacity_miss_uops,
+    conflict_miss_uops,
+    primary_victim_selections,
+    fallback_victim_selections,
+});
+json_struct!(EventCounts {
+    cycles,
+    retired_uops,
+    retired_instructions,
+    icache_reads,
+    icache_fills,
+    uopc_lookups,
+    uopc_entry_reads,
+    uopc_entry_writes,
+    decoded_uops,
+    decoder_active_cycles,
+    bp_accesses,
+    btb_accesses,
+});
+json_struct!(SimResult {
+    uopc,
+    icache,
+    btb,
+    events,
+    mispredictions
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::float_cmp)] // the zero-denominator rates are exactly 0.0
     fn rates_handle_zero_denominator() {
         let s = UopCacheStats::default();
         assert_eq!(s.uop_miss_rate(), 0.0);
@@ -308,30 +360,62 @@ mod tests {
 
     #[test]
     fn miss_reduction_is_relative() {
-        let base = UopCacheStats { uops_missed: 100, ..Default::default() };
-        let better = UopCacheStats { uops_missed: 70, ..Default::default() };
+        let base = UopCacheStats {
+            uops_missed: 100,
+            ..Default::default()
+        };
+        let better = UopCacheStats {
+            uops_missed: 70,
+            ..Default::default()
+        };
         assert!((better.miss_reduction_vs(&base) - 30.0).abs() < 1e-12);
         assert!((base.miss_reduction_vs(&base)).abs() < 1e-12);
         // Worse than baseline is negative.
-        let worse = UopCacheStats { uops_missed: 120, ..Default::default() };
+        let worse = UopCacheStats {
+            uops_missed: 120,
+            ..Default::default()
+        };
         assert!(worse.miss_reduction_vs(&base) < 0.0);
     }
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = UopCacheStats { lookups: 1, uops_hit: 3, ..Default::default() };
-        let b = UopCacheStats { lookups: 2, uops_hit: 4, ..Default::default() };
+        let mut a = UopCacheStats {
+            lookups: 1,
+            uops_hit: 3,
+            ..Default::default()
+        };
+        let b = UopCacheStats {
+            lookups: 2,
+            uops_hit: 4,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.lookups, 3);
         assert_eq!(a.uops_hit, 7);
 
-        let mut c = CacheStats { accesses: 1, hits: 1, ..Default::default() };
-        c += CacheStats { accesses: 2, misses: 2, ..Default::default() };
+        let mut c = CacheStats {
+            accesses: 1,
+            hits: 1,
+            ..Default::default()
+        };
+        c += CacheStats {
+            accesses: 2,
+            misses: 2,
+            ..Default::default()
+        };
         assert_eq!(c.accesses, 3);
         assert_eq!(c.misses, 2);
 
-        let mut e = EventCounts { cycles: 5, ..Default::default() };
-        e += EventCounts { cycles: 7, decoded_uops: 2, ..Default::default() };
+        let mut e = EventCounts {
+            cycles: 5,
+            ..Default::default()
+        };
+        e += EventCounts {
+            cycles: 7,
+            decoded_uops: 2,
+            ..Default::default()
+        };
         assert_eq!(e.cycles, 12);
         assert_eq!(e.decoded_uops, 2);
     }
@@ -348,11 +432,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut r = SimResult::default();
         r.events.cycles = 42;
-        let json = serde_json::to_string(&r).unwrap();
-        let back: SimResult = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&r);
+        let back: SimResult = crate::json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

@@ -45,7 +45,11 @@ pub struct BeladyPolicy {
 impl BeladyPolicy {
     /// Builds the oracle from the trace that will subsequently be replayed.
     pub fn from_trace(trace: &LookupTrace) -> Self {
-        BeladyPolicy { occ: OccurrenceIndex::new(trace), clock: 0, started: false }
+        BeladyPolicy {
+            occ: OccurrenceIndex::new(trace),
+            clock: 0,
+            started: false,
+        }
     }
 
     /// The current position in the trace (for diagnostics).
@@ -113,9 +117,9 @@ impl PwReplacementPolicy for BeladyPolicy {
 mod tests {
     use super::*;
     use uopcache_cache::{LruPolicy, UopCache};
+    use uopcache_model::PwTermination;
     use uopcache_model::{Addr, PwAccess, UopCacheConfig};
     use uopcache_policies::run_trace;
-    use uopcache_model::PwTermination;
 
     fn small_cfg() -> UopCacheConfig {
         UopCacheConfig {

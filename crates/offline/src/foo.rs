@@ -24,12 +24,11 @@
 //! extensions (cost-aware benefit, coverage intervals for partial hits) that
 //! `uopcache-core` layers on top.
 
-use serde::{Deserialize, Serialize};
 use uopcache_flow::FlowGraph;
 use uopcache_model::{LookupTrace, UopCacheConfig};
 
 /// What one unit of cached data is worth.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum Objective {
     /// Maximise the number of window hits (FOO's OHR): every kept interval is
     /// worth 1 regardless of size.
@@ -43,7 +42,7 @@ pub enum Objective {
 }
 
 /// Which future accesses an inserted window can serve.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum IntervalMode {
     /// Only lookups of the *identical* window (same start, same length) —
     /// how baseline FOO and Belady treat overlapping windows.
@@ -55,7 +54,7 @@ pub enum IntervalMode {
 }
 
 /// Configuration of a FOO/FLACK solve.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct FooConfig {
     /// Benefit model.
     pub objective: Objective,
@@ -95,7 +94,7 @@ impl FooConfig {
 }
 
 /// Result of a FOO solve over a trace.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FooSolution {
     /// Per access: keep the looked-up/inserted window in the cache until its
     /// next use (`false` = bypass the insertion, or evict after the hit).
@@ -141,7 +140,7 @@ pub fn solve(trace: &LookupTrace, cfg: &UopCacheConfig, foo_cfg: &FooConfig) -> 
     let mut per_set: Vec<Vec<u32>> = vec![Vec::new(); sets];
     for (i, a) in trace.iter().enumerate() {
         let s = cfg.set_index_for(a.pw.start, foo_cfg.line_bytes);
-        per_set[s].push(i as u32);
+        per_set[s].push(u32::try_from(i).expect("trace indices fit in u32"));
     }
 
     for indices in &per_set {
@@ -156,7 +155,11 @@ pub fn solve(trace: &LookupTrace, cfg: &UopCacheConfig, foo_cfg: &FooConfig) -> 
         );
     }
 
-    FooSolution { keep, expected_hit, objective_value }
+    FooSolution {
+        keep,
+        expected_hit,
+        objective_value,
+    }
 }
 
 /// An interval candidate within one set.
@@ -210,7 +213,12 @@ fn solve_set(
                     Objective::ByteHitRatio => SCALE * size,
                     Objective::CostAware => SCALE * i64::from(served),
                 };
-                intervals.push(Interval { from: prev, to: local, size, benefit });
+                intervals.push(Interval {
+                    from: prev,
+                    to: local,
+                    size,
+                    benefit,
+                });
             }
         }
         last_seen.insert(key, local);
@@ -263,13 +271,20 @@ mod tests {
     }
 
     fn acc(start: u64, uops: u32) -> PwAccess {
-        PwAccess::new(PwDesc::new(Addr::new(start), uops, uops * 3, PwTermination::TakenBranch))
+        PwAccess::new(PwDesc::new(
+            Addr::new(start),
+            uops,
+            uops * 3,
+            PwTermination::TakenBranch,
+        ))
     }
 
     #[test]
     fn keeps_reused_windows_under_capacity() {
         // A and B fit together; both reused: both kept.
-        let t: LookupTrace = [acc(0, 4), acc(64, 4), acc(0, 4), acc(64, 4)].into_iter().collect();
+        let t: LookupTrace = [acc(0, 4), acc(64, 4), acc(0, 4), acc(64, 4)]
+            .into_iter()
+            .collect();
         let sol = solve(&t, &cfg2way(), &FooConfig::foo_ohr());
         assert!(sol.keep[0] && sol.keep[1]);
         assert!(sol.expected_hit[2] && sol.expected_hit[3]);
@@ -279,13 +294,22 @@ mod tests {
     #[test]
     fn capacity_limits_kept_intervals() {
         // Three 1-entry windows, all reused across each other: only 2 fit.
-        let t: LookupTrace =
-            [acc(0, 4), acc(64, 4), acc(128, 4), acc(0, 4), acc(64, 4), acc(128, 4)]
-                .into_iter()
-                .collect();
+        let t: LookupTrace = [
+            acc(0, 4),
+            acc(64, 4),
+            acc(128, 4),
+            acc(0, 4),
+            acc(64, 4),
+            acc(128, 4),
+        ]
+        .into_iter()
+        .collect();
         let sol = solve(&t, &cfg2way(), &FooConfig::foo_ohr());
         let kept_first = sol.keep[..3].iter().filter(|&&k| k).count();
-        assert_eq!(kept_first, 2, "only two of the three overlapping intervals fit");
+        assert_eq!(
+            kept_first, 2,
+            "only two of the three overlapping intervals fit"
+        );
     }
 
     #[test]
@@ -306,7 +330,11 @@ mod tests {
         .collect();
         let sol = solve(&t, &cfg2way(), &FooConfig::flack());
         // C's interval (index 1 -> 6) must be kept.
-        assert!(sol.keep[1], "cost-aware keeps the 4-uop window: {:?}", sol.keep);
+        assert!(
+            sol.keep[1],
+            "cost-aware keeps the 4-uop window: {:?}",
+            sol.keep
+        );
         assert!(sol.expected_hit[6]);
     }
 
@@ -316,7 +344,10 @@ mod tests {
         // connects them, exact mode does not (Figure 4's scenario).
         let t: LookupTrace = [acc(0, 12), acc(0, 3), acc(0, 3)].into_iter().collect();
         let exact = solve(&t, &cfg2way(), &FooConfig::foo_ohr());
-        assert!(!exact.expected_hit[1], "exact windows treat D' and D as distinct");
+        assert!(
+            !exact.expected_hit[1],
+            "exact windows treat D' and D as distinct"
+        );
         let cov = solve(
             &t,
             &cfg2way(),
@@ -326,7 +357,10 @@ mod tests {
                 line_bytes: 64,
             },
         );
-        assert!(cov.expected_hit[1], "coverage lets the long window serve the short lookup");
+        assert!(
+            cov.expected_hit[1],
+            "coverage lets the long window serve the short lookup"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl OccurrenceIndex {
     pub fn new(trace: &LookupTrace) -> Self {
         let mut positions: HashMap<Addr, (Vec<u32>, usize)> = HashMap::new();
         for (i, a) in trace.iter().enumerate() {
-            positions.entry(a.pw.start).or_default().0.push(i as u32);
+            positions
+                .entry(a.pw.start)
+                .or_default()
+                .0
+                .push(u32::try_from(i).expect("trace indices fit in u32"));
         }
         OccurrenceIndex { positions }
     }
@@ -67,9 +71,7 @@ mod tests {
     fn trace_of(starts: &[u64]) -> LookupTrace {
         starts
             .iter()
-            .map(|&a| {
-                PwAccess::new(PwDesc::new(Addr::new(a), 2, 6, PwTermination::TakenBranch))
-            })
+            .map(|&a| PwAccess::new(PwDesc::new(Addr::new(a), 2, 6, PwTermination::TakenBranch)))
             .collect()
     }
 

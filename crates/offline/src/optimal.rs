@@ -63,8 +63,14 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
             starts.len() - 1
         });
     }
-    assert!(starts.len() <= 8, "exhaustive solver: at most 8 distinct windows");
-    assert!(accesses.len() <= 40, "exhaustive solver: at most 40 accesses");
+    assert!(
+        starts.len() <= 8,
+        "exhaustive solver: at most 8 distinct windows"
+    );
+    assert!(
+        accesses.len() <= 40,
+        "exhaustive solver: at most 40 accesses"
+    );
 
     let sets: Vec<usize> = starts.iter().map(|&s| cfg.set_index_for(s, 64)).collect();
     let entries_of = |uops: u32| uops.div_ceil(cfg.uops_per_entry);
@@ -109,7 +115,10 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
             return v;
         }
         *explored += 1;
-        assert!(*explored < 4_000_000, "exhaustive solver state budget exceeded");
+        assert!(
+            *explored < 4_000_000,
+            "exhaustive solver state budget exceeded"
+        );
         let pw = accesses[t].pw;
         let idx = start_idx[&pw.start];
         let resident = state[idx];
@@ -119,8 +128,17 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
         // Choice A: do not (re)insert — state unchanged except nothing.
         {
             let cost = miss_now
-                + dfs(t + 1, state.clone(), accesses, start_idx, sets, cfg, memo, explored,
-                    cacheable);
+                + dfs(
+                    t + 1,
+                    state.clone(),
+                    accesses,
+                    start_idx,
+                    sets,
+                    cfg,
+                    memo,
+                    explored,
+                    cacheable,
+                );
             best = best.min(cost);
         }
         // Choice B: insert/upgrade to the full window (if it missed at all
@@ -143,8 +161,17 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
                     continue;
                 }
                 let cost = miss_now
-                    + dfs(t + 1, next, accesses, start_idx, sets, cfg, memo, explored,
-                        cacheable);
+                    + dfs(
+                        t + 1,
+                        next,
+                        accesses,
+                        start_idx,
+                        sets,
+                        cfg,
+                        memo,
+                        explored,
+                        cacheable,
+                    );
                 best = best.min(cost);
             }
         }
@@ -154,7 +181,17 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
             let mut next = state.clone();
             next[idx] = 0;
             let cost = miss_now
-                + dfs(t + 1, next, accesses, start_idx, sets, cfg, memo, explored, cacheable);
+                + dfs(
+                    t + 1,
+                    next,
+                    accesses,
+                    start_idx,
+                    sets,
+                    cfg,
+                    memo,
+                    explored,
+                    cacheable,
+                );
             best = best.min(cost);
         }
         memo[t].insert(state, best);
@@ -173,7 +210,10 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
         &mut explored,
         &cacheable,
     );
-    OptimalCost { missed_uops: missed, states_explored: explored }
+    OptimalCost {
+        missed_uops: missed,
+        states_explored: explored,
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +224,12 @@ mod tests {
     use uopcache_model::{PwAccess, PwDesc, PwTermination};
 
     fn acc(s: u64, u: u32) -> PwAccess {
-        PwAccess::new(PwDesc::new(Addr::new(s), u, u * 3, PwTermination::TakenBranch))
+        PwAccess::new(PwDesc::new(
+            Addr::new(s),
+            u,
+            u * 3,
+            PwTermination::TakenBranch,
+        ))
     }
 
     fn cfg2() -> UopCacheConfig {
@@ -228,18 +273,48 @@ mod tests {
         // FLACK must be within a modest factor of the true optimum on a mix
         // of crafted small traces.
         let traces: Vec<LookupTrace> = vec![
-            [acc(0, 1), acc(64, 4), acc(128, 1), acc(128, 1), acc(128, 1), acc(0, 1), acc(64, 4)]
-                .into_iter()
-                .collect(),
-            [acc(0, 8), acc(64, 8), acc(128, 8), acc(0, 8), acc(64, 8), acc(128, 8)]
-                .into_iter()
-                .collect(),
-            [acc(0, 12), acc(0, 3), acc(64, 6), acc(0, 3), acc(64, 6), acc(0, 12)]
-                .into_iter()
-                .collect(),
-            [acc(0, 2), acc(64, 2), acc(0, 2), acc(128, 9), acc(128, 9), acc(0, 2), acc(64, 2)]
-                .into_iter()
-                .collect(),
+            [
+                acc(0, 1),
+                acc(64, 4),
+                acc(128, 1),
+                acc(128, 1),
+                acc(128, 1),
+                acc(0, 1),
+                acc(64, 4),
+            ]
+            .into_iter()
+            .collect(),
+            [
+                acc(0, 8),
+                acc(64, 8),
+                acc(128, 8),
+                acc(0, 8),
+                acc(64, 8),
+                acc(128, 8),
+            ]
+            .into_iter()
+            .collect(),
+            [
+                acc(0, 12),
+                acc(0, 3),
+                acc(64, 6),
+                acc(0, 3),
+                acc(64, 6),
+                acc(0, 12),
+            ]
+            .into_iter()
+            .collect(),
+            [
+                acc(0, 2),
+                acc(64, 2),
+                acc(0, 2),
+                acc(128, 9),
+                acc(128, 9),
+                acc(0, 2),
+                acc(64, 2),
+            ]
+            .into_iter()
+            .collect(),
         ];
         for trace in traces {
             let cfg = cfg2();
@@ -253,19 +328,22 @@ mod tests {
                 opt.missed_uops,
                 trace
             );
-            assert!(flack.uops_missed >= opt.missed_uops, "optimal must lower-bound FLACK");
+            assert!(
+                flack.uops_missed >= opt.missed_uops,
+                "optimal must lower-bound FLACK"
+            );
         }
     }
 
     #[test]
     fn optimal_lower_bounds_belady_and_foo_randomly() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use uopcache_model::rng::{Prng, Rng};
+        let mut rng = Prng::seed_from_u64(42);
         let cfg = cfg2();
         for round in 0..25 {
             let len = rng.gen_range(4..16);
             let trace: LookupTrace = (0..len)
-                .map(|_| acc(64 * rng.gen_range(0..4u64), rng.gen_range(1..12)))
+                .map(|_| acc(64 * rng.gen_range(0..4u64), rng.gen_range(1..12u32)))
                 .collect();
             let opt = optimal_missed_uops(&trace, &cfg);
             // Belady.

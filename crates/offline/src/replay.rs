@@ -214,7 +214,12 @@ mod tests {
     use uopcache_trace::{build_trace, AppId, InputVariant};
 
     fn acc(start: u64, uops: u32) -> PwAccess {
-        PwAccess::new(PwDesc::new(Addr::new(start), uops, uops * 3, PwTermination::TakenBranch))
+        PwAccess::new(PwDesc::new(
+            Addr::new(start),
+            uops,
+            uops * 3,
+            PwTermination::TakenBranch,
+        ))
     }
 
     #[test]
@@ -227,7 +232,9 @@ mod tests {
             inclusive_with_l1i: true,
             max_entries_per_pw: 2,
         };
-        let t: LookupTrace = [acc(0, 4), acc(64, 4), acc(0, 4), acc(64, 4)].into_iter().collect();
+        let t: LookupTrace = [acc(0, 4), acc(64, 4), acc(0, 4), acc(64, 4)]
+            .into_iter()
+            .collect();
         let sol = foo::solve(&t, &cfg, &FooConfig::foo_ohr());
         let stats = replay(&t, &cfg, &sol, EvictionTiming::Eager);
         assert_eq!(stats.pw_hits, 2);
@@ -258,7 +265,10 @@ mod tests {
         let sol = foo::solve(&t, &cfg, &FooConfig::flack());
         let flack = replay(&t, &cfg, &sol, EvictionTiming::Lazy);
         let reduction = flack.miss_reduction_vs(&lru_stats);
-        assert!(reduction > 5.0, "expected substantial miss reduction, got {reduction:.2}%");
+        assert!(
+            reduction > 5.0,
+            "expected substantial miss reduction, got {reduction:.2}%"
+        );
     }
 
     #[test]
@@ -272,8 +282,9 @@ mod tests {
             max_entries_per_pw: 2,
         };
         // B used once, A and C loop: solver must not keep B.
-        let t: LookupTrace =
-            [acc(0, 4), acc(64, 4), acc(128, 4), acc(0, 4), acc(64, 4)].into_iter().collect();
+        let t: LookupTrace = [acc(0, 4), acc(64, 4), acc(128, 4), acc(0, 4), acc(64, 4)]
+            .into_iter()
+            .collect();
         let sol = foo::solve(&t, &cfg, &FooConfig::foo_ohr());
         assert!(!sol.keep[2]);
         let stats = replay(&t, &cfg, &sol, EvictionTiming::Lazy);

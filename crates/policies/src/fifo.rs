@@ -56,7 +56,12 @@ mod tests {
     #[test]
     fn ignores_recency() {
         let mk = |slot, inserted_at, last_access| PwMeta {
-            desc: PwDesc::new(Addr::new(0x100 + slot as u64), 4, 12, PwTermination::TakenBranch),
+            desc: PwDesc::new(
+                Addr::new(0x100 + slot as u64),
+                4,
+                12,
+                PwTermination::TakenBranch,
+            ),
             slot,
             entries: 1,
             inserted_at,

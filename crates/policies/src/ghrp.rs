@@ -127,8 +127,11 @@ impl PwReplacementPolicy for GhrpPolicy {
         *self.sig.get_mut(set, meta.slot) = sig;
         // Predicted-dead windows are inserted with a distant re-reference
         // prediction so they leave quickly if the prediction holds.
-        *self.rrpv.get_mut(set, meta.slot) =
-            if self.predict_dead(sig) { RRPV_MAX } else { RRPV_INSERT };
+        *self.rrpv.get_mut(set, meta.slot) = if self.predict_dead(sig) {
+            RRPV_MAX
+        } else {
+            RRPV_INSERT
+        };
     }
 
     fn on_evict(&mut self, set: usize, meta: &PwMeta) {
@@ -199,7 +202,11 @@ mod tests {
         p.on_hit(0, &a); // protect a in the SRRIP stack
         let incoming = PwDesc::new(Addr::new(0x900), 4, 12, PwTermination::TakenBranch);
         assert!(!p.should_bypass(0, &incoming, 1, 0, &[a, b]));
-        assert_eq!(p.choose_victim(0, &incoming, &[a, b]), 1, "SRRIP evicts the unreferenced PW");
+        assert_eq!(
+            p.choose_victim(0, &incoming, &[a, b]),
+            1,
+            "SRRIP evicts the unreferenced PW"
+        );
     }
 
     #[test]

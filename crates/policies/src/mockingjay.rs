@@ -117,7 +117,9 @@ impl PwReplacementPolicy for MockingjayPolicy {
             return false;
         }
         let incoming_eta = self.clock + self.predicted_rd(incoming.start);
-        resident.iter().all(|m| *self.eta.get(set, m.slot) < incoming_eta)
+        resident
+            .iter()
+            .all(|m| *self.eta.get(set, m.slot) < incoming_eta)
             && self.predicted_rd(incoming.start) > 4 * DEFAULT_RD
     }
 
@@ -140,7 +142,10 @@ impl PwReplacementPolicy for MockingjayPolicy {
             .iter()
             .enumerate()
             .max_by_key(|(_, m)| {
-                (score(*self.eta.get(set, m.slot)), std::cmp::Reverse(m.last_access))
+                (
+                    score(*self.eta.get(set, m.slot)),
+                    std::cmp::Reverse(m.last_access),
+                )
             })
             .map(|(i, _)| i)
             .expect("resident slice is non-empty")

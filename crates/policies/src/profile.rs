@@ -104,8 +104,7 @@ mod tests {
         // starts.
         let mut by_count: Vec<(&Addr, &u64)> = counts.iter().collect();
         by_count.sort_by(|a, b| b.1.cmp(a.1));
-        let hot_avg: f64 =
-            by_count.iter().take(20).map(|(a, _)| rates[a]).sum::<f64>() / 20.0;
+        let hot_avg: f64 = by_count.iter().take(20).map(|(a, _)| rates[a]).sum::<f64>() / 20.0;
         let cold: Vec<f64> = by_count
             .iter()
             .rev()
@@ -125,6 +124,6 @@ mod tests {
             (Addr::new(2), 0, 8),
         ]);
         assert!((rates[&Addr::new(1)] - 0.5).abs() < 1e-12);
-        assert_eq!(rates[&Addr::new(2)], 0.0);
+        assert!(rates[&Addr::new(2)].abs() < 1e-12);
     }
 }

@@ -50,7 +50,10 @@ impl PwReplacementPolicy for RandomPolicy {
     fn on_evict(&mut self, _set: usize, _meta: &PwMeta) {}
 
     fn choose_victim(&mut self, _set: usize, _incoming: &PwDesc, resident: &[PwMeta]) -> usize {
-        (self.next() % resident.len() as u64) as usize
+        // Reduced modulo the slice length, so the value fits in usize.
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (self.next() % resident.len() as u64) as usize;
+        idx
     }
 }
 
@@ -62,7 +65,12 @@ mod tests {
     #[test]
     fn deterministic_and_in_range() {
         let mk = |slot| PwMeta {
-            desc: PwDesc::new(Addr::new(0x100 + slot as u64), 4, 12, PwTermination::TakenBranch),
+            desc: PwDesc::new(
+                Addr::new(0x100 + slot as u64),
+                4,
+                12,
+                PwTermination::TakenBranch,
+            ),
             slot,
             entries: 1,
             inserted_at: 0,
@@ -73,11 +81,15 @@ mod tests {
         let incoming = PwDesc::new(Addr::new(0x900), 4, 12, PwTermination::TakenBranch);
         let picks: Vec<usize> = {
             let mut p = RandomPolicy::new(11);
-            (0..20).map(|_| p.choose_victim(0, &incoming, &resident)).collect()
+            (0..20)
+                .map(|_| p.choose_victim(0, &incoming, &resident))
+                .collect()
         };
         let picks2: Vec<usize> = {
             let mut p = RandomPolicy::new(11);
-            (0..20).map(|_| p.choose_victim(0, &incoming, &resident)).collect()
+            (0..20)
+                .map(|_| p.choose_victim(0, &incoming, &resident))
+                .collect()
         };
         assert_eq!(picks, picks2);
         assert!(picks.iter().all(|&i| i < 3));

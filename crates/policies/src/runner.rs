@@ -55,7 +55,9 @@ pub fn run_trace_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FifoPolicy, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy, SrripPolicy};
+    use crate::{
+        FifoPolicy, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy, SrripPolicy,
+    };
     use uopcache_cache::LruPolicy;
     use uopcache_model::UopCacheConfig;
     use uopcache_trace::{build_trace, AppId, InputVariant};
@@ -78,7 +80,11 @@ mod tests {
             let s = run_trace(&mut cache, &trace);
             assert_eq!(s.lookups, 8_000, "{name}");
             assert_eq!(s.uops_hit + s.uops_missed, s.uops_requested, "{name}");
-            assert_eq!(s.lookups, s.pw_hits + s.pw_partial_hits + s.pw_misses, "{name}");
+            assert_eq!(
+                s.lookups,
+                s.pw_hits + s.pw_partial_hits + s.pw_misses,
+                "{name}"
+            );
             assert!(s.uop_miss_rate() > 0.0 && s.uop_miss_rate() < 1.0, "{name}");
         }
     }
@@ -104,6 +110,9 @@ mod tests {
         };
         let lru = run(Box::new(LruPolicy::new()));
         let random = run(Box::new(RandomPolicy::new(1)));
-        assert!(lru < random * 1.05, "LRU {lru} should not lose badly to Random {random}");
+        assert!(
+            lru < random * 1.05,
+            "LRU {lru} should not lose badly to Random {random}"
+        );
     }
 }

@@ -54,7 +54,10 @@ impl ShipPlusPlusPolicy {
     fn signature(start: Addr) -> u16 {
         // Fibonacci hash folded to 14 bits.
         let h = start.get().wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        ((h >> 50) as u16) & ((SHCT_SIZE - 1) as u16)
+        // SHCT_SIZE is a small power of two, so the mask fits in u16.
+        #[allow(clippy::cast_possible_truncation)]
+        let mask = (SHCT_SIZE - 1) as u16;
+        ((h >> 50) as u16) & mask
     }
 }
 

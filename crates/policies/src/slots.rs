@@ -21,7 +21,10 @@ pub struct SlotTable<T: Default + Clone> {
 impl<T: Default + Clone> SlotTable<T> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        SlotTable { rows: Vec::new(), default: T::default() }
+        SlotTable {
+            rows: Vec::new(),
+            default: T::default(),
+        }
     }
 
     /// Mutable access to the cell, growing the table as needed.

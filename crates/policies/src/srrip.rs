@@ -31,13 +31,19 @@ pub struct SrripPolicy {
 impl SrripPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        SrripPolicy { rrpv: SlotTable::new() }
+        SrripPolicy {
+            rrpv: SlotTable::new(),
+        }
     }
 
     /// Victim selection over arbitrary `(slot, rrpv)` views — shared with
     /// FURBYS's fallback mode. Ages in place so the chosen victim's RRPV is
     /// `RRPV_MAX`.
-    pub(crate) fn select_victim(rrpv: &mut SlotTable<u8>, set: usize, resident: &[PwMeta]) -> usize {
+    pub(crate) fn select_victim(
+        rrpv: &mut SlotTable<u8>,
+        set: usize,
+        resident: &[PwMeta],
+    ) -> usize {
         let max = resident
             .iter()
             .map(|m| *rrpv.get(set, m.slot))
@@ -86,7 +92,12 @@ mod tests {
 
     fn meta(slot: u8) -> PwMeta {
         PwMeta {
-            desc: PwDesc::new(Addr::new(0x100 + u64::from(slot) * 64), 4, 12, PwTermination::TakenBranch),
+            desc: PwDesc::new(
+                Addr::new(0x100 + u64::from(slot) * 64),
+                4,
+                12,
+                PwTermination::TakenBranch,
+            ),
             slot,
             entries: 1,
             inserted_at: 0,

@@ -75,7 +75,11 @@ impl ThermometerPolicy {
                 (a, class)
             })
             .collect();
-        ThermometerPolicy { classes, hot_threshold: hot, warm_threshold: warm }
+        ThermometerPolicy {
+            classes,
+            hot_threshold: hot,
+            warm_threshold: warm,
+        }
     }
 
     /// The class assigned to a start address (unprofiled addresses are cold).
@@ -112,7 +116,9 @@ impl PwReplacementPolicy for ThermometerPolicy {
         needed_entries > free_entries
             && self.class_of(incoming.start) == HotClass::Cold
             && !resident.is_empty()
-            && resident.iter().all(|m| self.class_of(m.desc.start) > HotClass::Cold)
+            && resident
+                .iter()
+                .all(|m| self.class_of(m.desc.start) > HotClass::Cold)
     }
 
     fn choose_victim(&mut self, _set: usize, _incoming: &PwDesc, resident: &[PwMeta]) -> usize {
@@ -155,7 +161,11 @@ mod tests {
         assert_eq!(p.class_of(Addr::new(0x100)), HotClass::Hot);
         assert_eq!(p.class_of(Addr::new(0x200)), HotClass::Warm);
         assert_eq!(p.class_of(Addr::new(0x300)), HotClass::Cold);
-        assert_eq!(p.class_of(Addr::new(0x999)), HotClass::Cold, "unprofiled = cold");
+        assert_eq!(
+            p.class_of(Addr::new(0x999)),
+            HotClass::Cold,
+            "unprofiled = cold"
+        );
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Event energies, per-structure breakdown and performance-per-watt.
 
-use serde::{Deserialize, Serialize};
 use uopcache_model::{FrontendConfig, SimResult};
 
 /// Per-event energies in arbitrary consistent units (think pJ at 22 nm).
 ///
 /// Use [`EnergyModel::zen3_22nm`] for the calibrated instance; all fields are
 /// public so sensitivity studies can perturb them.
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct EnergyModel {
     /// Energy per micro-op through the legacy decoders.
     pub decode_per_uop: f64,
@@ -70,8 +69,7 @@ impl EnergyModel {
             uop_cache: e.uopc_lookups as f64 * self.uopc_lookup
                 + e.uopc_entry_reads as f64 * self.uopc_entry_read
                 + e.uopc_entry_writes as f64 * self.uopc_entry_write,
-            bp_btb: e.bp_accesses as f64 * self.bp_access
-                + e.btb_accesses as f64 * self.btb_access,
+            bp_btb: e.bp_accesses as f64 * self.bp_access + e.btb_accesses as f64 * self.btb_access,
             backend: e.retired_uops as f64 * self.backend_per_uop,
             static_: e.cycles as f64 * self.static_per_cycle,
             retired_instructions: e.retired_instructions,
@@ -81,7 +79,7 @@ impl EnergyModel {
 }
 
 /// Per-structure energy of one run.
-#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub struct EnergyBreakdown {
     /// Legacy decode pipeline.
     pub decoder: f64,
@@ -117,7 +115,7 @@ impl EnergyBreakdown {
     /// (equivalently instructions per Joule — the paper's energy-efficiency
     /// metric).
     pub fn ppw(&self) -> f64 {
-        if self.total() == 0.0 {
+        if self.total() <= 0.0 {
             0.0
         } else {
             self.retired_instructions as f64 / self.total()
@@ -126,7 +124,7 @@ impl EnergyBreakdown {
 
     /// The fraction of total energy a component consumes, in percent.
     pub fn fraction_percent(&self, component: f64) -> f64 {
-        if self.total() == 0.0 {
+        if self.total() <= 0.0 {
             0.0
         } else {
             component / self.total() * 100.0
@@ -139,7 +137,7 @@ impl EnergyBreakdown {
 pub fn ppw_gain_percent(model: &EnergyModel, new: &SimResult, baseline: &SimResult) -> f64 {
     let n = model.evaluate(new).ppw();
     let b = model.evaluate(baseline).ppw();
-    if b == 0.0 {
+    if b <= 0.0 {
         0.0
     } else {
         (n / b - 1.0) * 100.0
@@ -200,7 +198,10 @@ mod tests {
         let eb = model.evaluate(&base).total();
         let ew = model.evaluate(&with).total();
         let saving = (1.0 - ew / eb) * 100.0;
-        assert!((2.0..=15.0).contains(&saving), "saving {saving:.1}% out of band");
+        assert!(
+            (2.0..=15.0).contains(&saving),
+            "saving {saving:.1}% out of band"
+        );
     }
 
     #[test]
@@ -249,7 +250,10 @@ mod tests {
     fn geometry_scaling_is_monotone() {
         let zen3 = EnergyModel::zen3_22nm(&FrontendConfig::zen3());
         let zen4 = EnergyModel::zen3_22nm(&FrontendConfig::zen4());
-        assert!(zen4.uopc_lookup > zen3.uopc_lookup, "larger structure costs more per access");
+        assert!(
+            zen4.uopc_lookup > zen3.uopc_lookup,
+            "larger structure costs more per access"
+        );
         assert_eq!(zen4.decode_per_uop, zen3.decode_per_uop);
     }
 }

@@ -68,7 +68,11 @@ impl Frontend {
         if opts.classify_misses {
             uopc.enable_classification();
         }
-        let l1i = LineCache::new(cfg.icache.size_bytes, cfg.icache.ways, cfg.icache.line_bytes);
+        let l1i = LineCache::new(
+            cfg.icache.size_bytes,
+            cfg.icache.ways,
+            cfg.icache.line_bytes,
+        );
         // BTB: tagged at 4-byte granularity.
         let btb = LineCache::with_entries(cfg.bpu.btb_entries, cfg.bpu.btb_ways, 4);
         Frontend {
@@ -113,8 +117,9 @@ impl Frontend {
             result.events.bp_accesses += 1;
             result.events.btb_accesses += 1;
             if !self.cfg.perfect.btb {
-                if let LineOutcome::Miss { .. } =
-                    self.btb.access(uopcache_model::Addr::new(pw.start.get()).line(4))
+                if let LineOutcome::Miss { .. } = self
+                    .btb
+                    .access(uopcache_model::Addr::new(pw.start.get()).line(4))
                 {
                     add += BTB_MISS_PENALTY;
                 }
@@ -186,16 +191,13 @@ impl Frontend {
                     }
                 }
                 // Decode the missed micro-ops.
-                let decode_cycles = miss_uops
-                    .div_ceil(u64::from(self.cfg.decoder.width))
-                    .max(1);
+                let decode_cycles = miss_uops.div_ceil(u64::from(self.cfg.decoder.width)).max(1);
                 add += decode_cycles;
                 result.events.decoded_uops += miss_uops;
                 result.events.decoder_active_cycles += decode_cycles;
                 // Schedule the asynchronous insertion of the full window.
                 if !self.cfg.perfect.uop_cache {
-                    let ready =
-                        self.cycle + add + u64::from(self.cfg.decoder.latency);
+                    let ready = self.cycle + add + u64::from(self.cfg.decoder.latency);
                     self.insert_queue.push_back((ready, pw));
                 }
             }
@@ -203,6 +205,9 @@ impl Frontend {
             // The backend absorbs micro-ops at its IPC ceiling; the frontend
             // only dents IPC when it under-supplies.
             self.backend_debt += f64::from(pw.uops) / self.cfg.backend.uop_ipc_ceiling;
+            // Debt is non-negative and bounded by one window's worth of
+            // micro-ops, so the floored value fits in u64.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let backend_cycles = self.backend_debt.floor() as u64;
             self.backend_debt -= backend_cycles as f64;
             self.cycle += add.max(backend_cycles);
@@ -237,8 +242,17 @@ impl Frontend {
         result.btb = btb_stats;
         result.events.cycles = self.cycle - cycle_before;
         result.events.uopc_entry_writes = result.uopc.entries_written;
-        result.events.retired_instructions =
-            (result.events.retired_uops as f64 / UOPS_PER_INST).round() as u64;
+        // Retired-uop counts are far below 2^53, so the f64 round-trip and
+        // the cast back to u64 are exact.
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
+        {
+            result.events.retired_instructions =
+                (result.events.retired_uops as f64 / UOPS_PER_INST).round() as u64;
+        }
         result
     }
 
@@ -332,11 +346,13 @@ mod tests {
         // before the insertion from the first miss completes, so it also
         // misses (the asynchrony of §II-B).
         let pw = PwDesc::new(Addr::new(0x1000), 4, 12, PwTermination::TakenBranch);
-        let t: LookupTrace =
-            [PwAccess::new(pw), PwAccess::new(pw)].into_iter().collect();
+        let t: LookupTrace = [PwAccess::new(pw), PwAccess::new(pw)].into_iter().collect();
         let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
         let r = fe.run(&t);
-        assert_eq!(r.uopc.pw_misses, 2, "second lookup races the in-flight insertion");
+        assert_eq!(
+            r.uopc.pw_misses, 2,
+            "second lookup races the in-flight insertion"
+        );
     }
 
     #[test]
@@ -351,7 +367,11 @@ mod tests {
         let t: LookupTrace = accs.into_iter().collect();
         let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
         let r = fe.run(&t);
-        assert!(r.uopc.pw_hits >= 1, "spaced re-access should hit: {:?}", r.uopc);
+        assert!(
+            r.uopc.pw_hits >= 1,
+            "spaced re-access should hit: {:?}",
+            r.uopc
+        );
     }
 
     #[test]
@@ -394,7 +414,9 @@ mod tests {
         let mut fe = Frontend::with_options(
             FrontendConfig::zen3(),
             lru(),
-            SimOptions { classify_misses: true },
+            SimOptions {
+                classify_misses: true,
+            },
         );
         let r = fe.run(&trace);
         let classified =

@@ -52,10 +52,8 @@ mod tests {
         // ...but the bulk of variant-b *accesses* go to addresses variant-a
         // also touched (same binary, shared hot code; the cold Zipf tail may
         // differ by sampling).
-        let sa: std::collections::HashSet<u64> =
-            a.iter().map(|x| x.pw.start.get()).collect();
-        let shared_accesses =
-            b.iter().filter(|x| sa.contains(&x.pw.start.get())).count();
+        let sa: std::collections::HashSet<u64> = a.iter().map(|x| x.pw.start.get()).collect();
+        let shared_accesses = b.iter().filter(|x| sa.contains(&x.pw.start.get())).count();
         assert!(
             shared_accesses * 10 > b.len() * 6,
             "{shared_accesses} of {} accesses hit shared code",

@@ -16,6 +16,7 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use uopcache_model::json;
 use uopcache_model::{Addr, LookupTrace, PwAccess, PwDesc, PwTermination};
 
 const MAGIC: &[u8; 4] = b"UOPT";
@@ -98,7 +99,8 @@ pub fn write_binary<W: Write>(mut w: W, trace: &LookupTrace) -> Result<(), Trace
 /// failure.
 pub fn read_binary<R: Read>(mut r: R) -> Result<LookupTrace, TraceIoError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(|_| TraceIoError::Truncated)?;
+    r.read_exact(&mut magic)
+        .map_err(|_| TraceIoError::Truncated)?;
     if &magic != MAGIC {
         return Err(TraceIoError::BadMagic(magic));
     }
@@ -113,7 +115,8 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<LookupTrace, TraceIoError> {
         let uops = read_u32(&mut r)?;
         let bytes = read_u32(&mut r)?;
         let mut flags = [0u8; 1];
-        r.read_exact(&mut flags).map_err(|_| TraceIoError::Truncated)?;
+        r.read_exact(&mut flags)
+            .map_err(|_| TraceIoError::Truncated)?;
         if uops == 0 || bytes == 0 {
             return Err(TraceIoError::InvalidRecord(format!(
                 "window at {start:#x} has uops={uops}, bytes={bytes}"
@@ -142,8 +145,8 @@ pub fn save(path: &std::path::Path, trace: &LookupTrace) -> Result<(), TraceIoEr
     let file = std::fs::File::create(path)?;
     let mut buf = std::io::BufWriter::new(file);
     if path.extension().is_some_and(|e| e == "json") {
-        serde_json::to_writer(&mut buf, trace)
-            .map_err(|e| TraceIoError::InvalidRecord(e.to_string()))?;
+        use std::io::Write as _;
+        buf.write_all(json::to_string(trace).as_bytes())?;
         Ok(())
     } else {
         write_binary(&mut buf, trace)
@@ -159,8 +162,9 @@ pub fn load(path: &std::path::Path) -> Result<LookupTrace, TraceIoError> {
     let file = std::fs::File::open(path)?;
     let mut buf = std::io::BufReader::new(file);
     if path.extension().is_some_and(|e| e == "json") {
-        serde_json::from_reader(&mut buf)
-            .map_err(|e| TraceIoError::InvalidRecord(e.to_string()))
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut buf, &mut text)?;
+        json::from_str(&text).map_err(|e| TraceIoError::InvalidRecord(e.to_string()))
     } else {
         read_binary(&mut buf)
     }
@@ -198,8 +202,13 @@ mod tests {
         let trace = build_trace(AppId::Mysql, InputVariant(0), 2_000);
         let mut bytes = Vec::new();
         write_binary(&mut bytes, &trace).unwrap();
-        let json = serde_json::to_string(&trace).unwrap();
-        assert!(bytes.len() * 2 < json.len(), "{} vs {}", bytes.len(), json.len());
+        let json = json::to_string(&trace);
+        assert!(
+            bytes.len() * 2 < json.len(),
+            "{} vs {}",
+            bytes.len(),
+            json.len()
+        );
     }
 
     #[test]

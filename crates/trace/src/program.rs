@@ -2,13 +2,13 @@
 //! layout, shared by every input variant of an application.
 
 use crate::workload::WorkloadSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use uopcache_model::json::{FromJson, Json, JsonError, ToJson};
+use uopcache_model::json_struct;
+use uopcache_model::rng::{Prng, Rng};
 use uopcache_model::Addr;
 
 /// What kind of control-flow instruction terminates a basic block.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum BranchKind {
     /// Conditional branch: taken with the block's `taken_prob`.
     Conditional,
@@ -17,7 +17,7 @@ pub enum BranchKind {
 }
 
 /// Where a taken branch goes.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum BbTarget {
     /// Skip forward `n` blocks within the region (an if/else shape).
     Skip(u8),
@@ -28,7 +28,7 @@ pub enum BbTarget {
 }
 
 /// A basic block: straight-line instructions ending in a branch.
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct Bb {
     /// First instruction address.
     pub addr: Addr,
@@ -47,7 +47,7 @@ pub struct Bb {
 }
 
 /// A code region: a function or loop nest of sequentially laid-out blocks.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Region {
     /// The blocks, in address order. Control flow falls through to the next
     /// block when the terminal branch is not taken.
@@ -79,7 +79,7 @@ impl Region {
 /// // Synthesis is deterministic.
 /// assert_eq!(program, Program::synthesize(&spec));
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Program {
     /// All code regions, in layout order.
     pub regions: Vec<Region>,
@@ -89,7 +89,7 @@ impl Program {
     /// Synthesizes the static program for a workload. Deterministic in the
     /// spec's application (see [`WorkloadSpec::program_seed`]).
     pub fn synthesize(spec: &WorkloadSpec) -> Self {
-        let mut rng = StdRng::seed_from_u64(spec.program_seed());
+        let mut rng = Prng::seed_from_u64(spec.program_seed());
         let mut regions = Vec::with_capacity(spec.regions as usize);
         // Code starts at a typical text-segment base.
         let mut cursor: u64 = 0x0040_0000;
@@ -143,14 +143,18 @@ impl Program {
             regions.push(Region { bbs });
             // Functions are padded/aligned; leave a gap of 0-3 lines.
             cursor = (cursor + 63) & !63;
-            cursor += 64 * rng.gen_range(0..4);
+            cursor += 64 * rng.gen_range(0..4u64);
         }
         Program { regions }
     }
 
     /// Total static micro-ops in the program.
     pub fn total_uops(&self) -> u64 {
-        self.regions.iter().flat_map(|r| &r.bbs).map(|b| u64::from(b.uops)).sum()
+        self.regions
+            .iter()
+            .flat_map(|r| &r.bbs)
+            .map(|b| u64::from(b.uops))
+            .sum()
     }
 
     /// Total static code bytes.
@@ -160,12 +164,69 @@ impl Program {
 }
 
 /// Samples a count around `mean` (geometric-ish), clamped to `[lo, hi]`.
-fn sample_count(rng: &mut StdRng, mean: f64, lo: usize, hi: usize) -> usize {
+fn sample_count(rng: &mut Prng, mean: f64, lo: usize, hi: usize) -> usize {
     // Exponential around the mean gives a long tail like real code.
     let u: f64 = rng.gen_range(1e-9..1.0f64);
     let v = -mean * u.ln();
     (v.round() as usize).clamp(lo, hi)
 }
+
+impl ToJson for BranchKind {
+    /// Serialises as `"conditional"` / `"unconditional"`.
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                BranchKind::Conditional => "conditional",
+                BranchKind::Unconditional => "unconditional",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for BranchKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("conditional") => Ok(BranchKind::Conditional),
+            Some("unconditional") => Ok(BranchKind::Unconditional),
+            _ => Err(JsonError(format!("expected branch kind string, got {j:?}"))),
+        }
+    }
+}
+
+impl ToJson for BbTarget {
+    /// Serialises as `{"skip": n}`, `"loop-back"` or `"exit"`.
+    fn to_json(&self) -> Json {
+        match self {
+            BbTarget::Skip(n) => Json::Obj(vec![("skip".to_string(), Json::U64(u64::from(*n)))]),
+            BbTarget::LoopBack => Json::Str("loop-back".to_string()),
+            BbTarget::Exit => Json::Str("exit".to_string()),
+        }
+    }
+}
+
+impl FromJson for BbTarget {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Str(s) if s == "loop-back" => Ok(BbTarget::LoopBack),
+            Json::Str(s) if s == "exit" => Ok(BbTarget::Exit),
+            Json::Obj(_) => u8::from_json(j.field("skip")?).map(BbTarget::Skip),
+            other => Err(JsonError(format!("expected BB target, got {other:?}"))),
+        }
+    }
+}
+
+json_struct!(Bb {
+    addr,
+    bytes,
+    insts,
+    uops,
+    branch,
+    taken_prob,
+    target
+});
+json_struct!(Region { bbs });
+json_struct!(Program { regions });
 
 #[cfg(test)]
 mod tests {

@@ -55,8 +55,15 @@ impl PwBuilder {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn new(line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        PwBuilder { line_bytes, accum: None, pending_mispredict: false }
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        PwBuilder {
+            line_bytes,
+            accum: None,
+            pending_mispredict: false,
+        }
     }
 
     /// Processes one executed block, appending any completed windows to
@@ -135,7 +142,10 @@ impl PwBuilder {
             // all landed earlier) merge into nothing; skip them.
             if acc.uops > 0 {
                 let pw = PwDesc::new(acc.start, acc.uops, acc.bytes.max(1), term);
-                out.push(PwAccess { pw, mispredicted: acc.mispredicted });
+                out.push(PwAccess {
+                    pw,
+                    mispredicted: acc.mispredicted,
+                });
             }
         }
     }
@@ -143,7 +153,12 @@ impl PwBuilder {
 
 /// Convenience: runs `walker`-style block streams through a builder into a
 /// [`LookupTrace`] of exactly `accesses` lookups.
-pub fn collect_trace<I>(program: &Program, execs: I, line_bytes: u64, accesses: usize) -> LookupTrace
+pub fn collect_trace<I>(
+    program: &Program,
+    execs: I,
+    line_bytes: u64,
+    accesses: usize,
+) -> LookupTrace
 where
     I: IntoIterator<Item = BlockExec>,
 {
@@ -209,14 +224,23 @@ mod tests {
         for a in t.iter() {
             sizes.insert(a.pw.entries(8));
         }
-        assert!(sizes.len() >= 2, "PWs should span multiple entry sizes: {sizes:?}");
+        assert!(
+            sizes.len() >= 2,
+            "PWs should span multiple entry sizes: {sizes:?}"
+        );
     }
 
     #[test]
     fn both_termination_kinds_occur() {
         let t = trace(AppId::Drupal, 20_000);
-        let taken = t.iter().filter(|a| a.pw.term == PwTermination::TakenBranch).count();
-        let line = t.iter().filter(|a| a.pw.term == PwTermination::LineBoundary).count();
+        let taken = t
+            .iter()
+            .filter(|a| a.pw.term == PwTermination::TakenBranch)
+            .count();
+        let line = t
+            .iter()
+            .filter(|a| a.pw.term == PwTermination::LineBoundary)
+            .count();
         assert!(taken > 0 && line > 0, "taken={taken} line={line}");
     }
 

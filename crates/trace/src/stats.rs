@@ -1,7 +1,7 @@
 //! Descriptive statistics of a lookup trace, for calibration and reporting.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use uopcache_model::json_struct;
 use uopcache_model::{Addr, LookupTrace};
 
 /// Summary statistics of a PW lookup trace.
@@ -16,7 +16,7 @@ use uopcache_model::{Addr, LookupTrace};
 /// assert!(s.mean_pw_uops > 1.0);
 /// assert!(s.footprint_entries > 512);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceStats {
     /// Number of lookups.
     pub accesses: usize,
@@ -87,15 +87,23 @@ impl TraceStats {
             total_uops,
             unique_starts,
             footprint_entries,
-            mean_pw_uops: if accesses == 0 { 0.0 } else { total_uops as f64 / accesses as f64 },
+            mean_pw_uops: if accesses == 0 {
+                0.0
+            } else {
+                total_uops as f64 / accesses as f64
+            },
             entry_histogram,
-            reuse_gt_30: if reaccesses == 0 { 0.0 } else { far as f64 / reaccesses as f64 },
+            reuse_gt_30: if reaccesses == 0 {
+                0.0
+            } else {
+                far as f64 / reaccesses as f64
+            },
             mispredict_rate: if accesses == 0 {
                 0.0
             } else {
                 mispredicted as f64 / accesses as f64
             },
-            implied_mpki: if instructions == 0.0 {
+            implied_mpki: if instructions <= 0.0 {
                 0.0
             } else {
                 mispredicted as f64 / instructions * 1000.0
@@ -103,6 +111,18 @@ impl TraceStats {
         }
     }
 }
+
+json_struct!(TraceStats {
+    accesses,
+    total_uops,
+    unique_starts,
+    footprint_entries,
+    mean_pw_uops,
+    entry_histogram,
+    reuse_gt_30,
+    mispredict_rate,
+    implied_mpki,
+});
 
 #[cfg(test)]
 mod tests {
@@ -123,7 +143,11 @@ mod tests {
         // The paper: >20% of PWs have reuse distance larger than 30.
         let t = build_trace(AppId::Clang, InputVariant(0), 60_000);
         let s = TraceStats::from_trace(&t, 8);
-        assert!(s.reuse_gt_30 > 0.20, "reuse>30 fraction = {}", s.reuse_gt_30);
+        assert!(
+            s.reuse_gt_30 > 0.20,
+            "reuse>30 fraction = {}",
+            s.reuse_gt_30
+        );
     }
 
     #[test]

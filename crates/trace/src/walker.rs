@@ -4,8 +4,7 @@
 use crate::program::{BbTarget, BranchKind, Program};
 use crate::workload::{InputVariant, WorkloadSpec};
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uopcache_model::rng::{Prng, Rng};
 
 /// One executed basic block with its branch outcome.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -56,7 +55,7 @@ const CHAIN_STRIDE: usize = 2;
 
 pub struct Walker<'a> {
     program: &'a Program,
-    rng: StdRng,
+    rng: Prng,
     zipf: Zipf,
     /// Per-phase rank → region index.
     phase_ranking: Vec<Vec<u32>>,
@@ -80,16 +79,16 @@ impl<'a> Walker<'a> {
         assert!(!program.regions.is_empty(), "program must have regions");
         let n = program.regions.len();
         // Base ranking: deterministic per application.
-        let mut base_rng = StdRng::seed_from_u64(spec.program_seed() ^ 0x9e37_79b9);
+        let mut base_rng = Prng::seed_from_u64(spec.program_seed() ^ 0x9e37_79b9);
         let mut base: Vec<u32> = (0..n as u32).collect();
         shuffle(&mut base, &mut base_rng);
 
-        let mut rng = StdRng::seed_from_u64(spec.walk_seed(variant));
+        let mut rng = Prng::seed_from_u64(spec.walk_seed(variant));
         // Variant perturbation: swap ~4% of adjacent-ish ranks.
         let swaps = n / 24;
         for _ in 0..swaps {
             let i = rng.gen_range(0..n);
-            let j = (i + rng.gen_range(1..8)).min(n - 1);
+            let j = (i + rng.gen_range(1..8usize)).min(n - 1);
             base.swap(i, j);
         }
 
@@ -113,7 +112,11 @@ impl<'a> Walker<'a> {
             phase_ranking.push(ranking);
         }
 
-        let chains = if n > CHAIN_LEN { (n - CHAIN_LEN) / CHAIN_STRIDE + 1 } else { 1 };
+        let chains = if n > CHAIN_LEN {
+            (n - CHAIN_LEN) / CHAIN_STRIDE + 1
+        } else {
+            1
+        };
         Walker {
             program,
             rng,
@@ -170,8 +173,8 @@ impl Iterator for Walker<'_> {
             BranchKind::Unconditional => true,
             BranchKind::Conditional => self.rng.gen_bool(bb.taken_prob),
         };
-        let mispredicted = matches!(bb.branch, BranchKind::Conditional)
-            && self.rng.gen_bool(self.mispredict_prob);
+        let mispredicted =
+            matches!(bb.branch, BranchKind::Conditional) && self.rng.gen_bool(self.mispredict_prob);
 
         // Compute the next block.
         let next = if taken {
@@ -193,12 +196,17 @@ impl Iterator for Walker<'_> {
         let taken = taken || next.is_none();
         self.cursor = next;
         self.advance_phase_clock();
-        Some(BlockExec { region: region_idx as u32, bb: bb_idx as u32, taken, mispredicted })
+        Some(BlockExec {
+            region: region_idx as u32,
+            bb: bb_idx as u32,
+            taken,
+            mispredicted,
+        })
     }
 }
 
-/// Fisher-Yates shuffle (avoids pulling in rand's `seq` feature surface).
-fn shuffle(v: &mut [u32], rng: &mut StdRng) {
+/// Fisher-Yates shuffle.
+fn shuffle(v: &mut [u32], rng: &mut Prng) {
     for i in (1..v.len()).rev() {
         let j = rng.gen_range(0..=i);
         v.swap(i, j);
@@ -214,7 +222,9 @@ mod tests {
     fn walk(app: AppId, variant: u32, n: usize) -> Vec<BlockExec> {
         let spec = app.spec();
         let program = Program::synthesize(&spec);
-        Walker::new(&program, &spec, InputVariant(variant)).take(n).collect()
+        Walker::new(&program, &spec, InputVariant(variant))
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -252,9 +262,8 @@ mod tests {
     fn mispredictions_track_mpki_order() {
         let low = walk(AppId::Postgres, 0, 50_000); // MPKI 0.41
         let high = walk(AppId::Wordpress, 0, 50_000); // MPKI 5.64
-        let rate = |v: &[BlockExec]| {
-            v.iter().filter(|e| e.mispredicted).count() as f64 / v.len() as f64
-        };
+        let rate =
+            |v: &[BlockExec]| v.iter().filter(|e| e.mispredicted).count() as f64 / v.len() as f64;
         assert!(rate(&high) > rate(&low));
     }
 
@@ -270,7 +279,10 @@ mod tests {
             }
             let mut v: Vec<(u64, u32)> = counts.into_iter().map(|(r, c)| (c, r)).collect();
             v.sort_unstable_by(|a, b| b.cmp(a));
-            v.into_iter().take(50).map(|(_, r)| r).collect::<std::collections::HashSet<_>>()
+            v.into_iter()
+                .take(50)
+                .map(|(_, r)| r)
+                .collect::<std::collections::HashSet<_>>()
         };
         let a = top_regions(0);
         let b = top_regions(1);

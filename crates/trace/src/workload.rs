@@ -1,11 +1,10 @@
 //! The 11 data-center applications of Table II, as calibrated workload
 //! specifications.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the paper's 11 data-center applications (Table II).
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub enum AppId {
     /// Apache Cassandra (DaCapo suite). Branch MPKI 1.78.
     Cassandra,
@@ -113,9 +112,7 @@ impl fmt::Display for AppId {
 /// An input variant of an application, used for the cross-validation study
 /// (Fig. 18): same binary, different dynamic behaviour (request mix, data
 /// size, seeds).
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct InputVariant(pub u32);
 
 impl InputVariant {
@@ -142,7 +139,7 @@ impl fmt::Display for InputVariant {
 /// reports >99 % of misses are capacity/conflict misses — while the dynamic
 /// parameters (skew, phases, branch bias) reproduce the reuse behaviour that
 /// separates the replacement policies.
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct WorkloadSpec {
     /// Which application this spec models.
     pub app: AppId,

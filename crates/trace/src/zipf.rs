@@ -1,6 +1,6 @@
 //! Zipfian sampling over ranked items.
 
-use rand::Rng;
+use uopcache_model::rng::Rng;
 
 /// A Zipf distribution over ranks `0..n`: rank `k` has weight
 /// `1 / (k + 1)^alpha`. Sampling is O(log n) via a precomputed CDF.
@@ -9,10 +9,10 @@ use rand::Rng;
 ///
 /// ```
 /// use uopcache_trace::Zipf;
-/// use rand::SeedableRng;
+/// use uopcache_model::rng::Prng;
 ///
 /// let zipf = Zipf::new(100, 1.0);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Prng::seed_from_u64(1);
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 100);
 /// ```
@@ -30,7 +30,10 @@ impl Zipf {
     /// Panics if `n` is zero or `alpha` is negative or non-finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "need at least one rank");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -57,8 +60,11 @@ impl Zipf {
 
     /// Samples a rank in `0..len()`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        let u = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -81,7 +87,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use uopcache_model::rng::Prng;
 
     #[test]
     fn pmf_sums_to_one() {
@@ -109,7 +115,7 @@ mod tests {
     #[test]
     fn samples_follow_skew() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let mut counts = [0usize; 100];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;

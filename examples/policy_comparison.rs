@@ -26,7 +26,10 @@ fn main() {
 
     let cfg = FrontendConfig::zen3();
     let trace = build_trace(app, InputVariant::DEFAULT, len);
-    println!("{app}: {len} lookups, footprint {} entries\n", trace.footprint_entries(8));
+    println!(
+        "{app}: {len} lookups, footprint {} entries\n",
+        trace.footprint_entries(8)
+    );
     println!("{:<22} {:>10} {:>14}", "policy", "miss rate", "vs LRU");
 
     // Online policies through the timed frontend simulator.
@@ -45,14 +48,22 @@ fn main() {
     for policy in online {
         let name = policy.name();
         let r = Frontend::new(cfg, policy).run(&trace);
-        report(name, r.uopc.uop_miss_rate(), r.uopc.miss_reduction_vs(&lru.uopc));
+        report(
+            name,
+            r.uopc.uop_miss_rate(),
+            r.uopc.miss_reduction_vs(&lru.uopc),
+        );
     }
 
     // FURBYS (profile-guided).
     let pipeline = FurbysPipeline::new(cfg);
     let profile = pipeline.profile(&trace);
     let furbys = pipeline.deploy_and_run(&profile, &trace);
-    report("FURBYS", furbys.uopc.uop_miss_rate(), furbys.uopc.miss_reduction_vs(&lru.uopc));
+    report(
+        "FURBYS",
+        furbys.uopc.uop_miss_rate(),
+        furbys.uopc.miss_reduction_vs(&lru.uopc),
+    );
 
     // Offline oracles (synchronous placement replay, vs a synchronous LRU).
     println!("\noffline bounds (synchronous replay):");

@@ -64,6 +64,10 @@ fn main() {
     println!(
         "  cross-input profile retains {:.1}% of the same-input benefit \
          (paper: 94.34%)",
-        if same_red.abs() < 1e-9 { 0.0 } else { cross_red / same_red * 100.0 }
+        if same_red.abs() < 1e-9 {
+            0.0
+        } else {
+            cross_red / same_red * 100.0
+        }
     );
 }

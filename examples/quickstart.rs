@@ -15,7 +15,11 @@ fn main() {
     // 1. Build a synthetic Kafka trace (stands in for an Intel PT trace).
     let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 60_000);
     let cfg = FrontendConfig::zen3();
-    println!("workload: {} PW lookups, {} micro-ops\n", trace.len(), trace.total_uops());
+    println!(
+        "workload: {} PW lookups, {} micro-ops\n",
+        trace.len(),
+        trace.total_uops()
+    );
 
     // 2. Baseline: LRU-managed 512-entry micro-op cache.
     let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);

@@ -4,6 +4,7 @@
 
 use uopcache::cache::LruPolicy;
 use uopcache::core::{Flack, FurbysPipeline};
+use uopcache::model::json;
 use uopcache::model::{FrontendConfig, LookupTrace, SimResult};
 use uopcache::sim::Frontend;
 use uopcache::trace::{build_trace, AppId, InputVariant, Program, TraceStats};
@@ -49,8 +50,8 @@ fn furbys_profiles_are_deterministic() {
 #[test]
 fn trace_round_trips_through_json() {
     let trace = build_trace(AppId::Python, InputVariant::DEFAULT, 2_000);
-    let json = serde_json::to_string(&trace).unwrap();
-    let back: LookupTrace = serde_json::from_str(&json).unwrap();
+    let json = json::to_string(&trace);
+    let back: LookupTrace = json::from_str(&json).unwrap();
     assert_eq!(back, trace);
 }
 
@@ -58,14 +59,14 @@ fn trace_round_trips_through_json() {
 fn program_and_stats_round_trip_through_json() {
     let spec = AppId::Tomcat.spec();
     let program = Program::synthesize(&spec);
-    let json = serde_json::to_string(&program).unwrap();
-    let back: Program = serde_json::from_str(&json).unwrap();
+    let json = json::to_string(&program);
+    let back: Program = json::from_str(&json).unwrap();
     assert_eq!(back, program);
 
     let trace = build_trace(AppId::Tomcat, InputVariant::DEFAULT, 2_000);
     let stats = TraceStats::from_trace(&trace, 8);
-    let json = serde_json::to_string(&stats).unwrap();
-    let back: TraceStats = serde_json::from_str(&json).unwrap();
+    let json = json::to_string(&stats);
+    let back: TraceStats = json::from_str(&json).unwrap();
     assert_eq!(back, stats);
 }
 
@@ -73,8 +74,8 @@ fn program_and_stats_round_trip_through_json() {
 fn sim_results_round_trip_through_json() {
     let trace = build_trace(AppId::Drupal, InputVariant::DEFAULT, 3_000);
     let result = Frontend::new(FrontendConfig::zen3(), Box::new(LruPolicy::new())).run(&trace);
-    let json = serde_json::to_string(&result).unwrap();
-    let back: SimResult = serde_json::from_str(&json).unwrap();
+    let json = json::to_string(&result);
+    let back: SimResult = json::from_str(&json).unwrap();
     assert_eq!(back, result);
 }
 
@@ -98,8 +99,8 @@ fn hint_maps_round_trip_and_survive_the_pipeline() {
 #[test]
 fn frontend_configs_round_trip_through_json() {
     for cfg in [FrontendConfig::zen3(), FrontendConfig::zen4()] {
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: FrontendConfig = serde_json::from_str(&json).unwrap();
+        let json = json::to_string(&cfg);
+        let back: FrontendConfig = json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
     }
 }

@@ -27,12 +27,20 @@ struct Aggregate {
 
 fn aggregate() -> Aggregate {
     let cfg = FrontendConfig::zen3();
-    let mut agg =
-        Aggregate { lru_online: 0, furbys: 0, lru_sync: 0, belady: 0, foo: 0, flack: 0 };
+    let mut agg = Aggregate {
+        lru_online: 0,
+        furbys: 0,
+        lru_sync: 0,
+        belady: 0,
+        foo: 0,
+        flack: 0,
+    };
     for app in APPS {
         let trace = build_trace(app, InputVariant::DEFAULT, LEN);
-        agg.lru_online +=
-            Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace).uopc.uops_missed;
+        agg.lru_online += Frontend::new(cfg, Box::new(LruPolicy::new()))
+            .run(&trace)
+            .uopc
+            .uops_missed;
         let pipeline = FurbysPipeline::new(cfg);
         let profile = pipeline.profile(&trace);
         agg.furbys += pipeline.deploy_and_run(&profile, &trace).uopc.uops_missed;
@@ -61,14 +69,25 @@ fn headline_shapes_hold() {
     // FURBYS achieves a double-digit-ish miss reduction over LRU (paper:
     // 14.34%); guard at >= 8% in aggregate on the reduced app set.
     let furbys_red = reduction(a.furbys, a.lru_online);
-    assert!(furbys_red >= 8.0, "FURBYS reduction {furbys_red:.2}% collapsed");
+    assert!(
+        furbys_red >= 8.0,
+        "FURBYS reduction {furbys_red:.2}% collapsed"
+    );
 
     // FLACK achieves ~30% (paper: 30.21%); guard at >= 20%.
     let flack_red = reduction(a.flack, a.lru_sync);
-    assert!(flack_red >= 20.0, "FLACK reduction {flack_red:.2}% collapsed");
+    assert!(
+        flack_red >= 20.0,
+        "FLACK reduction {flack_red:.2}% collapsed"
+    );
 
     // FLACK strictly beats Belady (the paper's central claim).
-    assert!(a.flack < a.belady, "FLACK {} must beat Belady {}", a.flack, a.belady);
+    assert!(
+        a.flack < a.belady,
+        "FLACK {} must beat Belady {}",
+        a.flack,
+        a.belady
+    );
 
     // Raw FOO is far behind FLACK (paper: 17.93% apart) and roughly at or
     // below the LRU level on these workloads.
@@ -80,10 +99,16 @@ fn headline_shapes_hold() {
 
     // Belady itself is a strong bound over LRU.
     let belady_red = reduction(a.belady, a.lru_sync);
-    assert!(belady_red >= 15.0, "Belady reduction {belady_red:.2}% collapsed");
+    assert!(
+        belady_red >= 15.0,
+        "Belady reduction {belady_red:.2}% collapsed"
+    );
 
     // FURBYS lands between the best online baselines and FLACK.
-    assert!(furbys_red < flack_red, "the practical policy cannot beat the offline bound");
+    assert!(
+        furbys_red < flack_red,
+        "the practical policy cannot beat the offline bound"
+    );
 }
 
 #[test]
@@ -99,9 +124,15 @@ fn furbys_is_equivalent_to_a_larger_lru_cache() {
         furbys += pipeline.deploy_and_run(&profile, &trace).uopc.uops_missed;
         let mut big = cfg;
         big.uop_cache = big.uop_cache.with_entries(640);
-        lru_640 += Frontend::new(big, Box::new(LruPolicy::new())).run(&trace).uopc.uops_missed;
+        lru_640 += Frontend::new(big, Box::new(LruPolicy::new()))
+            .run(&trace)
+            .uopc
+            .uops_missed;
     }
-    assert!(furbys <= lru_640, "FURBYS@512 {furbys} vs LRU@640 {lru_640}");
+    assert!(
+        furbys <= lru_640,
+        "FURBYS@512 {furbys} vs LRU@640 {lru_640}"
+    );
 }
 
 #[test]
@@ -120,5 +151,8 @@ fn ppw_gain_shape_holds() {
         gains.push(ppw_gain_percent(&model, &furbys, &lru));
     }
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;
-    assert!(mean > 0.5, "FURBYS PPW gain {mean:.2}% collapsed (paper: 3.10%)");
+    assert!(
+        mean > 0.5,
+        "FURBYS PPW gain {mean:.2}% collapsed (paper: 3.10%)"
+    );
 }

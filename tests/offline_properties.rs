@@ -1,9 +1,12 @@
-//! Property-based checks of the offline machinery: the FOO flow solution is
+//! Property-style checks of the offline machinery: the FOO flow solution is
 //! feasible and consistent, replay honours it, and Jenks natural breaks is
 //! optimal against brute force on small inputs.
+//!
+//! Random inputs come from the workspace's deterministic seeded [`Prng`], so
+//! any failure reproduces exactly from the printed round number.
 
-use proptest::prelude::*;
 use uopcache::core::jenks::{classify, jenks_breaks};
+use uopcache::model::rng::{Prng, Rng};
 use uopcache::model::{Addr, LookupTrace, PwAccess, PwDesc, PwTermination, UopCacheConfig};
 use uopcache::offline::{foo, replay, EvictionTiming, FooConfig};
 
@@ -18,20 +21,20 @@ fn tiny_cfg() -> UopCacheConfig {
     }
 }
 
-fn trace_strategy(max_len: usize) -> impl Strategy<Value = LookupTrace> {
-    prop::collection::vec((0u64..12, 1u32..16), 1..max_len).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(slot, uops)| {
-                PwAccess::new(PwDesc::new(
-                    Addr::new(0x2000 + slot * 64),
-                    uops,
-                    uops * 3,
-                    PwTermination::TakenBranch,
-                ))
-            })
-            .collect()
-    })
+fn random_trace(rng: &mut Prng, max_len: usize) -> LookupTrace {
+    let len = rng.gen_range(1..max_len.max(2));
+    (0..len)
+        .map(|_| {
+            let slot = rng.gen_range(0..12u64);
+            let uops = rng.gen_range(1..16u32);
+            PwAccess::new(PwDesc::new(
+                Addr::new(0x2000 + slot * 64),
+                uops,
+                uops * 3,
+                PwTermination::TakenBranch,
+            ))
+        })
+        .collect()
 }
 
 /// Per-set occupancy implied by the keep decisions must never exceed the
@@ -71,86 +74,126 @@ fn check_feasible(trace: &LookupTrace, cfg: &UopCacheConfig, sol: &foo::FooSolut
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn foo_solutions_are_capacity_feasible(trace in trace_strategy(60)) {
+#[test]
+fn foo_solutions_are_capacity_feasible() {
+    let mut rng = Prng::seed_from_u64(0xF1A6);
+    for round in 0..64 {
+        let trace = random_trace(&mut rng, 60);
         let cfg = tiny_cfg();
-        for foo_cfg in [FooConfig::foo_ohr(), FooConfig::foo_bhr(), FooConfig::flack()] {
+        for foo_cfg in [
+            FooConfig::foo_ohr(),
+            FooConfig::foo_bhr(),
+            FooConfig::flack(),
+        ] {
             let sol = foo::solve(&trace, &cfg, &foo_cfg);
-            prop_assert_eq!(sol.keep.len(), trace.len());
-            prop_assert_eq!(sol.expected_hit.len(), trace.len());
-            prop_assert!(check_feasible(&trace, &cfg, &sol), "{:?}", foo_cfg);
+            assert_eq!(sol.keep.len(), trace.len(), "round {round}");
+            assert_eq!(sol.expected_hit.len(), trace.len(), "round {round}");
+            assert!(
+                check_feasible(&trace, &cfg, &sol),
+                "round {round}: {foo_cfg:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn expected_hits_never_precede_a_keep(trace in trace_strategy(60)) {
-        // Every expected hit must be the target of some kept interval: the
-        // count of expected hits equals the count of keeps whose window is
-        // re-accessed.
+#[test]
+fn expected_hits_never_precede_a_keep() {
+    // Every expected hit must be the target of some kept interval: the
+    // count of expected hits equals the count of keeps whose window is
+    // re-accessed.
+    let mut rng = Prng::seed_from_u64(0x0F0F);
+    for round in 0..64 {
+        let trace = random_trace(&mut rng, 60);
         let cfg = tiny_cfg();
         let sol = foo::solve(&trace, &cfg, &FooConfig::foo_ohr());
-        prop_assert_eq!(
+        assert_eq!(
             sol.expected_hit.iter().filter(|&&h| h).count(),
             sol.kept_count(),
+            "round {round}"
         );
         // The first access of any start address can never be an expected hit.
         let mut seen = std::collections::HashSet::new();
         for (i, a) in trace.iter().enumerate() {
             if seen.insert(a.pw.start) {
-                prop_assert!(!sol.expected_hit[i], "first touch flagged as hit");
+                assert!(
+                    !sol.expected_hit[i],
+                    "round {round}: first touch flagged as hit"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn replay_achieves_expected_hits_in_exact_mode(trace in trace_strategy(50)) {
-        // In ExactWindow mode with eager replay, every expected hit the
-        // solver promises is realised by the replayed cache (the per-set
-        // formulation makes decisions enforceable).
+#[test]
+fn replay_achieves_expected_hits_in_exact_mode() {
+    // In ExactWindow mode with eager replay, every expected hit the
+    // solver promises is realised by the replayed cache (the per-set
+    // formulation makes decisions enforceable).
+    let mut rng = Prng::seed_from_u64(0xE4A7);
+    for round in 0..64 {
+        let trace = random_trace(&mut rng, 50);
         let cfg = tiny_cfg();
         let sol = foo::solve(&trace, &cfg, &FooConfig::foo_ohr());
         let stats = replay::replay(&trace, &cfg, &sol, EvictionTiming::Eager);
         let expected: u64 = sol.expected_hit.iter().filter(|&&h| h).count() as u64;
-        prop_assert!(
+        assert!(
             stats.pw_hits + stats.pw_partial_hits >= expected,
-            "promised {} hits, achieved {} (+{} partial)",
-            expected, stats.pw_hits, stats.pw_partial_hits
+            "round {round}: promised {} hits, achieved {} (+{} partial)",
+            expected,
+            stats.pw_hits,
+            stats.pw_partial_hits
         );
     }
+}
 
-    #[test]
-    fn lazy_replay_never_misses_more_than_eager(trace in trace_strategy(80)) {
+#[test]
+fn lazy_replay_never_misses_more_than_eager() {
+    let mut rng = Prng::seed_from_u64(0x1A2B);
+    for round in 0..64 {
+        let trace = random_trace(&mut rng, 80);
         let cfg = tiny_cfg();
         let sol = foo::solve(&trace, &cfg, &FooConfig::flack());
         let eager = replay::replay(&trace, &cfg, &sol, EvictionTiming::Eager);
         let lazy = replay::replay(&trace, &cfg, &sol, EvictionTiming::Lazy);
-        prop_assert!(lazy.uops_missed <= eager.uops_missed);
+        assert!(lazy.uops_missed <= eager.uops_missed, "round {round}");
     }
+}
 
-    #[test]
-    fn jenks_breaks_are_sorted_and_cover(values in prop::collection::vec(0.0f64..1.0, 1..40)) {
+#[test]
+fn jenks_breaks_are_sorted_and_cover() {
+    let mut rng = Prng::seed_from_u64(0x9E4B);
+    for round in 0..64 {
+        let n = rng.gen_range(1..40usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
         let breaks = jenks_breaks(&values, 8);
-        prop_assert!(breaks.windows(2).all(|w| w[0] < w[1]), "{:?}", breaks);
-        let max = values.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert_eq!(*breaks.last().unwrap(), max);
+        assert!(
+            breaks.windows(2).all(|w| w[0] < w[1]),
+            "round {round}: {breaks:?}"
+        );
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        assert_eq!(
+            *breaks.last().expect("nonempty breaks"),
+            max,
+            "round {round}"
+        );
         for &v in &values {
             let c = classify(v, &breaks);
-            prop_assert!(c < breaks.len());
-            prop_assert!(v <= breaks[c] + 1e-12);
+            assert!(c < breaks.len(), "round {round}");
+            assert!(v <= breaks[c] + 1e-12, "round {round}");
         }
     }
+}
 
-    #[test]
-    fn jenks_matches_brute_force_on_small_inputs(
-        values in prop::collection::vec(0.0f64..1.0, 2..8),
-        classes in 2usize..4,
-    ) {
+#[test]
+fn jenks_matches_brute_force_on_small_inputs() {
+    let mut rng = Prng::seed_from_u64(0xB4F3);
+    for round in 0..64 {
+        let n = rng.gen_range(2..8usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+        let classes = rng.gen_range(2..4usize);
         let breaks = jenks_breaks(&values, classes);
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         sorted.dedup();
         let k = classes.min(sorted.len());
         // Brute force: all ways to cut `sorted` into k contiguous groups.
@@ -182,6 +225,9 @@ proptest! {
             }
             lo = hi;
         }
-        prop_assert!(total <= optimal + 1e-9, "jenks {} vs optimal {}", total, optimal);
+        assert!(
+            total <= optimal + 1e-9,
+            "round {round}: jenks {total} vs optimal {optimal}"
+        );
     }
 }

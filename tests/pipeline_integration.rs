@@ -30,8 +30,14 @@ fn ordering_lru_furbys_flack_holds_in_aggregate() {
         let mut sync = UopCache::new(cfg.uop_cache, Box::new(LruPolicy::new()));
         sync_lru_missed += run_trace(&mut sync, &trace).uops_missed;
     }
-    assert!(furbys_missed < lru_missed, "FURBYS {furbys_missed} vs LRU {lru_missed}");
-    assert!(flack_missed < sync_lru_missed, "FLACK {flack_missed} vs sync LRU {sync_lru_missed}");
+    assert!(
+        furbys_missed < lru_missed,
+        "FURBYS {furbys_missed} vs LRU {lru_missed}"
+    );
+    assert!(
+        flack_missed < sync_lru_missed,
+        "FLACK {flack_missed} vs sync LRU {sync_lru_missed}"
+    );
     // FLACK (offline, synchronous) is far below the online policies.
     assert!(flack_missed < furbys_missed);
 }
@@ -44,7 +50,10 @@ fn flack_outperforms_belady_which_outperforms_foo() {
     let mut flack = 0u64;
     for app in [AppId::Kafka, AppId::Mysql, AppId::Python] {
         let trace = build_trace(app, InputVariant::DEFAULT, LEN);
-        foo += Flack::ablation(false, false, false).run(&trace, &cfg.uop_cache).stats.uops_missed;
+        foo += Flack::ablation(false, false, false)
+            .run(&trace, &cfg.uop_cache)
+            .stats
+            .uops_missed;
         let mut bel = UopCache::new(cfg.uop_cache, Box::new(BeladyPolicy::from_trace(&trace)));
         belady += run_trace(&mut bel, &trace).uops_missed;
         flack += Flack::new().run(&trace, &cfg.uop_cache).stats.uops_missed;

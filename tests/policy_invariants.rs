@@ -1,10 +1,17 @@
-//! Property-based invariants over the cache substrate and every replacement
+//! Property-style invariants over the cache substrate and every replacement
 //! policy: capacity is never exceeded, the books always balance, a single-set
 //! cache has no conflict misses, and offline oracles respect their bounds.
+//!
+//! Each property runs many rounds of seeded-PRNG trace generation (the
+//! workspace's deterministic [`Prng`]), so failures reproduce exactly from
+//! the printed round number. Every policy is driven through
+//! [`CheckedPolicy`], the `strict-invariants` conformance wrapper, so any
+//! violation of the replacement-policy contract panics at the offending hook.
 
-use proptest::prelude::*;
-use uopcache::cache::{LruPolicy, PwReplacementPolicy, UopCache};
+use uopcache::cache::checked::verify_stats;
+use uopcache::cache::{CheckedPolicy, LruPolicy, PwReplacementPolicy, UopCache};
 use uopcache::core::{FurbysPolicy, HintMap};
+use uopcache::model::rng::{Prng, Rng};
 use uopcache::model::{Addr, LookupTrace, PwAccess, PwDesc, PwTermination, UopCacheConfig};
 use uopcache::offline::BeladyPolicy;
 use uopcache::policies::{
@@ -23,26 +30,28 @@ fn small_cfg(entries: u32, ways: u32) -> UopCacheConfig {
     }
 }
 
-/// Strategy: a short trace over a small address universe with variable uop
-/// counts (so multi-entry PWs and overlapping windows both occur).
-fn trace_strategy(max_len: usize) -> impl Strategy<Value = LookupTrace> {
-    prop::collection::vec((0u64..24, 1u32..28), 1..max_len).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(slot, uops)| {
-                let start = 0x1000 + slot * 64;
-                PwAccess::new(PwDesc::new(
-                    Addr::new(start),
-                    uops,
-                    uops * 3,
-                    PwTermination::TakenBranch,
-                ))
-            })
-            .collect()
-    })
+/// A short trace over a small address universe with variable uop counts (so
+/// multi-entry PWs and overlapping windows both occur).
+fn random_trace(rng: &mut Prng, max_len: usize) -> LookupTrace {
+    let len = rng.gen_range(1..max_len.max(2));
+    (0..len)
+        .map(|_| {
+            let slot = rng.gen_range(0..24u64);
+            let uops = rng.gen_range(1..28u32);
+            let start = 0x1000 + slot * 64;
+            PwAccess::new(PwDesc::new(
+                Addr::new(start),
+                uops,
+                uops * 3,
+                PwTermination::TakenBranch,
+            ))
+        })
+        .collect()
 }
 
-fn policies_under_test(trace: &LookupTrace) -> Vec<Box<dyn PwReplacementPolicy>> {
+/// Every policy under test, each wrapped in the conformance checker. The
+/// nine online policies plus the Belady oracle.
+fn policies_under_test(trace: &LookupTrace, ways: u32) -> Vec<Box<dyn PwReplacementPolicy>> {
     let mut hints = HintMap::new(3);
     hints.set(Addr::new(0x1000), 7);
     hints.set(Addr::new(0x1040), 3);
@@ -51,7 +60,7 @@ fn policies_under_test(trace: &LookupTrace) -> Vec<Box<dyn PwReplacementPolicy>>
         (Addr::new(0x1080), 0.4),
         (Addr::new(0x10c0), 0.05),
     ]);
-    vec![
+    let bare: Vec<Box<dyn PwReplacementPolicy>> = vec![
         Box::new(LruPolicy::new()),
         Box::new(FifoPolicy::new()),
         Box::new(RandomPolicy::new(99)),
@@ -62,56 +71,68 @@ fn policies_under_test(trace: &LookupTrace) -> Vec<Box<dyn PwReplacementPolicy>>
         Box::new(ThermometerPolicy::from_hit_rates(&rates)),
         Box::new(FurbysPolicy::new(hints)),
         Box::new(BeladyPolicy::from_trace(trace)),
-    ]
+    ];
+    bare.into_iter()
+        .map(|p| Box::new(CheckedPolicy::new(p, ways)) as Box<dyn PwReplacementPolicy>)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn occupancy_and_books_hold_for_every_policy(trace in trace_strategy(120)) {
+#[test]
+fn occupancy_and_books_hold_for_every_policy() {
+    let mut rng = Prng::seed_from_u64(0xC0FFEE);
+    for round in 0..48 {
+        let trace = random_trace(&mut rng, 120);
         let cfg = small_cfg(8, 4);
-        for policy in policies_under_test(&trace) {
+        for policy in policies_under_test(&trace, cfg.ways) {
             let name = policy.name();
             let mut cache = UopCache::new(cfg, policy);
             let stats = run_trace(&mut cache, &trace);
-            prop_assert!(cache.occupied_entries() <= cfg.entries, "{name}: overfull");
-            prop_assert_eq!(stats.lookups, trace.len() as u64, "{}", name);
-            prop_assert_eq!(
-                stats.uops_hit + stats.uops_missed, stats.uops_requested, "{}", name
+            assert!(
+                cache.occupied_entries() <= cfg.entries,
+                "round {round} {name}: overfull"
             );
-            prop_assert_eq!(
-                stats.lookups,
-                stats.pw_hits + stats.pw_partial_hits + stats.pw_misses,
-                "{}", name
-            );
+            assert_eq!(stats.lookups, trace.len() as u64, "round {round} {name}");
+            verify_stats(&stats);
         }
     }
+}
 
-    #[test]
-    fn single_set_cache_has_no_conflict_misses(trace in trace_strategy(100)) {
-        // entries == ways: fully associative; the 3C classifier must report
-        // zero conflict misses.
+#[test]
+fn single_set_cache_has_no_conflict_misses() {
+    // entries == ways: fully associative; the 3C classifier must report
+    // zero conflict misses.
+    let mut rng = Prng::seed_from_u64(0xBEEF);
+    for round in 0..48 {
+        let trace = random_trace(&mut rng, 100);
         let cfg = small_cfg(8, 8);
-        let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
+        let mut cache = UopCache::new(
+            cfg,
+            Box::new(CheckedPolicy::new(LruPolicy::new(), cfg.ways)),
+        );
         cache.enable_classification();
         let stats = run_trace(&mut cache, &trace);
-        prop_assert_eq!(stats.conflict_miss_uops, 0, "{:?}", stats);
-        prop_assert_eq!(
+        assert_eq!(stats.conflict_miss_uops, 0, "round {round}: {stats:?}");
+        assert_eq!(
             stats.cold_miss_uops + stats.capacity_miss_uops + stats.conflict_miss_uops,
-            stats.uops_missed
+            stats.uops_missed,
+            "round {round}"
         );
     }
+}
 
-    #[test]
-    fn resident_window_is_always_the_largest_seen_since_eviction(
-        trace in trace_strategy(80)
-    ) {
-        // The upgrade path must keep the larger of two overlapping windows.
-        // 4 sets x 64 ways: at most 6 starts x 4 entries per set, so nothing
-        // is ever evicted.
+#[test]
+fn resident_window_is_always_the_largest_seen_since_eviction() {
+    // The upgrade path must keep the larger of two overlapping windows.
+    // 4 sets x 64 ways: at most 6 starts x 4 entries per set, so nothing
+    // is ever evicted.
+    let mut rng = Prng::seed_from_u64(0xFACE);
+    for round in 0..48 {
+        let trace = random_trace(&mut rng, 80);
         let cfg = small_cfg(256, 64);
-        let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
+        let mut cache = UopCache::new(
+            cfg,
+            Box::new(CheckedPolicy::new(LruPolicy::new(), cfg.ways)),
+        );
         let mut max_seen: std::collections::HashMap<Addr, u32> = Default::default();
         for access in trace.iter() {
             let result = cache.lookup(&access.pw);
@@ -122,47 +143,92 @@ proptest! {
             if cacheable {
                 let e = max_seen.entry(access.pw.start).or_insert(0);
                 *e = (*e).max(access.pw.uops);
-                prop_assert_eq!(
+                assert_eq!(
                     cache.resident_uops(access.pw.start),
                     Some(*e),
-                    "largest window must be resident"
+                    "round {round}: largest window must be resident"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn belady_never_loses_to_fifo_badly(trace in trace_strategy(150)) {
-        // A weak-but-universal bound: the oracle is never *worse* than FIFO
-        // by more than the cost of one window (tie noise on tiny traces).
+#[test]
+fn belady_never_loses_to_fifo_badly() {
+    // A weak-but-universal bound: the oracle is never *worse* than FIFO
+    // by more than the cost of one window (tie noise on tiny traces).
+    let mut rng = Prng::seed_from_u64(0xDEAD);
+    for round in 0..48 {
+        let trace = random_trace(&mut rng, 150);
         let cfg = small_cfg(8, 4);
-        let mut fifo = UopCache::new(cfg, Box::new(FifoPolicy::new()));
+        let mut fifo = UopCache::new(
+            cfg,
+            Box::new(CheckedPolicy::new(FifoPolicy::new(), cfg.ways)),
+        );
         let fifo_stats = run_trace(&mut fifo, &trace);
-        let mut bel = UopCache::new(cfg, Box::new(BeladyPolicy::from_trace(&trace)));
+        let mut bel = UopCache::new(
+            cfg,
+            Box::new(CheckedPolicy::new(
+                BeladyPolicy::from_trace(&trace),
+                cfg.ways,
+            )),
+        );
         let bel_stats = run_trace(&mut bel, &trace);
-        prop_assert!(
+        assert!(
             bel_stats.uops_missed <= fifo_stats.uops_missed + 28,
-            "belady {} vs fifo {}",
+            "round {round}: belady {} vs fifo {}",
             bel_stats.uops_missed,
             fifo_stats.uops_missed
         );
     }
+}
 
-    #[test]
-    fn furbys_bypass_never_fires_with_free_space(trace in trace_strategy(60)) {
+#[test]
+fn furbys_bypass_never_fires_with_free_space() {
+    let mut rng = Prng::seed_from_u64(0xF00D);
+    for round in 0..48 {
+        let trace = random_trace(&mut rng, 60);
         let cfg = small_cfg(64, 8);
         let mut hints = HintMap::new(3);
         for i in 0..24u64 {
             hints.set(Addr::new(0x1000 + i * 64), (i % 8) as u8);
         }
-        let mut cache = UopCache::new(cfg, Box::new(FurbysPolicy::new(hints)));
+        let mut cache = UopCache::new(
+            cfg,
+            Box::new(CheckedPolicy::new(FurbysPolicy::new(hints), cfg.ways)),
+        );
         let stats = run_trace(&mut cache, &trace);
-        // 24 distinct starts x <=4 entries each <= 96... use a cache large
-        // enough that sets never fill: 8 sets x 8 ways with <=3 starts per
-        // set and <=4 entries per PW can still overflow; so just assert the
-        // sane direction: bypasses only happen when something was resident.
-        prop_assert!(stats.bypasses <= stats.lookups);
+        assert!(stats.bypasses <= stats.lookups, "round {round}");
     }
+}
+
+#[test]
+fn slot_recycling_survives_heavy_eviction_churn() {
+    // Regression test for PwSet slot recycling: a single-set cache under
+    // constant eviction pressure reuses freed slot ids on nearly every
+    // insertion. The CheckedPolicy wrapper verifies each reuse is preceded
+    // by an eviction and that slot ids never alias two live windows.
+    let mut rng = Prng::seed_from_u64(0x51075);
+    let cfg = small_cfg(4, 4); // one set, four entry slots
+    let mut cache = UopCache::new(
+        cfg,
+        Box::new(CheckedPolicy::new(LruPolicy::new(), cfg.ways)),
+    );
+    for _ in 0..2_000 {
+        let slot = rng.gen_range(0..12u64);
+        let uops = rng.gen_range(1..28u32);
+        let pw = PwDesc::new(
+            Addr::new(0x1000 + slot * 64),
+            uops,
+            uops * 3,
+            PwTermination::TakenBranch,
+        );
+        if !cache.lookup(&pw).is_full_hit() {
+            cache.insert(&pw);
+        }
+        assert!(cache.occupied_entries() <= cfg.entries);
+    }
+    verify_stats(cache.stats());
 }
 
 #[test]
@@ -174,7 +240,10 @@ fn policies_under_test_have_distinct_names() {
         PwTermination::TakenBranch,
     )))
     .collect();
-    let names: Vec<&str> = policies_under_test(&trace).iter().map(|p| p.name()).collect();
+    let names: Vec<&str> = policies_under_test(&trace, 4)
+        .iter()
+        .map(|p| p.name())
+        .collect();
     let mut unique = names.clone();
     unique.sort_unstable();
     unique.dedup();
