@@ -2,16 +2,33 @@
 //! the paper-vs-measured results.
 //!
 //! ```text
-//! cargo run -p uopcache-bench --release --bin reproduce-all [-- quick] [out.md]
+//! cargo run -p uopcache-bench --release --bin reproduce-all [-- quick] [--jobs N] [out.md]
 //! ```
+//!
+//! Experiments run serially (their tables are ordered), but each one fans
+//! its per-(app, policy) simulation tasks out through the `uopcache-exec`
+//! engine; `--jobs N` (default: available parallelism, or `UOPCACHE_JOBS`)
+//! sets the worker count. Results are bit-identical for every `--jobs`
+//! value — `--jobs 1` reproduces the serial path exactly. A panicking
+//! experiment is reported as a failure row instead of aborting the run.
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use uopcache_bench::experiments;
+use uopcache_bench::sweep;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick") || std::env::var("UOPCACHE_QUICK").is_ok();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    if let Some(n) = jobs {
+        sweep::set_jobs(n);
+    }
     let out_path = args
         .iter()
         .find(|a| a.ends_with(".md"))
@@ -67,20 +84,64 @@ fn main() {
     );
 
     let total = Instant::now();
-    for exp in experiments::all() {
+    let mut completed = 0usize;
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let all = experiments::all();
+    let count = all.len();
+    for exp in all {
         let t0 = Instant::now();
-        eprintln!("running {} — {}", exp.id, exp.caption);
+        eprintln!(
+            "running {} — {} [{} jobs]",
+            exp.id,
+            exp.caption,
+            sweep::current_jobs()
+        );
         println!("\n################ {} — {}\n", exp.id, exp.caption);
         let _ = writeln!(md, "## {} — {}\n", exp.id, exp.caption);
-        for table in (exp.run)(quick) {
-            table.print();
-            md.push_str(&table.render_markdown());
-            md.push('\n');
+        // An experiment that panics becomes a failure row, not an abort:
+        // the remaining experiments still run and the report still renders.
+        match catch_unwind(AssertUnwindSafe(|| (exp.run)(quick))) {
+            Ok(tables) => {
+                for table in tables {
+                    table.print();
+                    md.push_str(&table.render_markdown());
+                    md.push('\n');
+                }
+                completed += 1;
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("FAILED {}: {message}", exp.id);
+                let _ = writeln!(md, "**FAILED**: `{message}`\n");
+                failures.push((exp.id.to_string(), message));
+            }
         }
-        let _ = writeln!(md, "_runtime: {:.1?}_\n", t0.elapsed());
+        let elapsed = t0.elapsed();
+        eprintln!(
+            "finished {} in {elapsed:.1?} ({completed}/{count} done, {:.2} experiments/min)",
+            exp.id,
+            completed as f64 / (total.elapsed().as_secs_f64() / 60.0).max(1e-9)
+        );
+        let _ = writeln!(md, "_runtime: {elapsed:.1?}_\n");
     }
     let _ = writeln!(md, "---\n\nTotal runtime: {:.1?}.", total.elapsed());
+    if !failures.is_empty() {
+        let _ = writeln!(md, "\n## Failed experiments\n");
+        for (id, message) in &failures {
+            let _ = writeln!(md, "- `{id}`: {message}");
+        }
+    }
 
     std::fs::write(&out_path, md).expect("write experiments file");
-    eprintln!("wrote {out_path} in {:?}", total.elapsed());
+    eprintln!(
+        "wrote {out_path} in {:?} ({completed}/{count} experiments ok)",
+        total.elapsed()
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -22,7 +22,10 @@ pub fn sec7_noninclusive(quick: bool) -> Vec<Table> {
     let mut non_all = Vec::new();
     let mut lab_inc = Lab::with_len(inclusive_cfg, len_for(quick));
     let mut lab_non = Lab::with_len(noninclusive_cfg, len_for(quick));
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    lab_inc.prewarm_online(&["LRU", "FURBYS"], &apps);
+    lab_non.prewarm_online(&["LRU", "FURBYS"], &apps);
+    for app in apps {
         let lru_i = lab_inc.run_online("LRU", app, 0);
         let fur_i = lab_inc.run_online("FURBYS", app, 0);
         let lru_n = lab_non.run_online("LRU", app, 0);
@@ -109,7 +112,13 @@ pub fn ext1_phased_furbys(quick: bool) -> Vec<Table> {
     );
     let mut flat_all = Vec::new();
     let mut phased_all = Vec::new();
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    // One engine task per app: flat and phase-aware FURBYS on that trace.
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (crate::sweep::app_key("ext1-phased", app), app))
+        .collect();
+    let per_app = crate::sweep::par_map("ext1 phased", tasks, move |_key, _seed, app| {
         let trace = crate::apps::trace_for(app, 0, len);
         let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
         let pipeline = FurbysPipeline::new(cfg);
@@ -120,8 +129,12 @@ pub fn ext1_phased_furbys(quick: bool) -> Vec<Table> {
             PhasedProfile::from_observations(&obs, &cfg.uop_cache, &pipeline.weight_cfg, segments);
         let phased =
             Frontend::new(cfg, Box::new(PhasedFurbysPolicy::new(phased_profile))).run(&trace);
-        let f = flat.uopc.miss_reduction_vs(&lru.uopc);
-        let p = phased.uopc.miss_reduction_vs(&lru.uopc);
+        (
+            flat.uopc.miss_reduction_vs(&lru.uopc),
+            phased.uopc.miss_reduction_vs(&lru.uopc),
+        )
+    });
+    for (&app, (f, p)) in apps.iter().zip(per_app) {
         flat_all.push(f);
         phased_all.push(p);
         t.row(&[

@@ -4,18 +4,22 @@
 use crate::apps::trace_for;
 use crate::experiments::{apps_for, len_for};
 use crate::runs::{mean, Lab};
+use crate::sweep::{app_key, par_map};
 use crate::table::Table;
 use uopcache_core::{Flack, FurbysPipeline, OracleKind};
 use uopcache_model::FrontendConfig;
 use uopcache_offline::foo;
 use uopcache_offline::replay::{replay_full, EvictionTiming};
 use uopcache_sim::Frontend;
+use uopcache_trace::AppId;
 
 /// §III-B: miss classification under LRU and the reduction a near-optimal
 /// policy (FLACK) achieves on capacity and conflict misses.
 pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     lab.classify_misses(true);
+    let apps = apps_for(quick);
+    lab.prewarm_online(&["LRU"], &apps);
     let mut t = Table::new(
         "SIII-B: LRU miss classes (paper: cold 0.89%, capacity 88.31%, conflict 10.8%)",
         &["app", "cold%", "capacity%", "conflict%"],
@@ -23,26 +27,15 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
     let mut cold = Vec::new();
     let mut cap = Vec::new();
     let mut conf = Vec::new();
-    let mut cap_red = Vec::new();
-    let mut conf_red = Vec::new();
-    let mut tot_red = Vec::new();
-    for app in apps_for(quick) {
-        let lru = lab.run_online("LRU", app, 0).uopc;
-        let total = lru.uops_missed.max(1) as f64;
-        cold.push(lru.cold_miss_uops as f64 / total * 100.0);
-        cap.push(lru.capacity_miss_uops as f64 / total * 100.0);
-        conf.push(lru.conflict_miss_uops as f64 / total * 100.0);
-        t.row(&[
-            app.name().to_string(),
-            format!("{:.2}", cold.last().expect("pushed above")),
-            format!("{:.2}", cap.last().expect("pushed above")),
-            format!("{:.2}", conf.last().expect("pushed above")),
-        ]);
 
-        // Near-optimal (FLACK) classified misses vs the synchronous LRU
-        // baseline classified the same way.
-        let trace = lab.trace(app, 0).clone();
-        let cfg = lab.cfg.uop_cache;
+    // Near-optimal (FLACK) classified misses vs the synchronous LRU baseline
+    // classified the same way — one engine task per app.
+    let cfg = lab.cfg.uop_cache;
+    let offline_tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key("sec3b-offline", app), lab.trace(app, 0).clone()))
+        .collect();
+    let offline = par_map("sec3b offline", offline_tasks, move |_key, _seed, trace| {
         let flack = Flack::new();
         let sol = foo::solve(&trace, &cfg, &flack.foo_config());
         let (opt, _) = replay_full(&trace, &cfg, &sol, EvictionTiming::Lazy, true);
@@ -57,9 +50,31 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
                 (1.0 - o as f64 / b as f64) * 100.0
             }
         };
-        cap_red.push(red(opt.capacity_miss_uops, base.capacity_miss_uops));
-        conf_red.push(red(opt.conflict_miss_uops, base.conflict_miss_uops));
-        tot_red.push(red(opt.uops_missed, base.uops_missed));
+        (
+            red(opt.capacity_miss_uops, base.capacity_miss_uops),
+            red(opt.conflict_miss_uops, base.conflict_miss_uops),
+            red(opt.uops_missed, base.uops_missed),
+        )
+    });
+    let (mut cap_red, mut conf_red, mut tot_red) = (Vec::new(), Vec::new(), Vec::new());
+    for (c, f, tot) in offline {
+        cap_red.push(c);
+        conf_red.push(f);
+        tot_red.push(tot);
+    }
+
+    for &app in &apps {
+        let lru = lab.run_online("LRU", app, 0).uopc;
+        let total = lru.uops_missed.max(1) as f64;
+        cold.push(lru.cold_miss_uops as f64 / total * 100.0);
+        cap.push(lru.capacity_miss_uops as f64 / total * 100.0);
+        conf.push(lru.conflict_miss_uops as f64 / total * 100.0);
+        t.row(&[
+            app.name().to_string(),
+            format!("{:.2}", cold.last().expect("pushed above")),
+            format!("{:.2}", cap.last().expect("pushed above")),
+            format!("{:.2}", conf.last().expect("pushed above")),
+        ]);
     }
     t.row(&[
         "MEAN".into(),
@@ -89,11 +104,42 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
     vec![t, t2]
 }
 
+/// Per-app offline FLACK miss reduction vs the synchronous LRU baseline,
+/// computed through the engine (one task per app). Exactly
+/// `lab.offline_miss_reduction(Flack::new(), app)`, parallelized.
+fn offline_flack_reductions(stage: &str, lab: &mut Lab, apps: &[AppId]) -> Vec<f64> {
+    let cfg = lab.cfg.uop_cache;
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key(stage, app), lab.trace(app, 0).clone()))
+        .collect();
+    par_map(stage, tasks, move |_key, _seed, trace| {
+        let stats = Flack::new().run(&trace, &cfg).stats;
+        let mut lru =
+            uopcache_cache::UopCache::new(cfg, Box::new(uopcache_cache::LruPolicy::new()));
+        let base = uopcache_policies::run_trace(&mut lru, &trace);
+        stats.miss_reduction_vs(&base)
+    })
+}
+
 /// Fig. 5: existing online policies achieve only a fraction of FLACK's miss
 /// reduction (paper: GHRP, the best, reaches 31.52% of FLACK).
 pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer"];
+    let apps = apps_for(quick);
+    lab.prewarm_online(
+        &[
+            "LRU",
+            "SRRIP",
+            "SHiP++",
+            "Mockingjay",
+            "GHRP",
+            "Thermometer",
+        ],
+        &apps,
+    );
+    let flack_reds = offline_flack_reductions("fig05-flack", &mut lab, &apps);
     let mut t = Table::new(
         "Fig. 5: miss reduction over LRU (existing policies vs offline FLACK)",
         &[
@@ -107,14 +153,13 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
         ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
-    for app in apps_for(quick) {
+    for (&app, &flack) in apps.iter().zip(&flack_reds) {
         let mut row = vec![app.name().to_string()];
         for (i, p) in policies.iter().enumerate() {
             let red = lab.online_miss_reduction(p, app);
             cols[i].push(red);
             row.push(format!("{red:.2}"));
         }
-        let flack = lab.offline_miss_reduction(Flack::new(), app);
         cols[policies.len()].push(flack);
         row.push(format!("{flack:.2}"));
         t.row(&row);
@@ -152,6 +197,9 @@ pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
         "Thermometer",
         "FURBYS",
     ];
+    let apps = apps_for(quick);
+    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    let flack_reds = offline_flack_reductions("fig08-flack", &mut lab, &apps);
     let mut t = Table::new(
         "Fig. 8: miss reduction over LRU",
         &[
@@ -166,14 +214,13 @@ pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
         ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
-    for app in apps_for(quick) {
+    for (&app, &flack) in apps.iter().zip(&flack_reds) {
         let mut row = vec![app.name().to_string()];
         for (i, p) in policies.iter().enumerate() {
             let red = lab.online_miss_reduction(p, app);
             cols[i].push(red);
             row.push(format!("{red:.2}"));
         }
-        let flack = lab.offline_miss_reduction(Flack::new(), app);
         cols[policies.len()].push(flack);
         row.push(format!("{flack:.2}"));
         t.row(&row);
@@ -213,7 +260,7 @@ pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
 /// Fig. 10: FLACK feature ablation vs FOO and Belady (perfect-icache-style
 /// synchronous setting; paper: FLACK beats Belady by 4.46% on average).
 pub fn fig10_flack_ablation(quick: bool) -> Vec<Table> {
-    let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
+    let lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     let variants = [
         Flack::ablation(false, false, false),
         Flack::ablation(true, false, false),
@@ -225,14 +272,36 @@ pub fn fig10_flack_ablation(quick: bool) -> Vec<Table> {
         &["app", "Belady", "FOO", "A", "A+VC", "A+VC+SB (FLACK)"],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    // Offline-only study: each app is one engine task computing the sync LRU
+    // baseline, Belady and all four ablation variants on its own trace.
+    let cfg = lab.cfg.uop_cache;
+    let len = lab.len;
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key("fig10-ablation", app), app))
+        .collect();
+    let per_app = par_map("fig10 ablation", tasks, move |_key, _seed, app| {
+        let trace = trace_for(app, 0, len);
+        let mut lru_cache =
+            uopcache_cache::UopCache::new(cfg, Box::new(uopcache_cache::LruPolicy::new()));
+        let lru = uopcache_policies::run_trace(&mut lru_cache, &trace);
+        let mut bel_cache = uopcache_cache::UopCache::new(
+            cfg,
+            Box::new(uopcache_offline::BeladyPolicy::from_trace(&trace)),
+        );
+        let bel = uopcache_policies::run_trace(&mut bel_cache, &trace).miss_reduction_vs(&lru);
+        let reds: Vec<f64> = variants
+            .iter()
+            .map(|v| v.run(&trace, &cfg).stats.miss_reduction_vs(&lru))
+            .collect();
+        (bel, reds)
+    });
+    for (&app, (bel, reds)) in apps.iter().zip(per_app) {
         let mut row = vec![app.name().to_string()];
-        let lru = lab.run_sync_lru(app);
-        let bel = lab.run_belady(app).miss_reduction_vs(&lru);
         cols[0].push(bel);
         row.push(format!("{bel:.2}"));
-        for (i, v) in variants.iter().enumerate() {
-            let red = lab.offline_miss_reduction(*v, app);
+        for (i, red) in reds.into_iter().enumerate() {
             cols[i + 1].push(red);
             row.push(format!("{red:.2}"));
         }
@@ -273,16 +342,27 @@ pub fn fig15_profile_sources(quick: bool) -> Vec<Table> {
     );
     let oracles = [OracleKind::Belady, OracleKind::Foo, OracleKind::Flack];
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    // One engine task per app: LRU baseline plus FURBYS under all three
+    // profile oracles on that app's trace.
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key("fig15-oracles", app), app))
+        .collect();
+    let per_app = par_map("fig15 profile sources", tasks, move |_key, _seed, app| {
         let trace = trace_for(app, 0, len);
         let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
-        let mut row = vec![app.name().to_string()];
-        for (i, oracle) in oracles.iter().enumerate() {
+        oracles.map(|oracle| {
             let mut p = FurbysPipeline::new(cfg);
-            p.oracle = *oracle;
+            p.oracle = oracle;
             let profile = p.profile(&trace);
             let r = p.deploy_and_run(&profile, &trace);
-            let red = r.uopc.miss_reduction_vs(&lru.uopc);
+            r.uopc.miss_reduction_vs(&lru.uopc)
+        })
+    });
+    for (&app, reds) in apps.iter().zip(per_app) {
+        let mut row = vec![app.name().to_string()];
+        for (i, red) in reds.into_iter().enumerate() {
             cols[i].push(red);
             row.push(format!("{red:.2}"));
         }
@@ -320,7 +400,13 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
     );
     let mut same_all = Vec::new();
     let mut cross_all = Vec::new();
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    // One engine task per app: the full train-on-0+1, test-on-2 protocol.
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key("fig18-crossval", app), app))
+        .collect();
+    let per_app = par_map("fig18 cross-validation", tasks, move |_key, _seed, app| {
         let train0 = trace_for(app, 0, len);
         let train1 = trace_for(app, 1, len);
         let test = trace_for(app, 2, len);
@@ -337,6 +423,9 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
             .deploy_and_run(&cross_profile, &test)
             .uopc
             .miss_reduction_vs(&lru_test.uopc);
+        (same, cross)
+    });
+    for (&app, (same, cross)) in apps.iter().zip(per_app) {
         same_all.push(same);
         cross_all.push(cross);
         t.row(&[
@@ -388,7 +477,13 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
     let mut off_all = Vec::new();
     let mut on_all = Vec::new();
     let mut rate_all = Vec::new();
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    // One engine task per app: LRU baseline, FURBYS with bypass on and off.
+    let tasks: Vec<_> = apps
+        .iter()
+        .map(|&app| (app_key("fig21-bypass", app), app))
+        .collect();
+    let per_app = par_map("fig21 bypass", tasks, move |_key, _seed, app| {
         let trace = trace_for(app, 0, len);
         let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
         let pipeline_on = FurbysPipeline::new(cfg);
@@ -397,11 +492,16 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
         let mut pipeline_off = FurbysPipeline::new(cfg);
         pipeline_off.bypass_k = u8::MAX; // disables bypassing
         let off = pipeline_off.deploy_and_run(&profile, &trace);
-        let on_red = on.uopc.miss_reduction_vs(&lru.uopc);
-        let off_red = off.uopc.miss_reduction_vs(&lru.uopc);
+        (
+            off.uopc.miss_reduction_vs(&lru.uopc),
+            on.uopc.miss_reduction_vs(&lru.uopc),
+            on.uopc.bypass_rate() * 100.0,
+        )
+    });
+    for (&app, (off_red, on_red, rate)) in apps.iter().zip(per_app) {
         on_all.push(on_red);
         off_all.push(off_red);
-        rate_all.push(on.uopc.bypass_rate() * 100.0);
+        rate_all.push(rate);
         t.row(&[
             app.name().to_string(),
             format!("{off_red:.2}"),
@@ -511,12 +611,14 @@ pub fn fig22_hotness(quick: bool) -> Vec<Table> {
 /// itself rather than its SRRIP fallback (paper: 88.68%).
 pub fn sec6c_coverage(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
+    let apps = apps_for(quick);
+    lab.prewarm_online(&["FURBYS"], &apps);
     let mut t = Table::new(
         "SVI-C: FURBYS replacement coverage (paper: 88.68% average)",
         &["app", "coverage"],
     );
     let mut all = Vec::new();
-    for app in apps_for(quick) {
+    for app in apps {
         let r = lab.run_online("FURBYS", app, 0);
         let cov = r.uopc.replacement_coverage() * 100.0;
         all.push(cov);

@@ -35,7 +35,12 @@ pub fn fig02_perfect_structures(quick: bool) -> Vec<Table> {
         })
         .collect();
     let mut base_lab = Lab::with_len(base_cfg, len_for(quick));
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    base_lab.prewarm_online(&["LRU"], &apps);
+    for lab in &mut labs {
+        lab.prewarm_online(&["LRU"], &apps);
+    }
+    for app in apps {
         let base = base_lab.run_online("LRU", app, 0);
         let mut row = vec![app.name().to_string()];
         for (i, lab) in labs.iter_mut().enumerate() {
@@ -113,7 +118,9 @@ fn ppw_table(cfg: FrontendConfig, quick: bool, title: &str, paper_furbys: &str) 
         ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    for app in apps {
         let lru = lab.run_online("LRU", app, 0);
         let mut row = vec![app.name().to_string()];
         for (i, p) in policies.iter().enumerate() {
@@ -158,6 +165,7 @@ pub fn fig13_energy_breakdown(quick: bool) -> Vec<Table> {
     let base_b = model.evaluate(&base);
 
     let mut lab = Lab::with_len(cfg, len);
+    lab.prewarm_online(&["LRU", "FURBYS"], &[app]);
     let lru = lab.run_online("LRU", app, 0);
     let lru_b = model.evaluate(&lru);
     let furbys = lab.run_online("FURBYS", app, 0);
@@ -244,7 +252,9 @@ pub fn fig14_energy_reduction(quick: bool) -> Vec<Table> {
             "others",
         ],
     );
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    lab.prewarm_online(&["LRU", "FURBYS"], &apps);
+    for app in apps {
         let lru = model.evaluate(&lab.run_online("LRU", app, 0));
         let fur = model.evaluate(&lab.run_online("FURBYS", app, 0));
         let saved = (lru.total() - fur.total()).max(1e-12);

@@ -3,8 +3,11 @@
 use crate::apps::trace_for;
 use crate::experiments::{apps_for, len_for};
 use crate::runs::{mean, Lab};
+use crate::sweep::{app_key, par_map};
 use crate::table::Table;
+use std::sync::Arc;
 use uopcache_core::FurbysPipeline;
+use uopcache_exec::TaskKey;
 use uopcache_model::FrontendConfig;
 use uopcache_sim::Frontend;
 
@@ -33,8 +36,10 @@ pub fn fig16_size_assoc(quick: bool) -> Vec<Table> {
         let mut cfg = FrontendConfig::zen3();
         cfg.uop_cache = cfg.uop_cache.with_entries(entries).with_ways(ways);
         let mut lab = Lab::with_len(cfg, len_for(quick));
+        let apps = apps_for(quick);
+        lab.prewarm_online(&["LRU", "GHRP", "Thermometer", "FURBYS"], &apps);
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-        for app in apps_for(quick) {
+        for app in apps {
             for (i, p) in ["GHRP", "Thermometer", "FURBYS"].iter().enumerate() {
                 cols[i].push(lab.online_miss_reduction(p, app));
             }
@@ -65,24 +70,44 @@ pub fn fig19_weight_groups(quick: bool) -> Vec<Table> {
         &["bits", "groups", "miss reduction"],
     );
     let apps = apps_for(quick);
-    let traces: Vec<_> = apps.iter().map(|&a| trace_for(a, 0, len)).collect();
-    let lrus: Vec<_> = traces
+    // Stage 1: one engine task per app prepares the trace and LRU baseline;
+    // stage 2 fans out one task per (bits, app) cell.
+    let prep_tasks: Vec<_> = apps
         .iter()
-        .map(|tr| Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(tr))
+        .map(|&a| (app_key("fig19-prepare", a), a))
         .collect();
+    let prepared = par_map("fig19 prepare", prep_tasks, move |_key, _seed, a| {
+        let tr = trace_for(a, 0, len);
+        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&tr);
+        Arc::new((tr, lru))
+    });
+    let mut tasks = Vec::new();
     for &b in bits {
-        let mut vals = Vec::new();
-        for (tr, lru) in traces.iter().zip(&lrus) {
+        for (&app, shared) in apps.iter().zip(&prepared) {
+            tasks.push((
+                TaskKey::new(["fig19-sweep", &format!("b{b}"), app.name()]),
+                (b, Arc::clone(shared)),
+            ));
+        }
+    }
+    let reds = par_map(
+        "fig19 weight bits",
+        tasks,
+        move |_key, _seed, (b, shared)| {
+            let (tr, lru) = &*shared;
             let mut p = FurbysPipeline::new(cfg);
             p.weight_cfg.bits = b;
             let profile = p.profile(tr);
             let r = p.deploy_and_run(&profile, tr);
-            vals.push(r.uopc.miss_reduction_vs(&lru.uopc));
-        }
+            r.uopc.miss_reduction_vs(&lru.uopc)
+        },
+    );
+    for (bi, &b) in bits.iter().enumerate() {
+        let vals = &reds[bi * apps.len()..(bi + 1) * apps.len()];
         t.row(&[
             format!("{b}"),
             format!("{}", 1u16 << b),
-            format!("{:.2}%", mean(&vals)),
+            format!("{:.2}%", mean(vals)),
         ]);
     }
     vec![t]
@@ -99,24 +124,45 @@ pub fn fig20_pitfall_depth(quick: bool) -> Vec<Table> {
         &["depth", "miss reduction", "coverage"],
     );
     let apps = apps_for(quick);
-    let traces: Vec<_> = apps.iter().map(|&a| trace_for(a, 0, len)).collect();
-    let lrus: Vec<_> = traces
+    // Stage 1: per-app trace, LRU baseline and profile (profiles do not
+    // depend on the detector depth); stage 2: one task per (depth, app).
+    let prep_tasks: Vec<_> = apps
         .iter()
-        .map(|tr| Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(tr))
+        .map(|&a| (app_key("fig20-prepare", a), a))
         .collect();
-    // Profiles do not depend on the detector depth; compute once.
-    let base_pipeline = FurbysPipeline::new(cfg);
-    let profiles: Vec<_> = traces.iter().map(|tr| base_pipeline.profile(tr)).collect();
+    let prepared = par_map("fig20 prepare", prep_tasks, move |_key, _seed, a| {
+        let tr = trace_for(a, 0, len);
+        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&tr);
+        let profile = FurbysPipeline::new(cfg).profile(&tr);
+        Arc::new((tr, lru, profile))
+    });
+    let mut tasks = Vec::new();
     for &d in depths {
-        let mut vals = Vec::new();
-        let mut covs = Vec::new();
-        for ((tr, lru), profile) in traces.iter().zip(&lrus).zip(&profiles) {
+        for (&app, shared) in apps.iter().zip(&prepared) {
+            tasks.push((
+                TaskKey::new(["fig20-sweep", &format!("d{d}"), app.name()]),
+                (d, Arc::clone(shared)),
+            ));
+        }
+    }
+    let cells = par_map(
+        "fig20 pitfall depth",
+        tasks,
+        move |_key, _seed, (d, shared)| {
+            let (tr, lru, profile) = &*shared;
             let mut p = FurbysPipeline::new(cfg);
             p.detector_depth = d;
             let r = p.deploy_and_run(profile, tr);
-            vals.push(r.uopc.miss_reduction_vs(&lru.uopc));
-            covs.push(r.uopc.replacement_coverage() * 100.0);
-        }
+            (
+                r.uopc.miss_reduction_vs(&lru.uopc),
+                r.uopc.replacement_coverage() * 100.0,
+            )
+        },
+    );
+    for (di, &d) in depths.iter().enumerate() {
+        let chunk = &cells[di * apps.len()..(di + 1) * apps.len()];
+        let vals: Vec<f64> = chunk.iter().map(|&(v, _)| v).collect();
+        let covs: Vec<f64> = chunk.iter().map(|&(_, c)| c).collect();
         t.row(&[
             format!("{d}"),
             format!("{:.2}%", mean(&vals)),

@@ -30,7 +30,9 @@ pub fn fig11_ipc_speedup(quick: bool) -> Vec<Table> {
         ],
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for app in apps_for(quick) {
+    let apps = apps_for(quick);
+    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    for app in apps {
         let lru = lab.run_online("LRU", app, 0);
         let mut row = vec![app.name().to_string()];
         for (i, p) in policies.iter().enumerate() {
@@ -81,15 +83,19 @@ pub fn fig12_iso_performance(quick: bool) -> Vec<Table> {
         ],
     );
     let mut ratios = Vec::new();
+    let apps = apps_for(quick);
+    furbys_lab.prewarm_online(&["FURBYS"], &apps);
     let mut labs: Vec<(u32, Lab)> = sizes
         .iter()
         .map(|&s| {
             let mut cfg = base_cfg;
             cfg.uop_cache = cfg.uop_cache.with_entries(s);
-            (s, Lab::with_len(cfg, len))
+            let mut lab = Lab::with_len(cfg, len);
+            lab.prewarm_online(&["LRU"], &apps);
+            (s, lab)
         })
         .collect();
-    for app in apps_for(quick) {
+    for app in apps {
         let furbys = furbys_lab.run_online("FURBYS", app, 0).uopc.uops_missed;
         let mut by_size = Vec::new();
         for (s, lab) in labs.iter_mut() {

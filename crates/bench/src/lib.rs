@@ -9,6 +9,9 @@
 //!   construction;
 //! * [`policies`] — a name-indexed factory over every online policy;
 //! * [`runs`] — memoised per-(app, policy, config) simulation runs;
+//! * [`sweep`] — the parallel sweep layer over the `uopcache-exec` engine:
+//!   process-wide `--jobs` knob, canonical task keying, deterministic
+//!   `(app × policy)` sweeps with canonical JSON reports;
 //! * [`table`] — paper-vs-measured table rendering;
 //! * [`experiments`] — one function per table/figure, returning structured
 //!   results the `reproduce-all` binary serialises into `EXPERIMENTS.md`.
@@ -17,6 +20,7 @@ pub mod apps;
 pub mod experiments;
 pub mod policies;
 pub mod runs;
+pub mod sweep;
 pub mod table;
 
 pub use apps::{standard_apps, trace_for, TRACE_LEN};

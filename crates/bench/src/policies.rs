@@ -5,8 +5,8 @@ use uopcache_cache::{LruPolicy, PwReplacementPolicy};
 use uopcache_core::{FurbysPipeline, Profile};
 use uopcache_model::{Addr, FrontendConfig, LookupTrace};
 use uopcache_policies::{
-    profile::lru_pw_hit_rates, GhrpPolicy, MockingjayPolicy, ShipPlusPlusPolicy, SrripPolicy,
-    ThermometerPolicy,
+    profile::lru_pw_hit_rates, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy,
+    SrripPolicy, ThermometerPolicy,
 };
 
 /// The online policies compared throughout the evaluation, in figure order
@@ -22,6 +22,7 @@ pub const ONLINE_POLICIES: [&str; 7] = [
 ];
 
 /// Profile inputs needed by the profile-guided policies.
+#[derive(Clone)]
 pub struct ProfileInputs {
     /// Per-start PW-granularity LRU hit rates (Thermometer's profile — a
     /// straight BTB-style port, blind to micro-op costs).
@@ -46,7 +47,10 @@ impl ProfileInputs {
     }
 }
 
-/// Instantiates an online policy by name.
+/// Instantiates an online policy by name. None of these policies consume a
+/// seed (audited: the experiment drivers share no RNG state across
+/// iterations — every listed policy is deterministic by construction).
+/// Randomized policies go through [`make_policy_seeded`].
 ///
 /// # Panics
 ///
@@ -71,6 +75,26 @@ pub fn make_policy(
     }
 }
 
+/// Instantiates a policy by name with a per-task seed. Superset of
+/// [`make_policy`]: additionally accepts `"Random"`, whose eviction RNG is
+/// seeded from the task key so parallel sweeps stay reproducible (the seed
+/// is a pure function of the task, never of scheduling).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn make_policy_seeded(
+    name: &str,
+    cfg: &FrontendConfig,
+    profiles: &ProfileInputs,
+    seed: u64,
+) -> Box<dyn PwReplacementPolicy> {
+    match name {
+        "Random" => Box::new(RandomPolicy::new(seed)),
+        known => make_policy(known, cfg, profiles),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +110,17 @@ mod tests {
             let p = make_policy(name, &cfg, &profiles);
             assert_eq!(p.name(), name);
         }
+    }
+
+    #[test]
+    fn seeded_factory_adds_random_and_delegates() {
+        let cfg = FrontendConfig::zen3();
+        let train = trace_for(AppId::Postgres, 0, 3_000);
+        let profiles = ProfileInputs::build(&cfg, &train);
+        assert_eq!(
+            make_policy_seeded("Random", &cfg, &profiles, 7).name(),
+            "Random"
+        );
+        assert_eq!(make_policy_seeded("LRU", &cfg, &profiles, 7).name(), "LRU");
     }
 }

@@ -1,10 +1,13 @@
 //! Memoised simulation runs shared by the experiment drivers.
 
 use crate::apps::{trace_for, TRACE_LEN};
-use crate::policies::{make_policy, ProfileInputs};
+use crate::policies::{make_policy_seeded, ProfileInputs};
+use crate::sweep::{self, config_label};
 use std::collections::HashMap;
+use std::sync::Arc;
 use uopcache_cache::UopCache;
 use uopcache_core::Flack;
+use uopcache_exec::TaskKey;
 use uopcache_model::{FrontendConfig, LookupTrace, SimResult, UopCacheStats};
 use uopcache_offline::BeladyPolicy;
 use uopcache_policies::run_trace;
@@ -74,7 +77,88 @@ impl Lab {
         &self.profiles[&(app, variant)]
     }
 
-    /// Runs (and caches) an online policy through the timed frontend.
+    /// Pre-computes every missing `(app, policy)` online run for input
+    /// variant 0 in parallel, through the experiment engine, so subsequent
+    /// serial queries hit the memo. Results are bit-identical to the serial
+    /// path: each task is a pure function of `(cfg, len, app, policy)`, and
+    /// the memo is filled in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full list of structured task failures if any task
+    /// panicked (the experiment cannot render from partial results).
+    pub fn prewarm_online(&mut self, policies: &[&str], apps: &[AppId]) {
+        let engine = sweep::engine();
+        let variant = 0u32;
+        let cfg = self.cfg;
+        let len = self.len;
+        let label = config_label(&cfg);
+        let key_for = |app: AppId, stage: &str| {
+            TaskKey::new([
+                label.as_str(),
+                &format!("v{variant}"),
+                &format!("len{len}"),
+                app.name(),
+                stage,
+            ])
+        };
+
+        // Stage 1: prepare missing traces + profiles, one task per app.
+        let missing: Vec<(TaskKey, AppId)> = apps
+            .iter()
+            .copied()
+            .filter(|&a| !self.profiles.contains_key(&(a, variant)))
+            .map(|a| (key_for(a, "prepare"), a))
+            .collect();
+        let prepared = engine
+            .run(missing, move |_key, _seed, app| {
+                let trace = trace_for(app, variant, len);
+                let profiles = ProfileInputs::build(&cfg, &trace);
+                (app, trace, profiles)
+            })
+            .expect_all("prewarm preparation");
+        for (app, trace, profiles) in prepared {
+            self.traces.entry((app, variant)).or_insert(trace);
+            self.profiles.insert((app, variant), profiles);
+        }
+
+        // Stage 2: one task per missing (app, policy) simulation.
+        let mut tasks = Vec::new();
+        for &app in apps {
+            let shared = Arc::new((
+                self.traces[&(app, variant)].clone(),
+                self.profiles[&(app, variant)].clone(),
+            ));
+            for &policy in policies {
+                if self
+                    .online
+                    .contains_key(&(app, variant, policy.to_string()))
+                {
+                    continue;
+                }
+                tasks.push((
+                    key_for(app, policy),
+                    (app, policy.to_string(), Arc::clone(&shared)),
+                ));
+            }
+        }
+        let opts = self.sim_opts;
+        let results = engine
+            .run(tasks, move |_key, seed, (app, policy, shared)| {
+                let (trace, profiles): &(LookupTrace, ProfileInputs) = &shared;
+                let policy_box = make_policy_seeded(&policy, &cfg, profiles, seed);
+                let result = Frontend::with_options(cfg, policy_box, opts).run(trace);
+                (app, policy, result)
+            })
+            .expect_all("prewarm simulation");
+        for (app, policy, result) in results {
+            self.online.insert((app, variant, policy), result);
+        }
+    }
+
+    /// Runs (and caches) an online policy through the timed frontend. A
+    /// randomized policy (`"Random"`) is seeded from the same task key the
+    /// parallel prewarm uses, so cold and prewarmed queries agree exactly.
     pub fn run_online(&mut self, policy: &str, app: AppId, variant: u32) -> SimResult {
         let key = (app, variant, policy.to_string());
         if let Some(r) = self.online.get(&key) {
@@ -83,7 +167,15 @@ impl Lab {
         self.profiles(app, variant);
         let trace = self.traces[&(app, variant)].clone();
         let profiles = &self.profiles[&(app, variant)];
-        let policy_box = make_policy(policy, &self.cfg, profiles);
+        let seed = TaskKey::new([
+            config_label(&self.cfg).as_str(),
+            &format!("v{variant}"),
+            &format!("len{}", self.len),
+            app.name(),
+            policy,
+        ])
+        .seed();
+        let policy_box = make_policy_seeded(policy, &self.cfg, profiles, seed);
         let mut frontend = Frontend::with_options(self.cfg, policy_box, self.sim_opts);
         let result = frontend.run(&trace);
         self.online.insert(key, result);

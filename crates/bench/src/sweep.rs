@@ -1,0 +1,395 @@
+//! The parallel sweep layer: a process-wide worker-count knob, canonical
+//! task keying, and a deterministic `(app × policy)` sweep whose merged
+//! report renders to canonical JSON.
+//!
+//! Determinism contract (inherited from `uopcache-exec` and extended here):
+//! every task is a pure function of its [`TaskKey`] — config label, input
+//! variant, trace length, app and policy — and any randomness comes from the
+//! key-derived seed. Reports merge cells in **key order**, never completion
+//! order, and [`SweepReport::to_json`] renders fields in a fixed order with
+//! derived metrics rounded to six decimals. The JSON is therefore
+//! byte-identical for every `--jobs` value.
+
+use crate::apps::trace_for;
+use crate::policies::{make_policy_seeded, ProfileInputs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use uopcache_exec::{Engine, TaskFailure, TaskKey};
+use uopcache_model::json::Json;
+use uopcache_model::{FrontendConfig, LookupTrace, SimResult};
+use uopcache_sim::{Frontend, SimOptions};
+use uopcache_trace::AppId;
+
+/// The process-wide worker count. `0` means "not set": fall back to the
+/// `UOPCACHE_JOBS` environment variable, then to the machine's available
+/// parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count (the `--jobs N` flag). `1` reproduces
+/// the serial path exactly; `0` resets to the default resolution order.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// The effective worker count: the value of [`set_jobs`] if set, else
+/// `UOPCACHE_JOBS` if set to a positive integer, else the machine's
+/// available parallelism.
+pub fn current_jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::env::var("UOPCACHE_JOBS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(Engine::default_parallelism),
+        n => n,
+    }
+}
+
+/// An engine sized by [`current_jobs`].
+pub fn engine() -> Engine {
+    Engine::new(current_jobs())
+}
+
+/// A short label identifying a frontend configuration in task keys,
+/// e.g. `uopc4096x8`.
+pub fn config_label(cfg: &FrontendConfig) -> String {
+    format!("uopc{}x{}", cfg.uop_cache.entries, cfg.uop_cache.ways)
+}
+
+/// Runs keyed tasks through the process-wide engine and unwraps every value
+/// in submission order — the drop-in replacement for an experiment driver's
+/// serial `for` loop.
+///
+/// # Panics
+///
+/// Panics with the full list of structured failures if any task panicked
+/// (experiment tables cannot be rendered from partial results).
+pub fn par_map<I, R, F>(context: &str, tasks: Vec<(TaskKey, I)>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(&TaskKey, u64, I) -> R + Sync,
+{
+    engine().run(tasks, f).expect_all(context)
+}
+
+/// A task key for one per-app stage of an experiment, e.g.
+/// `fig10-offline/kafka`.
+pub fn app_key(stage: &str, app: AppId) -> TaskKey {
+    TaskKey::new([stage, app.name()])
+}
+
+/// One `(app × policy)` sweep request.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// The frontend configuration under test.
+    pub cfg: FrontendConfig,
+    /// Human name for the configuration (used in task keys), e.g. `zen3`.
+    pub config_name: String,
+    /// Applications to sweep.
+    pub apps: Vec<AppId>,
+    /// Policy names to sweep (see `policies::make_policy_seeded`).
+    pub policies: Vec<String>,
+    /// Input variant for trace generation.
+    pub variant: u32,
+    /// Trace length per app.
+    pub len: usize,
+}
+
+impl SweepSpec {
+    /// The key naming one `(app, policy)` simulation task of this sweep.
+    pub fn task_key(&self, app: AppId, policy: &str) -> TaskKey {
+        TaskKey::new([
+            self.config_name.as_str(),
+            &format!("v{}", self.variant),
+            &format!("len{}", self.len),
+            app.name(),
+            policy,
+        ])
+    }
+
+    /// The key naming the trace + profile preparation task for one app.
+    fn prep_key(&self, app: AppId) -> TaskKey {
+        TaskKey::new([
+            self.config_name.as_str(),
+            &format!("v{}", self.variant),
+            &format!("len{}", self.len),
+            app.name(),
+            "prepare",
+        ])
+    }
+}
+
+/// One merged sweep cell: the stats of one `(app, policy)` run.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The task key (`config/variant/len/app/policy`).
+    pub key: TaskKey,
+    /// The seed the task ran with (derived from the key).
+    pub seed: u64,
+    /// The application.
+    pub app: AppId,
+    /// The policy name.
+    pub policy: String,
+    /// The full simulation result.
+    pub result: SimResult,
+}
+
+impl SweepCell {
+    /// Micro-op hit rate, in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        self.result.uopc.uop_hit_rate()
+    }
+
+    /// Micro-op cache misses per thousand retired instructions.
+    pub fn mpki(&self) -> f64 {
+        let kilo_insns = self.result.events.retired_instructions as f64 / 1000.0;
+        if kilo_insns > 0.0 {
+            self.result.uopc.uops_missed as f64 / kilo_insns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The merged outcome of [`run_sweep`]: cells sorted by task key, failures
+/// sorted by task key, and the batch wall-clock time.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The sweep request.
+    pub spec: SweepSpec,
+    /// One cell per completed `(app, policy)` task, in key order.
+    pub cells: Vec<SweepCell>,
+    /// Structured failures of panicked tasks, in key order.
+    pub failures: Vec<TaskFailure>,
+    /// Wall-clock time of the simulation stage.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Renders the report as canonical JSON: fixed field order, cells and
+    /// failures sorted by task key, derived metrics rounded to six decimals.
+    /// Byte-identical for every worker count — this string is what the
+    /// differential and golden tests compare.
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("key".to_string(), Json::Str(c.key.to_string())),
+                    ("seed".to_string(), Json::U64(c.seed)),
+                    ("app".to_string(), Json::Str(c.app.name().to_string())),
+                    ("policy".to_string(), Json::Str(c.policy.clone())),
+                    (
+                        "uops_requested".to_string(),
+                        Json::U64(c.result.uopc.uops_requested),
+                    ),
+                    ("uops_hit".to_string(), Json::U64(c.result.uopc.uops_hit)),
+                    (
+                        "uops_missed".to_string(),
+                        Json::U64(c.result.uopc.uops_missed),
+                    ),
+                    (
+                        "insertions".to_string(),
+                        Json::U64(c.result.uopc.insertions),
+                    ),
+                    ("bypasses".to_string(), Json::U64(c.result.uopc.bypasses)),
+                    (
+                        "evictions".to_string(),
+                        Json::U64(c.result.uopc.evicted_pws),
+                    ),
+                    ("cycles".to_string(), Json::U64(c.result.events.cycles)),
+                    (
+                        "retired_instructions".to_string(),
+                        Json::U64(c.result.events.retired_instructions),
+                    ),
+                    ("hit_rate".to_string(), Json::F64(round6(c.hit_rate()))),
+                    ("mpki".to_string(), Json::F64(round6(c.mpki()))),
+                    ("ipc".to_string(), Json::F64(round6(c.result.ipc()))),
+                ])
+            })
+            .collect();
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("key".to_string(), Json::Str(f.key.to_string())),
+                    ("seed".to_string(), Json::U64(f.seed)),
+                    ("message".to_string(), Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "config".to_string(),
+                Json::Str(self.spec.config_name.clone()),
+            ),
+            (
+                "entries".to_string(),
+                Json::U64(u64::from(self.spec.cfg.uop_cache.entries)),
+            ),
+            (
+                "ways".to_string(),
+                Json::U64(u64::from(self.spec.cfg.uop_cache.ways)),
+            ),
+            (
+                "variant".to_string(),
+                Json::U64(u64::from(self.spec.variant)),
+            ),
+            ("len".to_string(), Json::U64(self.spec.len as u64)),
+            ("cells".to_string(), Json::Arr(cells)),
+            ("failures".to_string(), Json::Arr(failures)),
+        ])
+        .to_string()
+    }
+}
+
+/// Rounds to six decimals so canonical JSON stays readable while remaining a
+/// pure function of the (deterministic) metric value.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Runs an `(app × policy)` sweep through `engine`, in two stages:
+///
+/// 1. one task per app prepares the trace and profile inputs (both pure
+///    functions of `(app, variant, len, cfg)`);
+/// 2. one task per `(app, policy)` runs the timed frontend, seeding any
+///    randomized policy from the task key.
+///
+/// Panics in stage 2 become structured [`SweepReport::failures`]; sibling
+/// cells are unaffected.
+///
+/// # Panics
+///
+/// Panics only if a *preparation* task fails (no cell of that app could be
+/// simulated).
+pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
+    let cfg = spec.cfg;
+    let variant = spec.variant;
+    let len = spec.len;
+
+    let prep_tasks: Vec<(TaskKey, AppId)> = spec
+        .apps
+        .iter()
+        .map(|&app| (spec.prep_key(app), app))
+        .collect();
+    let prepared: Vec<(AppId, Arc<(LookupTrace, ProfileInputs)>)> = engine
+        .run(prep_tasks, move |_key, _seed, app| {
+            let trace = trace_for(app, variant, len);
+            let profiles = ProfileInputs::build(&cfg, &trace);
+            (app, Arc::new((trace, profiles)))
+        })
+        .expect_all("sweep preparation");
+
+    let mut sim_tasks = Vec::new();
+    for (app, shared) in &prepared {
+        for policy in &spec.policies {
+            sim_tasks.push((
+                spec.task_key(*app, policy),
+                (*app, policy.clone(), Arc::clone(shared)),
+            ));
+        }
+    }
+    let outcome = engine.run(sim_tasks, move |_key, seed, (app, policy, shared)| {
+        let (trace, profiles): &(LookupTrace, ProfileInputs) = &shared;
+        let policy_box = make_policy_seeded(&policy, &cfg, profiles, seed);
+        let result = Frontend::with_options(cfg, policy_box, SimOptions::default()).run(trace);
+        (app, policy, result)
+    });
+    let elapsed = outcome.elapsed;
+
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for o in outcome.outcomes {
+        match o.result {
+            Ok((app, policy, result)) => cells.push(SweepCell {
+                key: o.key,
+                seed: o.seed,
+                app,
+                policy,
+                result,
+            }),
+            Err(_) => {
+                if let Some(f) = o.failure() {
+                    failures.push(f);
+                }
+            }
+        }
+    }
+    // Merge by key, never by completion or submission order.
+    cells.sort_by(|a, b| a.key.cmp(&b.key));
+    failures.sort_by(|a, b| a.key.cmp(&b.key));
+
+    SweepReport {
+        spec: spec.clone(),
+        cells,
+        failures,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            cfg: FrontendConfig::zen3(),
+            config_name: "zen3".to_string(),
+            apps: vec![AppId::Kafka, AppId::Postgres],
+            policies: vec!["LRU".to_string(), "Random".to_string()],
+            variant: 0,
+            len: 1_500,
+        }
+    }
+
+    #[test]
+    fn sweep_is_jobs_invariant() {
+        let spec = tiny_spec();
+        let serial = run_sweep(&spec, &Engine::new(1)).to_json();
+        let parallel = run_sweep(&spec, &Engine::new(4)).to_json();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn unknown_policy_becomes_a_structured_failure() {
+        let mut spec = tiny_spec();
+        spec.policies.push("NoSuchPolicy".to_string());
+        let report = run_sweep(&spec, &Engine::new(2));
+        assert_eq!(report.failures.len(), 2, "one per app");
+        assert!(report.failures[0].message.contains("NoSuchPolicy"));
+        // Sibling cells are unaffected.
+        assert_eq!(report.cells.len(), 4);
+    }
+
+    #[test]
+    fn cells_are_sorted_by_key_and_json_parses() {
+        let report = run_sweep(&tiny_spec(), &Engine::new(2));
+        let keys: Vec<String> = report.cells.iter().map(|c| c.key.to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let parsed = Json::parse(&report.to_json()).expect("canonical JSON parses");
+        assert_eq!(
+            parsed
+                .field("cells")
+                .expect("cells")
+                .as_arr()
+                .expect("arr")
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn jobs_knob_resolution_order() {
+        set_jobs(3);
+        assert_eq!(current_jobs(), 3);
+        set_jobs(0);
+        assert!(current_jobs() >= 1);
+    }
+}

@@ -4,6 +4,7 @@ use crate::args::{ArgError, Args};
 use std::error::Error;
 use std::path::Path;
 use uopcache_bench::policies::{make_policy, ProfileInputs, ONLINE_POLICIES};
+use uopcache_bench::sweep::{self, run_sweep, SweepSpec};
 use uopcache_bench::Table;
 use uopcache_core::{Flack, FurbysPipeline, OracleKind};
 use uopcache_model::{FrontendConfig, LookupTrace};
@@ -24,7 +25,13 @@ commands:
   profile    -i FILE [--oracle flack|belady|foo] -o HINTS.json
                                     produce FURBYS weight hints (steps 2-6)
   compare    -i FILE [--config ...] compare every policy (incl. offline bounds)
-  experiment ID [--quick]           regenerate one paper table/figure
+  sweep      [--apps A,B] [--policies P,Q] [--config zen3|zen4] [--entries N]
+             [--ways N] [--variant N] [--len N] [--jobs N] [--json FILE]
+                                    run an (app x policy) sweep through the
+                                    parallel engine; deterministic for any
+                                    --jobs value, canonical JSON via --json
+  experiment ID [--quick] [--jobs N]
+                                    regenerate one paper table/figure
   list-experiments                  show all experiment ids
   audit      [--root DIR] [--allowlist FILE] [--lint-only]
                                     run the workspace lint pass and the
@@ -46,6 +53,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("simulate") => cmd_simulate(&args),
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args),
+        Some("sweep") => cmd_sweep(&args),
         Some("experiment") => cmd_experiment(&args),
         Some("list-experiments") => cmd_list_experiments(),
         Some("audit") => cmd_audit(&args),
@@ -243,7 +251,85 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = parse_config(args)?;
+    let config_name = args.get("config").unwrap_or("zen3").to_string();
+    let apps = match args.get("apps") {
+        None => AppId::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_app)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let policies = match args.get("policies") {
+        None => ONLINE_POLICIES.iter().map(|p| (*p).to_string()).collect(),
+        Some(list) => list
+            .split(',')
+            .map(|p| canonical_sweep_policy(p).map(String::from))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if let Some(jobs) = args.get("jobs") {
+        sweep::set_jobs(
+            jobs.parse()
+                .map_err(|_| ArgError(format!("--jobs {jobs:?} is not a valid value")))?,
+        );
+    }
+    let spec = SweepSpec {
+        cfg,
+        config_name,
+        apps,
+        policies,
+        variant: args.get_parse("variant", 0u32)?,
+        len: args.get_parse("len", 100_000usize)?,
+    };
+    let report = run_sweep(&spec, &sweep::engine());
+
+    let mut t = Table::new(
+        &format!(
+            "sweep: {} apps x {} policies on {} ({} jobs, {:.1?})",
+            spec.apps.len(),
+            spec.policies.len(),
+            spec.config_name,
+            sweep::current_jobs(),
+            report.elapsed,
+        ),
+        &["app", "policy", "hit rate", "MPKI", "IPC", "evictions"],
+    );
+    for c in &report.cells {
+        t.row(&[
+            c.app.name().to_string(),
+            c.policy.clone(),
+            format!("{:.2}%", c.hit_rate() * 100.0),
+            format!("{:.3}", c.mpki()),
+            format!("{:.3}", c.result.ipc()),
+            format!("{}", c.result.uopc.evicted_pws),
+        ]);
+    }
+    t.print();
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote canonical JSON to {path}");
+    }
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(Box::new(ArgError(format!(
+            "{} sweep task(s) failed",
+            report.failures.len()
+        ))))
+    }
+}
+
 fn cmd_experiment(args: &Args) -> Result<(), Box<dyn Error>> {
+    if let Some(jobs) = args.get("jobs") {
+        sweep::set_jobs(
+            jobs.parse()
+                .map_err(|_| ArgError(format!("--jobs {jobs:?} is not a valid value")))?,
+        );
+    }
     let id = args
         .positional(1)
         .ok_or_else(|| ArgError("experiment needs an id (see list-experiments)".into()))?;
@@ -319,6 +405,15 @@ fn canonical_policy(name: &str) -> Result<&'static str, ArgError> {
         .ok_or_else(|| ArgError(format!("unknown policy {name:?}")))
 }
 
+/// Like [`canonical_policy`] but also accepts the seeded `Random` policy,
+/// which only exists in sweeps (its RNG seed derives from the task key).
+fn canonical_sweep_policy(name: &str) -> Result<&'static str, ArgError> {
+    if name.eq_ignore_ascii_case("random") {
+        return Ok("Random");
+    }
+    canonical_policy(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +467,26 @@ mod tests {
         assert!(hints.exists());
         let _ = std::fs::remove_file(trc);
         let _ = std::fs::remove_file(hints);
+    }
+
+    #[test]
+    fn sweep_runs_and_writes_canonical_json() {
+        let json = std::env::temp_dir().join("uopcache_cli_sweep.json");
+        run(&format!(
+            "sweep --apps kafka --policies lru,random --len 1500 --jobs 2 --json {}",
+            json.display()
+        ))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"policy\":\"Random\""), "{body}");
+        let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_inputs() {
+        assert!(run("sweep --apps nope --len 1000").is_err());
+        assert!(run("sweep --apps kafka --policies belady --len 1000").is_err());
+        assert!(run("sweep --apps kafka --jobs zero --len 1000").is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`sim`] | `uopcache-sim` | timed frontend simulator |
 //! | [`power`] | `uopcache-power` | energy model, performance-per-watt |
 //! | [`core`] | `uopcache-core` | **FLACK**, **FURBYS**, Jenks breaks, the 7-step pipeline |
+//! | [`exec`] | `uopcache-exec` | deterministic parallel experiment engine |
 //!
 //! # Examples
 //!
@@ -51,6 +52,7 @@
 
 pub use uopcache_cache as cache;
 pub use uopcache_core as core;
+pub use uopcache_exec as exec;
 pub use uopcache_flow as flow;
 pub use uopcache_model as model;
 pub use uopcache_offline as offline;

@@ -1,0 +1,133 @@
+//! Property-style checks of the `uopcache-exec` engine under randomized
+//! submission orders and worker counts.
+//!
+//! Random inputs come from the workspace's deterministic seeded [`Prng`], so
+//! any failure reproduces exactly from the printed round number.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use uopcache::exec::{Engine, TaskKey};
+use uopcache::model::rng::{Prng, Rng};
+
+/// Fisher-Yates shuffle driven by the workspace Prng.
+fn shuffle<T>(rng: &mut Prng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i as u64) as usize;
+        items.swap(i, j);
+    }
+}
+
+fn keys(n: usize) -> Vec<TaskKey> {
+    (0..n)
+        .map(|i| TaskKey::new(["prop", &format!("task{i:03}")]))
+        .collect()
+}
+
+/// Every submitted task runs exactly once, whatever the submission order or
+/// worker count.
+#[test]
+fn every_task_runs_exactly_once() {
+    let mut rng = Prng::seed_from_u64(0x5eed_ec01);
+    for round in 0..8 {
+        let n = rng.gen_range(1..40u64) as usize;
+        let jobs = rng.gen_range(1..9u64) as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        shuffle(&mut rng, &mut order);
+
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let all = keys(n);
+        let tasks: Vec<(TaskKey, usize)> = order.iter().map(|&i| (all[i].clone(), i)).collect();
+        let outcome = Engine::new(jobs).run(tasks, |_key, _seed, i: usize| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                1,
+                "round {round}: task {i} did not run exactly once (n={n}, jobs={jobs})"
+            );
+        }
+        assert_eq!(outcome.outcomes.len(), n, "round {round}");
+    }
+}
+
+/// Outcomes come back in submission order, and sorting them by key is a pure
+/// reordering of the same set — the merge rule every caller relies on.
+#[test]
+fn outcomes_merge_in_submission_then_key_order() {
+    let mut rng = Prng::seed_from_u64(0x5eed_ec02);
+    for round in 0..8 {
+        let n = rng.gen_range(2..30u64) as usize;
+        let jobs = rng.gen_range(1..9u64) as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        shuffle(&mut rng, &mut order);
+
+        let all = keys(n);
+        let tasks: Vec<(TaskKey, usize)> = order.iter().map(|&i| (all[i].clone(), i)).collect();
+        let outcome = Engine::new(jobs).run(tasks, |_key, _seed, i: usize| i);
+
+        // Submission order is preserved verbatim...
+        let returned: Vec<usize> = outcome
+            .outcomes
+            .iter()
+            .map(|o| *o.result.as_ref().expect("no panics here"))
+            .collect();
+        assert_eq!(returned, order, "round {round} (jobs={jobs})");
+        // ...and a key-order sort recovers the canonical 0..n sequence.
+        let mut by_key = outcome.outcomes;
+        by_key.sort_by(|a, b| a.key.cmp(&b.key));
+        let sorted: Vec<usize> = by_key
+            .iter()
+            .map(|o| *o.result.as_ref().expect("no panics here"))
+            .collect();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "round {round}");
+    }
+}
+
+/// A panicking task is reported as a structured failure carrying its key and
+/// seed; sibling tasks are unaffected (no poisoning, no abort).
+#[test]
+fn panics_are_isolated_and_structured() {
+    let mut rng = Prng::seed_from_u64(0x5eed_ec03);
+    for round in 0..8 {
+        let n = rng.gen_range(3..25u64) as usize;
+        let jobs = rng.gen_range(1..9u64) as usize;
+        let bad = rng.gen_range(0..n as u64) as usize;
+
+        let all = keys(n);
+        let tasks: Vec<(TaskKey, usize)> = (0..n).map(|i| (all[i].clone(), i)).collect();
+        let outcome = Engine::new(jobs).run(tasks, |_key, _seed, i: usize| {
+            assert!(i != bad, "task {i} was told to fail");
+            i
+        });
+
+        let failures = outcome.failures();
+        assert_eq!(failures.len(), 1, "round {round} (jobs={jobs})");
+        assert_eq!(failures[0].key, all[bad]);
+        assert_eq!(failures[0].seed, all[bad].seed());
+        assert!(failures[0].message.contains("told to fail"));
+        let ok = outcome.outcomes.iter().filter(|o| o.result.is_ok()).count();
+        assert_eq!(ok, n - 1, "round {round}: siblings were poisoned");
+    }
+}
+
+/// The seed handed to a task depends only on its key — not on submission
+/// position, sibling tasks, or worker count.
+#[test]
+fn seeds_depend_only_on_the_key() {
+    let mut rng = Prng::seed_from_u64(0x5eed_ec04);
+    let all = keys(12);
+    let reference: Vec<u64> = all.iter().map(TaskKey::seed).collect();
+    for round in 0..8 {
+        let jobs = rng.gen_range(1..9u64) as usize;
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        shuffle(&mut rng, &mut order);
+        let tasks: Vec<(TaskKey, usize)> = order.iter().map(|&i| (all[i].clone(), i)).collect();
+        let outcome = Engine::new(jobs).run(tasks, |_key, seed, i: usize| (i, seed));
+        for o in &outcome.outcomes {
+            let (i, seen) = *o.result.as_ref().expect("no panics here");
+            assert_eq!(seen, reference[i], "round {round} (jobs={jobs})");
+            assert_eq!(o.seed, reference[i], "round {round}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Differential determinism: the same sweep run at `--jobs 1`, `--jobs 2`
+//! and `--jobs 8` must produce byte-identical canonical JSON. This is the
+//! executable form of the engine's contract — results are a pure function of
+//! the task keys, never of scheduling.
+
+use uopcache::exec::Engine;
+use uopcache::model::FrontendConfig;
+use uopcache::trace::AppId;
+use uopcache_bench::sweep::{run_sweep, SweepSpec};
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        cfg: FrontendConfig::zen3(),
+        config_name: "zen3".to_string(),
+        apps: vec![AppId::Kafka, AppId::Postgres, AppId::Clang],
+        policies: vec![
+            "LRU".to_string(),
+            "SRRIP".to_string(),
+            "FURBYS".to_string(),
+            "Random".to_string(),
+        ],
+        variant: 0,
+        len: 3_000,
+    }
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_worker_counts() {
+    let spec = spec();
+    let jobs1 = run_sweep(&spec, &Engine::new(1)).to_json();
+    let jobs2 = run_sweep(&spec, &Engine::new(2)).to_json();
+    let jobs8 = run_sweep(&spec, &Engine::new(8)).to_json();
+    assert_eq!(jobs1, jobs2, "--jobs 2 diverged from the serial path");
+    assert_eq!(jobs1, jobs8, "--jobs 8 diverged from the serial path");
+}
+
+#[test]
+fn sweep_json_is_byte_identical_even_with_failing_tasks() {
+    // A panicking task must surface as the same structured failure row for
+    // every worker count — failures are part of the canonical output, so
+    // they have to merge in key order like everything else.
+    let mut spec = spec();
+    spec.policies.push("NoSuchPolicy".to_string());
+    let jobs1 = run_sweep(&spec, &Engine::new(1)).to_json();
+    let jobs8 = run_sweep(&spec, &Engine::new(8)).to_json();
+    assert_eq!(jobs1, jobs8);
+    assert!(jobs1.contains("NoSuchPolicy"));
+}
+
+#[test]
+fn seeds_are_stable_per_key_and_distinct_across_cells() {
+    let report = run_sweep(&spec(), &Engine::new(4));
+    for cell in &report.cells {
+        assert_eq!(cell.seed, cell.key.seed(), "seed must derive from the key");
+    }
+    let mut seeds: Vec<u64> = report.cells.iter().map(|c| c.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), report.cells.len(), "per-task seeds collided");
+}
