@@ -8,7 +8,7 @@
 //! measurement passes together with element throughput where meaningful.
 
 use std::time::{Duration, Instant};
-use uopcache_bench::policies::{make_policy, ProfileInputs, ONLINE_POLICIES};
+use uopcache_bench::policies::{PolicyId, ProfileInputs};
 use uopcache_cache::{LruPolicy, UopCache};
 use uopcache_core::jenks::jenks_breaks;
 use uopcache_core::Flack;
@@ -46,7 +46,9 @@ fn bench_simulator() {
     let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 20_000);
     let n = trace.len() as u64;
     let d = measure(5, || {
-        let mut fe = Frontend::new(FrontendConfig::zen3(), Box::new(LruPolicy::new()));
+        let mut fe = Frontend::builder(FrontendConfig::zen3())
+            .policy(LruPolicy::new())
+            .build();
         fe.run(&trace)
     });
     report("simulator", "frontend_lru_20k", d, Some(n));
@@ -57,12 +59,12 @@ fn bench_policies() {
     let trace = build_trace(AppId::Postgres, InputVariant::DEFAULT, 10_000);
     let profiles = ProfileInputs::build(&cfg, &trace);
     let n = trace.len() as u64;
-    for name in ONLINE_POLICIES {
+    for id in PolicyId::ONLINE {
         let d = measure(5, || {
-            let mut cache = UopCache::new(cfg.uop_cache, make_policy(name, &cfg, &profiles));
+            let mut cache = UopCache::new(cfg.uop_cache, id.build(&cfg, &profiles, 0));
             run_trace(&mut cache, &trace)
         });
-        report("policy_decisions", name, d, Some(n));
+        report("policy_decisions", id.name(), d, Some(n));
     }
 }
 

@@ -7,7 +7,7 @@
 //! ```
 
 use std::time::Instant;
-use uopcache_bench::policies::ONLINE_POLICIES;
+use uopcache_bench::policies::PolicyId;
 use uopcache_bench::runs::{mean, Lab};
 use uopcache_core::Flack;
 use uopcache_model::FrontendConfig;
@@ -21,16 +21,16 @@ fn main() {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len);
     let t0 = Instant::now();
     println!("app          LRUmiss%  SRRIP  SHiP++  Mockj   GHRP  Thermo FURBYS |  Belady    FOO      A   A+VC  FLACK");
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); ONLINE_POLICIES.len() - 1 + 5];
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); PolicyId::ONLINE.len() - 1 + 5];
     for app in AppId::ALL {
-        let lru = lab.run_online("LRU", app, 0);
+        let lru = lab.run_online(PolicyId::Lru, app, 0);
         print!(
             "{:<12} {:>8.2}",
             app.name(),
             lru.uopc.uop_miss_rate() * 100.0
         );
         let mut ci = 0;
-        for p in &ONLINE_POLICIES[1..] {
+        for &p in &PolicyId::ONLINE[1..] {
             let red = lab.online_miss_reduction(p, app);
             print!(" {:>6.2}", red);
             cols[ci].push(red);

@@ -2,6 +2,7 @@
 //! the FURBYS hardware overhead arithmetic (§VI).
 
 use crate::experiments::{apps_for, len_for};
+use crate::policies::PolicyId;
 use crate::runs::{mean, Lab};
 use crate::table::Table;
 use uopcache_model::FrontendConfig;
@@ -23,13 +24,13 @@ pub fn sec7_noninclusive(quick: bool) -> Vec<Table> {
     let mut lab_inc = Lab::with_len(inclusive_cfg, len_for(quick));
     let mut lab_non = Lab::with_len(noninclusive_cfg, len_for(quick));
     let apps = apps_for(quick);
-    lab_inc.prewarm_online(&["LRU", "FURBYS"], &apps);
-    lab_non.prewarm_online(&["LRU", "FURBYS"], &apps);
+    lab_inc.prewarm_online(&[PolicyId::Lru, PolicyId::Furbys], &apps);
+    lab_non.prewarm_online(&[PolicyId::Lru, PolicyId::Furbys], &apps);
     for app in apps {
-        let lru_i = lab_inc.run_online("LRU", app, 0);
-        let fur_i = lab_inc.run_online("FURBYS", app, 0);
-        let lru_n = lab_non.run_online("LRU", app, 0);
-        let fur_n = lab_non.run_online("FURBYS", app, 0);
+        let lru_i = lab_inc.run_online(PolicyId::Lru, app, 0);
+        let fur_i = lab_inc.run_online(PolicyId::Furbys, app, 0);
+        let lru_n = lab_non.run_online(PolicyId::Lru, app, 0);
+        let fur_n = lab_non.run_online(PolicyId::Furbys, app, 0);
         let inc = fur_i.ipc_speedup_vs(&lru_i);
         let non = fur_n.ipc_speedup_vs(&lru_n);
         inc_all.push(inc);
@@ -120,15 +121,20 @@ pub fn ext1_phased_furbys(quick: bool) -> Vec<Table> {
         .collect();
     let per_app = crate::sweep::par_map("ext1 phased", tasks, move |_key, _seed, app| {
         let trace = crate::apps::trace_for(app, 0, len);
-        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&trace);
         let pipeline = FurbysPipeline::new(cfg);
         let profile = pipeline.profile(&trace);
         let flat = pipeline.deploy_and_run(&profile, &trace);
         let obs = pipeline.oracle_observations(&trace);
         let phased_profile =
             PhasedProfile::from_observations(&obs, &cfg.uop_cache, &pipeline.weight_cfg, segments);
-        let phased =
-            Frontend::new(cfg, Box::new(PhasedFurbysPolicy::new(phased_profile))).run(&trace);
+        let phased = Frontend::builder(cfg)
+            .policy(PhasedFurbysPolicy::new(phased_profile))
+            .build()
+            .run(&trace);
         (
             flat.uopc.miss_reduction_vs(&lru.uopc),
             phased.uopc.miss_reduction_vs(&lru.uopc),

@@ -3,6 +3,7 @@
 
 use crate::apps::trace_for;
 use crate::experiments::{apps_for, len_for};
+use crate::policies::PolicyId;
 use crate::runs::{mean, Lab};
 use crate::sweep::{app_key, par_map};
 use crate::table::Table;
@@ -19,7 +20,7 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     lab.classify_misses(true);
     let apps = apps_for(quick);
-    lab.prewarm_online(&["LRU"], &apps);
+    lab.prewarm_online(&[PolicyId::Lru], &apps);
     let mut t = Table::new(
         "SIII-B: LRU miss classes (paper: cold 0.89%, capacity 88.31%, conflict 10.8%)",
         &["app", "cold%", "capacity%", "conflict%"],
@@ -64,7 +65,7 @@ pub fn sec3b_miss_classes(quick: bool) -> Vec<Table> {
     }
 
     for &app in &apps {
-        let lru = lab.run_online("LRU", app, 0).uopc;
+        let lru = lab.run_online(PolicyId::Lru, app, 0).uopc;
         let total = lru.uops_missed.max(1) as f64;
         cold.push(lru.cold_miss_uops as f64 / total * 100.0);
         cap.push(lru.capacity_miss_uops as f64 / total * 100.0);
@@ -126,16 +127,22 @@ fn offline_flack_reductions(stage: &str, lab: &mut Lab, apps: &[AppId]) -> Vec<f
 /// reduction (paper: GHRP, the best, reaches 31.52% of FLACK).
 pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
-    let policies = ["SRRIP", "SHiP++", "Mockingjay", "GHRP", "Thermometer"];
+    let policies = [
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+    ];
     let apps = apps_for(quick);
     lab.prewarm_online(
         &[
-            "LRU",
-            "SRRIP",
-            "SHiP++",
-            "Mockingjay",
-            "GHRP",
-            "Thermometer",
+            PolicyId::Lru,
+            PolicyId::Srrip,
+            PolicyId::ShipPlusPlus,
+            PolicyId::Mockingjay,
+            PolicyId::Ghrp,
+            PolicyId::Thermometer,
         ],
         &apps,
     );
@@ -155,7 +162,7 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
     for (&app, &flack) in apps.iter().zip(&flack_reds) {
         let mut row = vec![app.name().to_string()];
-        for (i, p) in policies.iter().enumerate() {
+        for (i, &p) in policies.iter().enumerate() {
             let red = lab.online_miss_reduction(p, app);
             cols[i].push(red);
             row.push(format!("{red:.2}"));
@@ -190,15 +197,15 @@ pub fn fig05_existing_policies(quick: bool) -> Vec<Table> {
 pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     let policies = [
-        "SRRIP",
-        "SHiP++",
-        "Mockingjay",
-        "GHRP",
-        "Thermometer",
-        "FURBYS",
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
     ];
     let apps = apps_for(quick);
-    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    lab.prewarm_online(&PolicyId::ONLINE, &apps);
     let flack_reds = offline_flack_reductions("fig08-flack", &mut lab, &apps);
     let mut t = Table::new(
         "Fig. 8: miss reduction over LRU",
@@ -216,7 +223,7 @@ pub fn fig08_furbys_miss_reduction(quick: bool) -> Vec<Table> {
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len() + 1];
     for (&app, &flack) in apps.iter().zip(&flack_reds) {
         let mut row = vec![app.name().to_string()];
-        for (i, p) in policies.iter().enumerate() {
+        for (i, &p) in policies.iter().enumerate() {
             let red = lab.online_miss_reduction(p, app);
             cols[i].push(red);
             row.push(format!("{red:.2}"));
@@ -351,7 +358,10 @@ pub fn fig15_profile_sources(quick: bool) -> Vec<Table> {
         .collect();
     let per_app = par_map("fig15 profile sources", tasks, move |_key, _seed, app| {
         let trace = trace_for(app, 0, len);
-        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&trace);
         oracles.map(|oracle| {
             let mut p = FurbysPipeline::new(cfg);
             p.oracle = oracle;
@@ -410,7 +420,10 @@ pub fn fig18_cross_validation(quick: bool) -> Vec<Table> {
         let train0 = trace_for(app, 0, len);
         let train1 = trace_for(app, 1, len);
         let test = trace_for(app, 2, len);
-        let lru_test = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&test);
+        let lru_test = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&test);
         // Same-input: profile the test input itself.
         let same_profile = pipeline.profile(&test);
         let same = pipeline
@@ -485,7 +498,10 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
         .collect();
     let per_app = par_map("fig21 bypass", tasks, move |_key, _seed, app| {
         let trace = trace_for(app, 0, len);
-        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&trace);
         let pipeline_on = FurbysPipeline::new(cfg);
         let profile = pipeline_on.profile(&trace);
         let on = pipeline_on.deploy_and_run(&profile, &trace);
@@ -580,13 +596,19 @@ pub fn fig22_hotness(quick: bool) -> Vec<Table> {
     );
     // Online policies through the synchronous observer for per-PW hit data.
     let profiles = crate::policies::ProfileInputs::build(&cfg, &trace);
-    for name in ["LRU", "SRRIP", "GHRP", "Thermometer", "FURBYS"] {
-        let policy = crate::policies::make_policy(name, &cfg, &profiles);
+    for id in [
+        PolicyId::Lru,
+        PolicyId::Srrip,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
+    ] {
+        let policy = id.build(&cfg, &profiles, 0);
         let mut cache = uopcache_cache::UopCache::new(cfg.uop_cache, policy);
         let (_, obs) = uopcache_policies::run_trace_observed(&mut cache, &trace);
         let rates = class_rates(&obs);
         t.row(&[
-            name.to_string(),
+            id.to_string(),
             format!("{:.1}", rates[0]),
             format!("{:.1}", rates[1]),
             format!("{:.1}", rates[2]),
@@ -612,14 +634,14 @@ pub fn fig22_hotness(quick: bool) -> Vec<Table> {
 pub fn sec6c_coverage(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     let apps = apps_for(quick);
-    lab.prewarm_online(&["FURBYS"], &apps);
+    lab.prewarm_online(&[PolicyId::Furbys], &apps);
     let mut t = Table::new(
         "SVI-C: FURBYS replacement coverage (paper: 88.68% average)",
         &["app", "coverage"],
     );
     let mut all = Vec::new();
     for app in apps {
-        let r = lab.run_online("FURBYS", app, 0);
+        let r = lab.run_online(PolicyId::Furbys, app, 0);
         let cov = r.uopc.replacement_coverage() * 100.0;
         all.push(cov);
         t.row(&[app.name().to_string(), format!("{cov:.2}%")]);

@@ -1,6 +1,7 @@
 //! Energy / performance-per-watt experiments: Figs. 2, 9, 13, 14, 17.
 
 use crate::experiments::{apps_for, len_for};
+use crate::policies::PolicyId;
 use crate::runs::{mean, Lab};
 use crate::table::Table;
 use uopcache_model::FrontendConfig;
@@ -36,15 +37,15 @@ pub fn fig02_perfect_structures(quick: bool) -> Vec<Table> {
         .collect();
     let mut base_lab = Lab::with_len(base_cfg, len_for(quick));
     let apps = apps_for(quick);
-    base_lab.prewarm_online(&["LRU"], &apps);
+    base_lab.prewarm_online(&[PolicyId::Lru], &apps);
     for lab in &mut labs {
-        lab.prewarm_online(&["LRU"], &apps);
+        lab.prewarm_online(&[PolicyId::Lru], &apps);
     }
     for app in apps {
-        let base = base_lab.run_online("LRU", app, 0);
+        let base = base_lab.run_online(PolicyId::Lru, app, 0);
         let mut row = vec![app.name().to_string()];
         for (i, lab) in labs.iter_mut().enumerate() {
-            let perfect = lab.run_online("LRU", app, 0);
+            let perfect = lab.run_online(PolicyId::Lru, app, 0);
             let gain = ppw_gain_percent(&model, &perfect, &base);
             cols[i].push(gain);
             row.push(format!("{gain:.2}"));
@@ -98,12 +99,12 @@ fn ppw_table(cfg: FrontendConfig, quick: bool, title: &str, paper_furbys: &str) 
     let model = EnergyModel::zen3_22nm(&cfg);
     let mut lab = Lab::with_len(cfg, len_for(quick));
     let policies = [
-        "SRRIP",
-        "SHiP++",
-        "Mockingjay",
-        "GHRP",
-        "Thermometer",
-        "FURBYS",
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
     ];
     let mut t = Table::new(
         title,
@@ -119,11 +120,11 @@ fn ppw_table(cfg: FrontendConfig, quick: bool, title: &str, paper_furbys: &str) 
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     let apps = apps_for(quick);
-    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    lab.prewarm_online(&PolicyId::ONLINE, &apps);
     for app in apps {
-        let lru = lab.run_online("LRU", app, 0);
+        let lru = lab.run_online(PolicyId::Lru, app, 0);
         let mut row = vec![app.name().to_string()];
-        for (i, p) in policies.iter().enumerate() {
+        for (i, &p) in policies.iter().enumerate() {
             let r = lab.run_online(p, app, 0);
             let gain = ppw_gain_percent(&model, &r, &lru);
             cols[i].push(gain);
@@ -161,14 +162,14 @@ pub fn fig13_energy_breakdown(quick: bool) -> Vec<Table> {
     no_uopc.uop_cache.uops_per_entry = 1;
     no_uopc.uop_cache.max_entries_per_pw = 1;
     let mut lab_none = Lab::with_len(no_uopc, len);
-    let base = lab_none.run_online("LRU", app, 0);
+    let base = lab_none.run_online(PolicyId::Lru, app, 0);
     let base_b = model.evaluate(&base);
 
     let mut lab = Lab::with_len(cfg, len);
-    lab.prewarm_online(&["LRU", "FURBYS"], &[app]);
-    let lru = lab.run_online("LRU", app, 0);
+    lab.prewarm_online(&[PolicyId::Lru, PolicyId::Furbys], &[app]);
+    let lru = lab.run_online(PolicyId::Lru, app, 0);
     let lru_b = model.evaluate(&lru);
-    let furbys = lab.run_online("FURBYS", app, 0);
+    let furbys = lab.run_online(PolicyId::Furbys, app, 0);
     let furbys_b = model.evaluate(&furbys);
 
     let mut t = Table::new(
@@ -253,10 +254,10 @@ pub fn fig14_energy_reduction(quick: bool) -> Vec<Table> {
         ],
     );
     let apps = apps_for(quick);
-    lab.prewarm_online(&["LRU", "FURBYS"], &apps);
+    lab.prewarm_online(&[PolicyId::Lru, PolicyId::Furbys], &apps);
     for app in apps {
-        let lru = model.evaluate(&lab.run_online("LRU", app, 0));
-        let fur = model.evaluate(&lab.run_online("FURBYS", app, 0));
+        let lru = model.evaluate(&lab.run_online(PolicyId::Lru, app, 0));
+        let fur = model.evaluate(&lab.run_online(PolicyId::Furbys, app, 0));
         let saved = (lru.total() - fur.total()).max(1e-12);
         let d = (lru.decoder - fur.decoder) / saved * 100.0;
         let i = (lru.icache - fur.icache) / saved * 100.0;

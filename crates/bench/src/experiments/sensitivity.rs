@@ -2,6 +2,7 @@
 
 use crate::apps::trace_for;
 use crate::experiments::{apps_for, len_for};
+use crate::policies::PolicyId;
 use crate::runs::{mean, Lab};
 use crate::sweep::{app_key, par_map};
 use crate::table::Table;
@@ -37,10 +38,21 @@ pub fn fig16_size_assoc(quick: bool) -> Vec<Table> {
         cfg.uop_cache = cfg.uop_cache.with_entries(entries).with_ways(ways);
         let mut lab = Lab::with_len(cfg, len_for(quick));
         let apps = apps_for(quick);
-        lab.prewarm_online(&["LRU", "GHRP", "Thermometer", "FURBYS"], &apps);
+        lab.prewarm_online(
+            &[
+                PolicyId::Lru,
+                PolicyId::Ghrp,
+                PolicyId::Thermometer,
+                PolicyId::Furbys,
+            ],
+            &apps,
+        );
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for app in apps {
-            for (i, p) in ["GHRP", "Thermometer", "FURBYS"].iter().enumerate() {
+            for (i, &p) in [PolicyId::Ghrp, PolicyId::Thermometer, PolicyId::Furbys]
+                .iter()
+                .enumerate()
+            {
                 cols[i].push(lab.online_miss_reduction(p, app));
             }
         }
@@ -78,7 +90,10 @@ pub fn fig19_weight_groups(quick: bool) -> Vec<Table> {
         .collect();
     let prepared = par_map("fig19 prepare", prep_tasks, move |_key, _seed, a| {
         let tr = trace_for(a, 0, len);
-        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&tr);
+        let lru = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&tr);
         Arc::new((tr, lru))
     });
     let mut tasks = Vec::new();
@@ -132,7 +147,10 @@ pub fn fig20_pitfall_depth(quick: bool) -> Vec<Table> {
         .collect();
     let prepared = par_map("fig20 prepare", prep_tasks, move |_key, _seed, a| {
         let tr = trace_for(a, 0, len);
-        let lru = Frontend::new(cfg, Box::new(uopcache_cache::LruPolicy::new())).run(&tr);
+        let lru = Frontend::builder(cfg)
+            .policy(uopcache_cache::LruPolicy::new())
+            .build()
+            .run(&tr);
         let profile = FurbysPipeline::new(cfg).profile(&tr);
         Arc::new((tr, lru, profile))
     });

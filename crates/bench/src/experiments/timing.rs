@@ -1,6 +1,7 @@
 //! IPC experiments: Figs. 11 and 12.
 
 use crate::experiments::{apps_for, len_for};
+use crate::policies::PolicyId;
 use crate::runs::{mean, Lab};
 use crate::table::Table;
 use uopcache_model::FrontendConfig;
@@ -10,12 +11,12 @@ use uopcache_model::FrontendConfig;
 pub fn fig11_ipc_speedup(quick: bool) -> Vec<Table> {
     let mut lab = Lab::with_len(FrontendConfig::zen3(), len_for(quick));
     let policies = [
-        "SRRIP",
-        "SHiP++",
-        "Mockingjay",
-        "GHRP",
-        "Thermometer",
-        "FURBYS",
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
     ];
     let mut t = Table::new(
         "Fig. 11: IPC speedup over LRU (%)",
@@ -31,11 +32,11 @@ pub fn fig11_ipc_speedup(quick: bool) -> Vec<Table> {
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     let apps = apps_for(quick);
-    lab.prewarm_online(&crate::policies::ONLINE_POLICIES, &apps);
+    lab.prewarm_online(&PolicyId::ONLINE, &apps);
     for app in apps {
-        let lru = lab.run_online("LRU", app, 0);
+        let lru = lab.run_online(PolicyId::Lru, app, 0);
         let mut row = vec![app.name().to_string()];
-        for (i, p) in policies.iter().enumerate() {
+        for (i, &p) in policies.iter().enumerate() {
             let r = lab.run_online(p, app, 0);
             let s = r.ipc_speedup_vs(&lru);
             cols[i].push(s);
@@ -84,22 +85,25 @@ pub fn fig12_iso_performance(quick: bool) -> Vec<Table> {
     );
     let mut ratios = Vec::new();
     let apps = apps_for(quick);
-    furbys_lab.prewarm_online(&["FURBYS"], &apps);
+    furbys_lab.prewarm_online(&[PolicyId::Furbys], &apps);
     let mut labs: Vec<(u32, Lab)> = sizes
         .iter()
         .map(|&s| {
             let mut cfg = base_cfg;
             cfg.uop_cache = cfg.uop_cache.with_entries(s);
             let mut lab = Lab::with_len(cfg, len);
-            lab.prewarm_online(&["LRU"], &apps);
+            lab.prewarm_online(&[PolicyId::Lru], &apps);
             (s, lab)
         })
         .collect();
     for app in apps {
-        let furbys = furbys_lab.run_online("FURBYS", app, 0).uopc.uops_missed;
+        let furbys = furbys_lab
+            .run_online(PolicyId::Furbys, app, 0)
+            .uopc
+            .uops_missed;
         let mut by_size = Vec::new();
         for (s, lab) in labs.iter_mut() {
-            by_size.push((*s, lab.run_online("LRU", app, 0).uopc.uops_missed));
+            by_size.push((*s, lab.run_online(PolicyId::Lru, app, 0).uopc.uops_missed));
         }
         // First LRU capacity whose misses drop to (or below) FURBYS's.
         let iso = by_size

@@ -1,6 +1,13 @@
-//! Name-indexed policy construction for the experiment drivers.
+//! Typed policy identities and construction for the experiment drivers.
+//!
+//! [`PolicyId`] replaces the old stringly `make_policy`/`make_policy_seeded`
+//! pair: every policy the evaluation compares is an enum variant, so
+//! construction is one exhaustive `match`, CLI round-tripping goes through
+//! `FromStr`/`Display`, and the audit `unique-policy-names` rule keys off a
+//! single authoritative list.
 
 use std::collections::HashMap;
+use std::str::FromStr;
 use uopcache_cache::{LruPolicy, PwReplacementPolicy};
 use uopcache_core::{FurbysPipeline, Profile};
 use uopcache_model::{Addr, FrontendConfig, LookupTrace};
@@ -9,17 +16,179 @@ use uopcache_policies::{
     SrripPolicy, ThermometerPolicy,
 };
 
-/// The online policies compared throughout the evaluation, in figure order
-/// (LRU is the baseline and listed first).
-pub const ONLINE_POLICIES: [&str; 7] = [
-    "LRU",
-    "SRRIP",
-    "SHiP++",
-    "Mockingjay",
-    "GHRP",
-    "Thermometer",
-    "FURBYS",
-];
+/// The identity of one replacement policy under evaluation.
+///
+/// `Display` renders the canonical figure label (`"SHiP++"`, `"FURBYS"`);
+/// `FromStr` accepts those labels case-insensitively, so CLI flags
+/// round-trip through the enum.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, PartialOrd, Ord)]
+pub enum PolicyId {
+    /// Least-recently-used (the baseline).
+    Lru,
+    /// Static re-reference interval prediction.
+    Srrip,
+    /// Signature-based hit prediction (SHiP++).
+    ShipPlusPlus,
+    /// Mockingjay's estimated-time-of-arrival replacement.
+    Mockingjay,
+    /// Global-history reuse prediction.
+    Ghrp,
+    /// Thermometer's profile-guided BTB-style port.
+    Thermometer,
+    /// The paper's profile-guided policy (FLACK-derived hints).
+    Furbys,
+    /// Uniform-random victim selection (seeded per task).
+    Random,
+}
+
+impl PolicyId {
+    /// The online policies compared throughout the evaluation, in figure
+    /// order (LRU is the baseline and listed first).
+    pub const ONLINE: [PolicyId; 7] = [
+        PolicyId::Lru,
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
+    ];
+
+    /// Every constructible policy: [`ONLINE`](Self::ONLINE) plus the seeded
+    /// `Random` control.
+    pub const ALL: [PolicyId; 8] = [
+        PolicyId::Lru,
+        PolicyId::Srrip,
+        PolicyId::ShipPlusPlus,
+        PolicyId::Mockingjay,
+        PolicyId::Ghrp,
+        PolicyId::Thermometer,
+        PolicyId::Furbys,
+        PolicyId::Random,
+    ];
+
+    /// The canonical label, exactly as the figures and JSON reports spell
+    /// it. Matches `PwReplacementPolicy::name` of the constructed policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyId::Lru => "LRU",
+            PolicyId::Srrip => "SRRIP",
+            PolicyId::ShipPlusPlus => "SHiP++",
+            PolicyId::Mockingjay => "Mockingjay",
+            PolicyId::Ghrp => "GHRP",
+            PolicyId::Thermometer => "Thermometer",
+            PolicyId::Furbys => "FURBYS",
+            PolicyId::Random => "Random",
+        }
+    }
+
+    /// Whether the policy consumes the per-task seed (only `Random` does;
+    /// every other listed policy is deterministic by construction).
+    pub fn is_seeded(self) -> bool {
+        matches!(self, PolicyId::Random)
+    }
+
+    /// Instantiates the policy. `seed` is the task-key-derived seed and is
+    /// only consumed by [`is_seeded`](Self::is_seeded) policies, so parallel
+    /// sweeps stay reproducible (the seed is a pure function of the task,
+    /// never of scheduling).
+    pub fn build(
+        self,
+        cfg: &FrontendConfig,
+        profiles: &ProfileInputs,
+        seed: u64,
+    ) -> Box<dyn PwReplacementPolicy> {
+        match self {
+            PolicyId::Lru => Box::new(LruPolicy::new()),
+            PolicyId::Srrip => Box::new(SrripPolicy::new()),
+            PolicyId::ShipPlusPlus => Box::new(ShipPlusPlusPolicy::new()),
+            PolicyId::Mockingjay => Box::new(MockingjayPolicy::new()),
+            PolicyId::Ghrp => Box::new(GhrpPolicy::new()),
+            PolicyId::Thermometer => {
+                Box::new(ThermometerPolicy::from_hit_rates(&profiles.lru_rates))
+            }
+            PolicyId::Furbys => {
+                let pipeline = FurbysPipeline::new(*cfg);
+                Box::new(pipeline.policy(&profiles.furbys))
+            }
+            PolicyId::Random => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyId::ALL
+            .into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown policy {s:?}"))
+    }
+}
+
+/// A fixed roster of policies, for call sites that resolve user input
+/// against a specific subset (the CLI's `simulate` accepts any policy, its
+/// `compare` only the online ones).
+#[derive(Clone, Debug)]
+pub struct PolicyRegistry {
+    ids: Vec<PolicyId>,
+}
+
+impl PolicyRegistry {
+    /// The online-policy roster ([`PolicyId::ONLINE`]).
+    pub fn online() -> Self {
+        PolicyRegistry {
+            ids: PolicyId::ONLINE.to_vec(),
+        }
+    }
+
+    /// Every constructible policy ([`PolicyId::ALL`]).
+    pub fn all() -> Self {
+        PolicyRegistry {
+            ids: PolicyId::ALL.to_vec(),
+        }
+    }
+
+    /// The roster, in figure order.
+    pub fn ids(&self) -> &[PolicyId] {
+        &self.ids
+    }
+
+    /// Resolves a user-supplied name (case-insensitive) against the roster.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names when `s` parses to no
+    /// policy or to one outside the roster.
+    pub fn resolve(&self, s: &str) -> Result<PolicyId, String> {
+        let listed = || {
+            self.ids
+                .iter()
+                .map(|id| id.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match s.parse::<PolicyId>() {
+            Ok(id) if self.ids.contains(&id) => Ok(id),
+            Ok(id) => Err(format!(
+                "policy {} is not in this roster (expected one of: {})",
+                id.name(),
+                listed()
+            )),
+            Err(_) => Err(format!(
+                "unknown policy {s:?} (expected one of: {})",
+                listed()
+            )),
+        }
+    }
+}
 
 /// Profile inputs needed by the profile-guided policies.
 #[derive(Clone)]
@@ -47,54 +216,6 @@ impl ProfileInputs {
     }
 }
 
-/// Instantiates an online policy by name. None of these policies consume a
-/// seed (audited: the experiment drivers share no RNG state across
-/// iterations — every listed policy is deterministic by construction).
-/// Randomized policies go through [`make_policy_seeded`].
-///
-/// # Panics
-///
-/// Panics on an unknown name.
-pub fn make_policy(
-    name: &str,
-    cfg: &FrontendConfig,
-    profiles: &ProfileInputs,
-) -> Box<dyn PwReplacementPolicy> {
-    match name {
-        "LRU" => Box::new(LruPolicy::new()),
-        "SRRIP" => Box::new(SrripPolicy::new()),
-        "SHiP++" => Box::new(ShipPlusPlusPolicy::new()),
-        "Mockingjay" => Box::new(MockingjayPolicy::new()),
-        "GHRP" => Box::new(GhrpPolicy::new()),
-        "Thermometer" => Box::new(ThermometerPolicy::from_hit_rates(&profiles.lru_rates)),
-        "FURBYS" => {
-            let pipeline = FurbysPipeline::new(*cfg);
-            Box::new(pipeline.policy(&profiles.furbys))
-        }
-        other => panic!("unknown policy {other:?}"),
-    }
-}
-
-/// Instantiates a policy by name with a per-task seed. Superset of
-/// [`make_policy`]: additionally accepts `"Random"`, whose eviction RNG is
-/// seeded from the task key so parallel sweeps stay reproducible (the seed
-/// is a pure function of the task, never of scheduling).
-///
-/// # Panics
-///
-/// Panics on an unknown name.
-pub fn make_policy_seeded(
-    name: &str,
-    cfg: &FrontendConfig,
-    profiles: &ProfileInputs,
-    seed: u64,
-) -> Box<dyn PwReplacementPolicy> {
-    match name {
-        "Random" => Box::new(RandomPolicy::new(seed)),
-        known => make_policy(known, cfg, profiles),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,25 +223,50 @@ mod tests {
     use uopcache_trace::AppId;
 
     #[test]
-    fn factory_builds_every_listed_policy() {
+    fn every_listed_policy_builds_under_its_own_name() {
         let cfg = FrontendConfig::zen3();
         let train = trace_for(AppId::Postgres, 0, 3_000);
         let profiles = ProfileInputs::build(&cfg, &train);
-        for name in ONLINE_POLICIES {
-            let p = make_policy(name, &cfg, &profiles);
-            assert_eq!(p.name(), name);
+        for id in PolicyId::ALL {
+            let p = id.build(&cfg, &profiles, 7);
+            assert_eq!(p.name(), id.name());
         }
     }
 
     #[test]
-    fn seeded_factory_adds_random_and_delegates() {
-        let cfg = FrontendConfig::zen3();
-        let train = trace_for(AppId::Postgres, 0, 3_000);
-        let profiles = ProfileInputs::build(&cfg, &train);
+    fn names_round_trip_case_insensitively() {
+        for id in PolicyId::ALL {
+            assert_eq!(id.name().parse::<PolicyId>(), Ok(id));
+            assert_eq!(id.name().to_lowercase().parse::<PolicyId>(), Ok(id));
+            assert_eq!(id.name().to_uppercase().parse::<PolicyId>(), Ok(id));
+            assert_eq!(id.to_string(), id.name());
+        }
+        let err = "Belady".parse::<PolicyId>().expect_err("offline-only");
+        assert!(err.contains("unknown policy"), "{err}");
+    }
+
+    #[test]
+    fn registry_resolves_only_its_roster() {
+        let online = PolicyRegistry::online();
+        assert_eq!(online.resolve("furbys"), Ok(PolicyId::Furbys));
+        let err = online.resolve("random").expect_err("seeded control");
+        assert!(err.contains("not in this roster"), "{err}");
         assert_eq!(
-            make_policy_seeded("Random", &cfg, &profiles, 7).name(),
-            "Random"
+            PolicyRegistry::all().resolve("RANDOM"),
+            Ok(PolicyId::Random)
         );
-        assert_eq!(make_policy_seeded("LRU", &cfg, &profiles, 7).name(), "LRU");
+        let err = PolicyRegistry::all().resolve("nope").expect_err("unknown");
+        assert!(err.contains("expected one of"), "{err}");
+    }
+
+    #[test]
+    fn online_roster_is_all_minus_random() {
+        assert_eq!(PolicyId::ONLINE.len() + 1, PolicyId::ALL.len());
+        assert!(!PolicyId::ONLINE.contains(&PolicyId::Random));
+        for id in PolicyId::ONLINE {
+            assert!(PolicyId::ALL.contains(&id));
+            assert!(!id.is_seeded());
+        }
+        assert!(PolicyId::Random.is_seeded());
     }
 }

@@ -1,7 +1,7 @@
 //! Memoised simulation runs shared by the experiment drivers.
 
 use crate::apps::{trace_for, TRACE_LEN};
-use crate::policies::{make_policy_seeded, ProfileInputs};
+use crate::policies::{PolicyId, ProfileInputs};
 use crate::sweep::{self, config_label};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,7 +30,7 @@ pub struct Lab {
     pub len: usize,
     traces: HashMap<(AppId, u32), LookupTrace>,
     profiles: HashMap<(AppId, u32), ProfileInputs>,
-    online: HashMap<(AppId, u32, String), SimResult>,
+    online: HashMap<(AppId, u32, PolicyId), SimResult>,
     sim_opts: SimOptions,
 }
 
@@ -87,7 +87,7 @@ impl Lab {
     ///
     /// Panics with the full list of structured task failures if any task
     /// panicked (the experiment cannot render from partial results).
-    pub fn prewarm_online(&mut self, policies: &[&str], apps: &[AppId]) {
+    pub fn prewarm_online(&mut self, policies: &[PolicyId], apps: &[AppId]) {
         let engine = sweep::engine();
         let variant = 0u32;
         let cfg = self.cfg;
@@ -130,15 +130,12 @@ impl Lab {
                 self.profiles[&(app, variant)].clone(),
             ));
             for &policy in policies {
-                if self
-                    .online
-                    .contains_key(&(app, variant, policy.to_string()))
-                {
+                if self.online.contains_key(&(app, variant, policy)) {
                     continue;
                 }
                 tasks.push((
-                    key_for(app, policy),
-                    (app, policy.to_string(), Arc::clone(&shared)),
+                    key_for(app, policy.name()),
+                    (app, policy, Arc::clone(&shared)),
                 ));
             }
         }
@@ -146,8 +143,12 @@ impl Lab {
         let results = engine
             .run(tasks, move |_key, seed, (app, policy, shared)| {
                 let (trace, profiles): &(LookupTrace, ProfileInputs) = &shared;
-                let policy_box = make_policy_seeded(&policy, &cfg, profiles, seed);
-                let result = Frontend::with_options(cfg, policy_box, opts).run(trace);
+                let policy_box = policy.build(&cfg, profiles, seed);
+                let result = Frontend::builder(cfg)
+                    .policy(policy_box)
+                    .options(opts)
+                    .build()
+                    .run(trace);
                 (app, policy, result)
             })
             .expect_all("prewarm simulation");
@@ -157,10 +158,11 @@ impl Lab {
     }
 
     /// Runs (and caches) an online policy through the timed frontend. A
-    /// randomized policy (`"Random"`) is seeded from the same task key the
-    /// parallel prewarm uses, so cold and prewarmed queries agree exactly.
-    pub fn run_online(&mut self, policy: &str, app: AppId, variant: u32) -> SimResult {
-        let key = (app, variant, policy.to_string());
+    /// randomized policy ([`PolicyId::Random`]) is seeded from the same task
+    /// key the parallel prewarm uses, so cold and prewarmed queries agree
+    /// exactly.
+    pub fn run_online(&mut self, policy: PolicyId, app: AppId, variant: u32) -> SimResult {
+        let key = (app, variant, policy);
         if let Some(r) = self.online.get(&key) {
             return *r;
         }
@@ -172,11 +174,14 @@ impl Lab {
             &format!("v{variant}"),
             &format!("len{}", self.len),
             app.name(),
-            policy,
+            policy.name(),
         ])
         .seed();
-        let policy_box = make_policy_seeded(policy, &self.cfg, profiles, seed);
-        let mut frontend = Frontend::with_options(self.cfg, policy_box, self.sim_opts);
+        let policy_box = policy.build(&self.cfg, profiles, seed);
+        let mut frontend = Frontend::builder(self.cfg)
+            .policy(policy_box)
+            .options(self.sim_opts)
+            .build();
         let result = frontend.run(&trace);
         self.online.insert(key, result);
         result
@@ -184,8 +189,8 @@ impl Lab {
 
     /// Miss reduction of an online policy vs. the online LRU baseline, in
     /// percent.
-    pub fn online_miss_reduction(&mut self, policy: &str, app: AppId) -> f64 {
-        let lru = self.run_online("LRU", app, 0);
+    pub fn online_miss_reduction(&mut self, policy: PolicyId, app: AppId) -> f64 {
+        let lru = self.run_online(PolicyId::Lru, app, 0);
         let r = self.run_online(policy, app, 0);
         r.uopc.miss_reduction_vs(&lru.uopc)
     }
@@ -240,8 +245,8 @@ mod tests {
     #[test]
     fn caches_are_reused() {
         let mut lab = Lab::with_len(FrontendConfig::zen3(), 2_000);
-        let a = lab.run_online("LRU", AppId::Kafka, 0);
-        let b = lab.run_online("LRU", AppId::Kafka, 0);
+        let a = lab.run_online(PolicyId::Lru, AppId::Kafka, 0);
+        let b = lab.run_online(PolicyId::Lru, AppId::Kafka, 0);
         assert_eq!(a, b);
     }
 

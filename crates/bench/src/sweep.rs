@@ -11,15 +11,28 @@
 //! byte-identical for every `--jobs` value.
 
 use crate::apps::trace_for;
-use crate::policies::{make_policy_seeded, ProfileInputs};
+use crate::policies::{PolicyId, ProfileInputs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use uopcache_exec::{Engine, TaskFailure, TaskKey};
+use uopcache_exec::{Engine, TaskFailure, TaskKey, TaskProfile};
 use uopcache_model::json::Json;
 use uopcache_model::{FrontendConfig, LookupTrace, SimResult};
+use uopcache_obs::{Event, MetricsRecorder, MetricsRegistry, SamplingRecorder};
 use uopcache_sim::{Frontend, SimOptions};
 use uopcache_trace::AppId;
+
+/// The canonical-JSON schema version stamped on every report this crate
+/// renders ([`SweepReport::to_json`], the CLI's `inspect`). Bump it whenever
+/// a field is added, removed or re-ordered so downstream tooling can detect
+/// incompatible output.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The sampling period of `--metrics` sweeps: each cell retains roughly one
+/// event in this many, chosen by the task-key-derived seed (see
+/// [`uopcache_obs::SamplingRecorder`]), so the retained subset is a pure
+/// function of the task.
+pub const SAMPLE_EVERY: u64 = 64;
 
 /// The process-wide worker count. `0` means "not set": fall back to the
 /// `UOPCACHE_JOBS` environment variable, then to the machine's available
@@ -89,12 +102,17 @@ pub struct SweepSpec {
     pub config_name: String,
     /// Applications to sweep.
     pub apps: Vec<AppId>,
-    /// Policy names to sweep (see `policies::make_policy_seeded`).
+    /// Policy names to sweep; each must parse as a [`PolicyId`] (an unknown
+    /// name becomes a structured per-cell failure, not a sweep abort).
     pub policies: Vec<String>,
     /// Input variant for trace generation.
     pub variant: u32,
     /// Trace length per app.
     pub len: usize,
+    /// When set, every cell carries sampled events and a metrics registry
+    /// (and the report gains merged totals and per-task profiles). Still
+    /// byte-identical for every worker count.
+    pub metrics: bool,
 }
 
 impl SweepSpec {
@@ -121,6 +139,17 @@ impl SweepSpec {
     }
 }
 
+/// Sampled observability captured for one cell when [`SweepSpec::metrics`]
+/// is on.
+#[derive(Clone, Debug)]
+pub struct CellObs {
+    /// The retained (1-in-[`SAMPLE_EVERY`]) event subset, oldest first.
+    pub events: Vec<Event>,
+    /// The metrics the cell's [`MetricsRecorder`] derived from the *full*
+    /// event stream (sampling only thins the retained events).
+    pub metrics: MetricsRegistry,
+}
+
 /// One merged sweep cell: the stats of one `(app, policy)` run.
 #[derive(Clone, Debug)]
 pub struct SweepCell {
@@ -134,6 +163,8 @@ pub struct SweepCell {
     pub policy: String,
     /// The full simulation result.
     pub result: SimResult,
+    /// Sampled events and metrics, present only on `--metrics` sweeps.
+    pub obs: Option<CellObs>,
 }
 
 impl SweepCell {
@@ -163,6 +194,11 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
     /// Structured failures of panicked tasks, in key order.
     pub failures: Vec<TaskFailure>,
+    /// Per-task execution profiles of the simulation stage, in key order.
+    /// Rendered to JSON only on `--metrics` sweeps, and only through the
+    /// scheduling-independent fields (queue wait and run ticks — all zero
+    /// under the engine's default null clock).
+    pub profiles: Vec<TaskProfile>,
     /// Wall-clock time of the simulation stage.
     pub elapsed: Duration,
 }
@@ -177,7 +213,7 @@ impl SweepReport {
             .cells
             .iter()
             .map(|c| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("key".to_string(), Json::Str(c.key.to_string())),
                     ("seed".to_string(), Json::U64(c.seed)),
                     ("app".to_string(), Json::Str(c.app.name().to_string())),
@@ -208,7 +244,15 @@ impl SweepReport {
                     ("hit_rate".to_string(), Json::F64(round6(c.hit_rate()))),
                     ("mpki".to_string(), Json::F64(round6(c.mpki()))),
                     ("ipc".to_string(), Json::F64(round6(c.result.ipc()))),
-                ])
+                ];
+                if let Some(obs) = &c.obs {
+                    fields.push((
+                        "events".to_string(),
+                        Json::Arr(obs.events.iter().map(Event::to_json).collect()),
+                    ));
+                    fields.push(("metrics".to_string(), obs.metrics.to_json()));
+                }
+                Json::Obj(fields)
             })
             .collect();
         let failures = self
@@ -222,7 +266,8 @@ impl SweepReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
+            ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
             (
                 "config".to_string(),
                 Json::Str(self.spec.config_name.clone()),
@@ -242,8 +287,30 @@ impl SweepReport {
             ("len".to_string(), Json::U64(self.spec.len as u64)),
             ("cells".to_string(), Json::Arr(cells)),
             ("failures".to_string(), Json::Arr(failures)),
-        ])
-        .to_string()
+        ];
+        if self.spec.metrics {
+            let mut totals = MetricsRegistry::new();
+            for c in &self.cells {
+                if let Some(obs) = &c.obs {
+                    totals.merge(&obs.metrics);
+                }
+            }
+            fields.push(("totals".to_string(), totals.to_json()));
+            let profiles = self
+                .profiles
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("key".to_string(), Json::Str(p.key.to_string())),
+                        ("seed".to_string(), Json::U64(p.seed)),
+                        ("queue_wait".to_string(), Json::U64(p.queue_wait())),
+                        ("run".to_string(), Json::U64(p.run_ticks())),
+                    ])
+                })
+                .collect();
+            fields.push(("profiles".to_string(), Json::Arr(profiles)));
+        }
+        Json::Obj(fields).to_string()
     }
 }
 
@@ -294,11 +361,26 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
             ));
         }
     }
+    let metrics = spec.metrics;
     let outcome = engine.run(sim_tasks, move |_key, seed, (app, policy, shared)| {
         let (trace, profiles): &(LookupTrace, ProfileInputs) = &shared;
-        let policy_box = make_policy_seeded(&policy, &cfg, profiles, seed);
-        let result = Frontend::with_options(cfg, policy_box, SimOptions::default()).run(trace);
-        (app, policy, result)
+        let id = policy.parse::<PolicyId>().unwrap_or_else(|e| panic!("{e}"));
+        let mut builder = Frontend::builder(cfg)
+            .policy(id.build(&cfg, profiles, seed))
+            .options(SimOptions::default());
+        if metrics {
+            builder = builder.recorder(MetricsRecorder::new(Box::new(SamplingRecorder::new(
+                seed,
+                SAMPLE_EVERY,
+            ))));
+        }
+        let mut frontend = builder.build();
+        let result = frontend.run(trace);
+        let obs = frontend.take_recorder().map(|r| CellObs {
+            events: r.events(),
+            metrics: r.metrics().cloned().unwrap_or_default(),
+        });
+        (app, policy, result, obs)
     });
     let elapsed = outcome.elapsed;
 
@@ -306,12 +388,13 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
     let mut failures = Vec::new();
     for o in outcome.outcomes {
         match o.result {
-            Ok((app, policy, result)) => cells.push(SweepCell {
+            Ok((app, policy, result, obs)) => cells.push(SweepCell {
                 key: o.key,
                 seed: o.seed,
                 app,
                 policy,
                 result,
+                obs,
             }),
             Err(_) => {
                 if let Some(f) = o.failure() {
@@ -323,11 +406,14 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
     // Merge by key, never by completion or submission order.
     cells.sort_by(|a, b| a.key.cmp(&b.key));
     failures.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut profiles = outcome.profiles;
+    profiles.sort_by(|a, b| a.key.cmp(&b.key));
 
     SweepReport {
         spec: spec.clone(),
         cells,
         failures,
+        profiles,
         elapsed,
     }
 }
@@ -344,6 +430,7 @@ mod tests {
             policies: vec!["LRU".to_string(), "Random".to_string()],
             variant: 0,
             len: 1_500,
+            metrics: false,
         }
     }
 
@@ -382,6 +469,47 @@ mod tests {
                 .expect("arr")
                 .len(),
             4
+        );
+    }
+
+    #[test]
+    fn metrics_sweep_is_jobs_invariant_and_carries_obs() {
+        let mut spec = tiny_spec();
+        spec.metrics = true;
+        let serial = run_sweep(&spec, &Engine::new(1));
+        let parallel = run_sweep(&spec, &Engine::new(4));
+        assert_eq!(serial.to_json(), parallel.to_json());
+        let parsed = Json::parse(&serial.to_json()).expect("metrics JSON parses");
+        assert!(parsed.field("totals").is_ok());
+        assert!(parsed.field("profiles").is_ok());
+        let cell = &parsed.field("cells").expect("cells").as_arr().expect("arr")[0];
+        assert!(cell.field("events").is_ok());
+        assert!(cell.field("metrics").is_ok());
+        for c in &serial.cells {
+            let obs = c.obs.as_ref().expect("metrics mode captures obs");
+            assert!(obs.metrics.counter("misses") > 0, "cells saw traffic");
+        }
+    }
+
+    #[test]
+    fn metrics_do_not_change_simulation_results() {
+        let plain = run_sweep(&tiny_spec(), &Engine::new(2));
+        let mut spec = tiny_spec();
+        spec.metrics = true;
+        let instrumented = run_sweep(&spec, &Engine::new(2));
+        for (a, b) in plain.cells.iter().zip(&instrumented.cells) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.result, b.result, "recorder must not perturb {}", a.key);
+        }
+    }
+
+    #[test]
+    fn schema_version_is_stamped_first() {
+        let json = run_sweep(&tiny_spec(), &Engine::new(1)).to_json();
+        assert!(
+            json.starts_with("{\"schema_version\":1,"),
+            "schema_version leads the report: {}",
+            &json[..40.min(json.len())]
         );
     }
 

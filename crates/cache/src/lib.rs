@@ -12,6 +12,11 @@
 //! * [`ShadowFaCache`] — a fully-associative LRU shadow used to split misses
 //!   into cold / capacity / conflict (the §III-B study).
 //!
+//! With the default `obs` feature, [`UopCache::set_recorder`] installs a
+//! `uopcache_obs::Recorder` that receives one structured event per lookup /
+//! insert / evict / bypass / invalidate; build with `--no-default-features`
+//! to compile the emission paths out entirely.
+//!
 //! # Examples
 //!
 //! ```

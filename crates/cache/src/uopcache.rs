@@ -4,6 +4,8 @@ use crate::classify::{MissClass, MissClassifier};
 use crate::policy::PwReplacementPolicy;
 use crate::pwset::PwSet;
 use uopcache_model::{Addr, LineAddr, PwDesc, UopCacheConfig, UopCacheStats};
+#[cfg(feature = "obs")]
+use uopcache_obs::{Event, EventKind, Recorder, Verdict};
 
 /// Outcome of a micro-op cache lookup, at micro-op granularity.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -97,6 +99,13 @@ pub struct UopCache {
     classifier: Option<MissClassifier>,
     /// Global access counter (advances on every lookup).
     now: u64,
+    /// Optional event sink (`None` — the default — skips all emission work).
+    #[cfg(feature = "obs")]
+    recorder: Option<Box<dyn Recorder>>,
+    /// Externally supplied event timestamp (the frontend's cycle counter);
+    /// falls back to the access counter when the cache is driven standalone.
+    #[cfg(feature = "obs")]
+    obs_cycle: Option<u64>,
 }
 
 impl UopCache {
@@ -126,6 +135,64 @@ impl UopCache {
             stats: UopCacheStats::default(),
             classifier: None,
             now: 0,
+            #[cfg(feature = "obs")]
+            recorder: None,
+            #[cfg(feature = "obs")]
+            obs_cycle: None,
+        }
+    }
+
+    /// Installs an event sink; every subsequent lookup/insert/evict/bypass/
+    /// invalidate emits one [`Event`] into it.
+    #[cfg(feature = "obs")]
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The installed event sink, if any.
+    #[cfg(feature = "obs")]
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Removes and returns the installed event sink.
+    #[cfg(feature = "obs")]
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Sets the timestamp stamped onto subsequent events (the frontend
+    /// forwards its cycle counter here once per access). Without it, events
+    /// carry the cache's own access counter.
+    #[cfg(feature = "obs")]
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.obs_cycle = Some(cycle);
+    }
+
+    /// Builds and emits one event, if a recorder is installed.
+    #[cfg(feature = "obs")]
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        kind: EventKind,
+        set_idx: usize,
+        slot: Option<u8>,
+        start: Addr,
+        uops: u32,
+        entries: u32,
+        verdict: Verdict,
+    ) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(&Event {
+                cycle: self.obs_cycle.unwrap_or(self.now),
+                kind,
+                set: u32::try_from(set_idx).expect("set index fits in u32"),
+                slot,
+                start: start.get(),
+                uops,
+                entries,
+                verdict,
+            });
         }
     }
 
@@ -209,6 +276,23 @@ impl UopCache {
                 self.stats.uops_missed += u64::from(pw.uops);
             }
         }
+        #[cfg(feature = "obs")]
+        {
+            let kind = match result {
+                LookupResult::Hit { .. } => EventKind::Hit,
+                LookupResult::PartialHit { .. } => EventKind::PartialHit,
+                LookupResult::Miss => EventKind::Miss,
+            };
+            self.emit(
+                kind,
+                set_idx,
+                found.map(|(slot, _)| slot),
+                pw.start,
+                pw.uops,
+                pw.entries(self.cfg.uops_per_entry),
+                Verdict::None,
+            );
+        }
         if let Some(cls) = &mut self.classifier {
             let missed = result.miss_uops(pw.uops);
             if missed > 0 {
@@ -232,11 +316,21 @@ impl UopCache {
     /// is a no-op.
     pub fn insert(&mut self, pw: &PwDesc) -> InsertOutcome {
         let entries = pw.entries(self.cfg.uops_per_entry);
+        let set_idx = self.set_index(pw.start);
         if entries > self.cfg.max_entries_per_pw || entries > self.cfg.ways {
             self.stats.bypasses += 1;
+            #[cfg(feature = "obs")]
+            self.emit(
+                EventKind::Bypass,
+                set_idx,
+                None,
+                pw.start,
+                pw.uops,
+                entries,
+                Verdict::TooLarge,
+            );
             return InsertOutcome::TooLarge;
         }
-        let set_idx = self.set_index(pw.start);
 
         // Overlapping-window upgrade path.
         if let Some(existing) = self.sets[set_idx].find(pw.start).copied() {
@@ -247,6 +341,16 @@ impl UopCache {
             // regular insertion of the larger one (which may need to evict).
             let old = self.sets[set_idx].remove_slot(existing.slot);
             self.policy.on_evict(set_idx, &old);
+            #[cfg(feature = "obs")]
+            self.emit(
+                EventKind::Evict,
+                set_idx,
+                Some(old.slot),
+                old.desc.start,
+                old.desc.uops,
+                u32::from(old.entries),
+                Verdict::Upgrade,
+            );
         }
 
         let resident = self.sets[set_idx].resident_metas();
@@ -256,6 +360,16 @@ impl UopCache {
             .should_bypass(set_idx, pw, entries, free, &resident)
         {
             self.stats.bypasses += 1;
+            #[cfg(feature = "obs")]
+            self.emit(
+                EventKind::Bypass,
+                set_idx,
+                None,
+                pw.start,
+                pw.uops,
+                entries,
+                Verdict::PolicyBypass,
+            );
             return InsertOutcome::Bypassed;
         }
 
@@ -264,7 +378,8 @@ impl UopCache {
             let resident = self.sets[set_idx].resident_metas();
             debug_assert!(!resident.is_empty(), "no residents but set is full");
             let victim_idx = self.policy.choose_victim(set_idx, pw, &resident);
-            if self.policy.last_selection_was_fallback() {
+            let fallback = self.policy.last_selection_was_fallback();
+            if fallback {
                 self.stats.fallback_victim_selections += 1;
             } else {
                 self.stats.primary_victim_selections += 1;
@@ -274,12 +389,36 @@ impl UopCache {
             self.policy.on_evict(set_idx, &removed);
             self.stats.evicted_pws += 1;
             self.stats.evicted_entries += u64::from(removed.entries);
+            #[cfg(feature = "obs")]
+            self.emit(
+                EventKind::Evict,
+                set_idx,
+                Some(removed.slot),
+                removed.desc.start,
+                removed.desc.uops,
+                u32::from(removed.entries),
+                if fallback {
+                    Verdict::Fallback
+                } else {
+                    Verdict::Primary
+                },
+            );
             evicted.push(removed.desc);
         }
         let meta = self.sets[set_idx].insert(*pw, entries, self.now);
         self.policy.on_insert(set_idx, &meta);
         self.stats.insertions += 1;
         self.stats.entries_written += u64::from(entries);
+        #[cfg(feature = "obs")]
+        self.emit(
+            EventKind::Insert,
+            set_idx,
+            Some(meta.slot),
+            pw.start,
+            pw.uops,
+            entries,
+            Verdict::None,
+        );
         InsertOutcome::Inserted { evicted }
     }
 
@@ -299,6 +438,16 @@ impl UopCache {
                 self.policy.on_invalidate(set_idx, &removed);
                 self.stats.inclusion_invalidations += 1;
                 invalidated += 1;
+                #[cfg(feature = "obs")]
+                self.emit(
+                    EventKind::Invalidate,
+                    set_idx,
+                    Some(removed.slot),
+                    removed.desc.start,
+                    removed.desc.uops,
+                    u32::from(removed.entries),
+                    Verdict::None,
+                );
             }
         }
         invalidated
@@ -313,6 +462,16 @@ impl UopCache {
                 self.policy.on_evict(set_idx, &meta);
                 self.stats.evicted_pws += 1;
                 self.stats.evicted_entries += u64::from(meta.entries);
+                #[cfg(feature = "obs")]
+                self.emit(
+                    EventKind::Evict,
+                    set_idx,
+                    Some(meta.slot),
+                    meta.desc.start,
+                    meta.desc.uops,
+                    u32::from(meta.entries),
+                    Verdict::None,
+                );
                 true
             }
             None => false,
@@ -531,6 +690,65 @@ mod tests {
             InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![b]),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorder_sees_the_full_decision_stream() {
+        use uopcache_obs::{EventKind, RingRecorder, Verdict};
+        let mut c = small_cache();
+        c.set_recorder(Box::new(RingRecorder::new(64)));
+        let w = pw(0x40, 6);
+        c.lookup(&w); // miss
+        c.insert(&w); // insert
+        c.lookup(&w); // hit
+        c.insert(&pw(0x40, 33)); // too large -> bypass
+        c.invalidate_line(Addr::new(0x40).line(64)); // invalidate
+        let events = c.recorder().expect("installed").events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Miss,
+                EventKind::Insert,
+                EventKind::Hit,
+                EventKind::Bypass,
+                EventKind::Invalidate,
+            ]
+        );
+        assert_eq!(events[3].verdict, Verdict::TooLarge);
+        assert_eq!(events[1].slot, events[4].slot, "same resident window");
+        let taken = c.take_recorder().expect("still installed");
+        assert_eq!(taken.offered(), 5);
+        assert!(c.recorder().is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn recorder_tags_upgrade_and_replacement_evictions() {
+        use uopcache_obs::{EventKind, RingRecorder, Verdict};
+        let mut c = small_cache();
+        c.set_recorder(Box::new(RingRecorder::new(64)));
+        c.insert(&pw(0x40, 4));
+        c.insert(&pw(0x40, 12)); // upgrade: evict(upgrade) + insert
+        for i in 1..4 {
+            c.insert(&pw(0x40 + i * 128, 8)); // fill the set
+        }
+        c.insert(&pw(0x40 + 4 * 128, 8)); // forces a replacement eviction
+        let events = c.recorder().expect("installed").events();
+        let upgrades: Vec<_> = events
+            .iter()
+            .filter(|e| e.verdict == Verdict::Upgrade)
+            .collect();
+        assert_eq!(upgrades.len(), 1);
+        assert_eq!(upgrades[0].kind, EventKind::Evict);
+        assert_eq!(upgrades[0].uops, 4, "the shorter window was upgraded away");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Evict && e.verdict == Verdict::Primary),
+            "LRU victim selection is a primary verdict: {events:?}"
+        );
     }
 
     #[test]

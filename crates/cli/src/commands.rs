@@ -3,11 +3,14 @@
 use crate::args::{ArgError, Args};
 use std::error::Error;
 use std::path::Path;
-use uopcache_bench::policies::{make_policy, ProfileInputs, ONLINE_POLICIES};
-use uopcache_bench::sweep::{self, run_sweep, SweepSpec};
+use uopcache_bench::policies::{PolicyId, PolicyRegistry, ProfileInputs};
+use uopcache_bench::sweep::{self, run_sweep, SweepSpec, SAMPLE_EVERY, SCHEMA_VERSION};
 use uopcache_bench::Table;
 use uopcache_core::{Flack, FurbysPipeline, OracleKind};
+use uopcache_exec::TaskKey;
+use uopcache_model::json::Json;
 use uopcache_model::{FrontendConfig, LookupTrace};
+use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder};
 use uopcache_power::EnergyModel;
 use uopcache_sim::Frontend;
 use uopcache_trace::{build_trace, io as trace_io, AppId, InputVariant, TraceStats};
@@ -27,9 +30,17 @@ commands:
   compare    -i FILE [--config ...] compare every policy (incl. offline bounds)
   sweep      [--apps A,B] [--policies P,Q] [--config zen3|zen4] [--entries N]
              [--ways N] [--variant N] [--len N] [--jobs N] [--json FILE]
+             [--metrics]
                                     run an (app x policy) sweep through the
                                     parallel engine; deterministic for any
-                                    --jobs value, canonical JSON via --json
+                                    --jobs value, canonical JSON via --json;
+                                    --metrics adds sampled events, histograms
+                                    and merged totals to every cell
+  inspect    --app A [--policy P] [--config zen3|zen4] [--entries N] [--ways N]
+             [--variant N] [--len N] [--sample K] [--events N] [--json FILE]
+                                    replay one sweep cell with full
+                                    observability: decision events, counters
+                                    and histograms (ASCII tables or JSON)
   experiment ID [--quick] [--jobs N]
                                     regenerate one paper table/figure
   list-experiments                  show all experiment ids
@@ -54,6 +65,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("inspect") => cmd_inspect(&args),
         Some("experiment") => cmd_experiment(&args),
         Some("list-experiments") => cmd_list_experiments(),
         Some("audit") => cmd_audit(&args),
@@ -155,15 +167,19 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn Error>> {
 fn cmd_simulate(args: &Args) -> Result<(), Box<dyn Error>> {
     let trace = load_trace(args)?;
     let cfg = parse_config(args)?;
-    let name = canonical_policy(args.get("policy").unwrap_or("lru"))?;
+    let id = PolicyRegistry::online()
+        .resolve(args.get("policy").unwrap_or("lru"))
+        .map_err(ArgError)?;
     let profiles = ProfileInputs::build(&cfg, &trace);
-    let policy = make_policy(name, &cfg, &profiles);
-    let result = Frontend::new(cfg, policy).run(&trace);
+    let result = Frontend::builder(cfg)
+        .policy(id.build(&cfg, &profiles, 0))
+        .build()
+        .run(&trace);
     let model = EnergyModel::zen3_22nm(&cfg);
     let b = model.evaluate(&result);
 
     let mut t = Table::new(
-        &format!("{name} on {} accesses", trace.len()),
+        &format!("{} on {} accesses", id.name(), trace.len()),
         &["metric", "value"],
     );
     t.row(&[
@@ -222,11 +238,17 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
         "policy comparison",
         &["policy", "miss rate", "vs LRU", "IPC", "bypassed"],
     );
-    let lru = Frontend::new(cfg, make_policy("LRU", &cfg, &profiles)).run(&trace);
-    for name in ONLINE_POLICIES {
-        let r = Frontend::new(cfg, make_policy(name, &cfg, &profiles)).run(&trace);
+    let lru = Frontend::builder(cfg)
+        .policy(PolicyId::Lru.build(&cfg, &profiles, 0))
+        .build()
+        .run(&trace);
+    for id in PolicyId::ONLINE {
+        let r = Frontend::builder(cfg)
+            .policy(id.build(&cfg, &profiles, 0))
+            .build()
+            .run(&trace);
         t.row(&[
-            name.to_string(),
+            id.to_string(),
             format!("{:.2}%", r.uopc.uop_miss_rate() * 100.0),
             format!("{:+.2}%", r.uopc.miss_reduction_vs(&lru.uopc)),
             format!("{:.3}", r.ipc()),
@@ -261,11 +283,20 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
             .map(parse_app)
             .collect::<Result<Vec<_>, _>>()?,
     };
+    let registry = PolicyRegistry::all();
     let policies = match args.get("policies") {
-        None => ONLINE_POLICIES.iter().map(|p| (*p).to_string()).collect(),
+        None => PolicyId::ONLINE
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
         Some(list) => list
             .split(',')
-            .map(|p| canonical_sweep_policy(p).map(String::from))
+            .map(|p| {
+                registry
+                    .resolve(p)
+                    .map(|id| id.name().to_string())
+                    .map_err(ArgError)
+            })
             .collect::<Result<Vec<_>, _>>()?,
     };
     if let Some(jobs) = args.get("jobs") {
@@ -281,6 +312,7 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         policies,
         variant: args.get_parse("variant", 0u32)?,
         len: args.get_parse("len", 100_000usize)?,
+        metrics: args.has("metrics"),
     };
     let report = run_sweep(&spec, &sweep::engine());
 
@@ -321,6 +353,153 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
             report.failures.len()
         ))))
     }
+}
+
+/// Replays exactly one sweep cell — same task key, same seed — with a
+/// metrics recorder attached, and renders the decision stream and derived
+/// metrics as ASCII tables or canonical JSON. Output is a pure function of
+/// the flags (the worker count plays no part), so two invocations always
+/// produce byte-identical JSON.
+fn cmd_inspect(args: &Args) -> Result<(), Box<dyn Error>> {
+    let app = parse_app(args.require("app")?)?;
+    let cfg = parse_config(args)?;
+    let config_name = args.get("config").unwrap_or("zen3").to_string();
+    let id = PolicyRegistry::all()
+        .resolve(args.get("policy").unwrap_or("lru"))
+        .map_err(ArgError)?;
+    let variant = args.get_parse("variant", 0u32)?;
+    let len = args.get_parse("len", 20_000usize)?;
+    let sample = args.get_parse("sample", SAMPLE_EVERY)?;
+    let max_events = args.get_parse("events", 32usize)?;
+
+    // The exact key `sweep` would give this cell, so the seed (and with it a
+    // seeded policy and the sampled event subset) matches the sweep's.
+    let key = TaskKey::new([
+        config_name.as_str(),
+        &format!("v{variant}"),
+        &format!("len{len}"),
+        app.name(),
+        id.name(),
+    ]);
+    let seed = key.seed();
+    let trace = build_trace(app, InputVariant::new(variant), len);
+    let profiles = ProfileInputs::build(&cfg, &trace);
+    let mut frontend = Frontend::builder(cfg)
+        .policy(id.build(&cfg, &profiles, seed))
+        .recorder(MetricsRecorder::new(Box::new(SamplingRecorder::new(
+            seed, sample,
+        ))))
+        .build();
+    let result = frontend.run(&trace);
+    let recorder = frontend
+        .take_recorder()
+        .expect("inspect installs a recorder");
+    let metrics = recorder.metrics().cloned().unwrap_or_default();
+    let offered = recorder.offered();
+    let mut events = recorder.events();
+    events.truncate(max_events);
+
+    if let Some(path) = args.get("json") {
+        let json = Json::Obj(vec![
+            ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
+            ("kind".to_string(), Json::Str("inspect".to_string())),
+            ("key".to_string(), Json::Str(key.to_string())),
+            ("seed".to_string(), Json::U64(seed)),
+            ("app".to_string(), Json::Str(app.name().to_string())),
+            ("policy".to_string(), Json::Str(id.name().to_string())),
+            ("sample_every".to_string(), Json::U64(sample)),
+            ("events_offered".to_string(), Json::U64(offered)),
+            (
+                "summary".to_string(),
+                Json::Obj(vec![
+                    (
+                        "uops_requested".to_string(),
+                        Json::U64(result.uopc.uops_requested),
+                    ),
+                    ("uops_hit".to_string(), Json::U64(result.uopc.uops_hit)),
+                    (
+                        "uops_missed".to_string(),
+                        Json::U64(result.uopc.uops_missed),
+                    ),
+                    ("insertions".to_string(), Json::U64(result.uopc.insertions)),
+                    ("bypasses".to_string(), Json::U64(result.uopc.bypasses)),
+                    ("evictions".to_string(), Json::U64(result.uopc.evicted_pws)),
+                    ("cycles".to_string(), Json::U64(result.events.cycles)),
+                    (
+                        "retired_instructions".to_string(),
+                        Json::U64(result.events.retired_instructions),
+                    ),
+                ]),
+            ),
+            (
+                "events".to_string(),
+                Json::Arr(events.iter().map(Event::to_json).collect()),
+            ),
+            ("metrics".to_string(), metrics.to_json()),
+        ]);
+        std::fs::write(path, json.to_string())?;
+        println!("wrote inspect JSON to {path}");
+        return Ok(());
+    }
+
+    let mut t = Table::new(
+        &format!("inspect: {} under {} ({key})", app.name(), id.name()),
+        &["metric", "value"],
+    );
+    t.row(&["seed".into(), format!("{seed:#018x}")]);
+    t.row(&[
+        "uop miss rate".into(),
+        format!("{:.2}%", result.uopc.uop_miss_rate() * 100.0),
+    ]);
+    t.row(&["insertions".into(), format!("{}", result.uopc.insertions)]);
+    t.row(&["evictions".into(), format!("{}", result.uopc.evicted_pws)]);
+    t.row(&["events offered".into(), format!("{offered}")]);
+    t.row(&[
+        format!("events sampled (1 in {sample})"),
+        format!("{}", recorder.events().len()),
+    ]);
+    t.print();
+
+    let mut c = Table::new("derived counters", &["counter", "value"]);
+    for (name, v) in metrics.counters() {
+        c.row(&[name.to_string(), format!("{v}")]);
+    }
+    c.print();
+
+    let mut h = Table::new(
+        "derived histograms",
+        &["histogram", "samples", "sum", "mean"],
+    );
+    for (name, hist) in metrics.histograms() {
+        h.row(&[
+            name.to_string(),
+            format!("{}", hist.total()),
+            format!("{}", hist.sum()),
+            format!("{:.2}", hist.mean()),
+        ]);
+    }
+    h.print();
+
+    let mut e = Table::new(
+        &format!("first {} sampled events", events.len()),
+        &[
+            "cycle", "kind", "set", "slot", "start", "uops", "entries", "verdict",
+        ],
+    );
+    for ev in &events {
+        e.row(&[
+            format!("{}", ev.cycle),
+            ev.kind.as_str().to_string(),
+            format!("{}", ev.set),
+            ev.slot.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            format!("{:#x}", ev.start),
+            format!("{}", ev.uops),
+            format!("{}", ev.entries),
+            ev.verdict.as_str().to_string(),
+        ]);
+    }
+    e.print();
+    Ok(())
 }
 
 fn cmd_experiment(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -394,24 +573,6 @@ fn cmd_list_experiments() -> Result<(), Box<dyn Error>> {
     }
     t.print();
     Ok(())
-}
-
-fn canonical_policy(name: &str) -> Result<&'static str, ArgError> {
-    let lowered = name.to_ascii_lowercase();
-    ONLINE_POLICIES
-        .iter()
-        .find(|p| p.to_ascii_lowercase() == lowered)
-        .copied()
-        .ok_or_else(|| ArgError(format!("unknown policy {name:?}")))
-}
-
-/// Like [`canonical_policy`] but also accepts the seeded `Random` policy,
-/// which only exists in sweeps (its RNG seed derives from the task key).
-fn canonical_sweep_policy(name: &str) -> Result<&'static str, ArgError> {
-    if name.eq_ignore_ascii_case("random") {
-        return Ok("Random");
-    }
-    canonical_policy(name)
 }
 
 #[cfg(test)]
@@ -490,12 +651,39 @@ mod tests {
     }
 
     #[test]
-    fn canonical_policy_accepts_any_case() {
-        assert_eq!(canonical_policy("FURBYS").unwrap(), "FURBYS");
-        assert_eq!(canonical_policy("ship++").unwrap(), "SHiP++");
+    fn policy_rosters_resolve_any_case() {
+        let online = PolicyRegistry::online();
+        assert_eq!(online.resolve("FURBYS").unwrap().name(), "FURBYS");
+        assert_eq!(online.resolve("ship++").unwrap().name(), "SHiP++");
         assert!(
-            canonical_policy("belady").is_err(),
+            online.resolve("belady").is_err(),
             "offline policies are not online options"
         );
+        assert!(
+            online.resolve("random").is_err(),
+            "the seeded control is sweep/inspect-only"
+        );
+    }
+
+    #[test]
+    fn inspect_writes_schema_versioned_json_and_renders_tables() {
+        let json = std::env::temp_dir().join("uopcache_cli_inspect.json");
+        run(&format!(
+            "inspect --app kafka --policy lru --len 1500 --json {}",
+            json.display()
+        ))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.starts_with("{\"schema_version\":1,"), "{body}");
+        assert!(body.contains("\"kind\":\"inspect\""), "{body}");
+        assert!(body.contains("\"events\":["), "{body}");
+        assert!(body.contains("\"histograms\""), "{body}");
+        let _ = std::fs::remove_file(json);
+        run("inspect --app kafka --len 1500 --events 5").unwrap();
+        assert!(
+            run("inspect --policy lru --len 1000").is_err(),
+            "--app required"
+        );
+        assert!(run("inspect --app kafka --policy belady --len 1000").is_err());
     }
 }

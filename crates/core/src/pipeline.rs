@@ -151,7 +151,9 @@ impl FurbysPipeline {
     /// Step 7, end to end: deploys the profile and runs `trace` through the
     /// timed frontend simulator.
     pub fn deploy_and_run(&self, profile: &Profile, trace: &LookupTrace) -> SimResult {
-        let mut frontend = Frontend::new(self.frontend_cfg, Box::new(self.policy(profile)));
+        let mut frontend = Frontend::builder(self.frontend_cfg)
+            .policy(self.policy(profile))
+            .build();
         frontend.run(trace)
     }
 }
@@ -163,7 +165,10 @@ mod tests {
     use uopcache_trace::{build_trace, AppId, InputVariant};
 
     fn lru_run(cfg: FrontendConfig, trace: &LookupTrace) -> SimResult {
-        Frontend::new(cfg, Box::new(LruPolicy::new())).run(trace)
+        Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(trace)
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Injectable time sources for task profiling.
+//!
+//! The engine stamps every task's lifecycle (submitted / started / finished)
+//! through a [`Clock`], so what "time" means is the caller's choice:
+//!
+//! * [`NullClock`] — always 0. The default: profiles exist but every
+//!   duration is zero, which keeps canonical JSON byte-identical across
+//!   worker counts and runs.
+//! * [`WallClock`] — nanoseconds since construction, for real profiling.
+//! * [`CountingClock`] — a monotonically increasing counter, for tests that
+//!   need non-zero but reproducible orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic tick source. Ticks are opaque `u64`s; only differences
+/// between them are meaningful, and the unit is the implementation's choice.
+pub trait Clock: Send + Sync {
+    /// The current tick.
+    fn now(&self) -> u64;
+}
+
+/// The deterministic default: every reading is 0, so every derived duration
+/// is 0 and profiles carry no run-to-run noise.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// Real elapsed time: nanoseconds since the clock was created.
+///
+/// Readings are capped at `u64::MAX` nanoseconds (~584 years), which is not
+/// a practical concern.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic test clock: each reading returns the next integer,
+/// starting from 0. Readings taken from multiple threads are still unique
+/// and monotone, though their interleaving follows the scheduler.
+#[derive(Debug, Default)]
+pub struct CountingClock {
+    next: AtomicU64,
+}
+
+impl CountingClock {
+    /// A counting clock starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for CountingClock {
+    fn now(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_always_zero() {
+        let c = NullClock;
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn counting_clock_increments() {
+        let c = CountingClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

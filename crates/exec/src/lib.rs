@@ -34,8 +34,10 @@
 //! assert_eq!(serial.outcomes, parallel.outcomes);
 //! ```
 
+pub mod clock;
 pub mod pool;
 pub mod seed;
 
-pub use pool::{Engine, ProgressEvent, SweepOutcome, TaskFailure, TaskOutcome};
+pub use clock::{Clock, CountingClock, NullClock, WallClock};
+pub use pool::{Engine, ProgressEvent, SweepOutcome, TaskFailure, TaskOutcome, TaskProfile};
 pub use seed::TaskKey;

@@ -9,11 +9,12 @@
 //! are written to the slot of their submission index, the returned vector is
 //! bit-identical for every worker count and every interleaving.
 
+use crate::clock::{Clock, NullClock};
 use crate::seed::TaskKey;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A structured task failure: the panic of one task, surfaced without
@@ -62,6 +63,46 @@ impl<R> TaskOutcome<R> {
     }
 }
 
+/// The lifecycle profile of one task, stamped through the engine's
+/// [`Clock`].
+///
+/// With the default [`NullClock`] every tick is 0, so profiles are inert and
+/// deterministic; inject a [`WallClock`](crate::clock::WallClock) via
+/// [`Engine::with_clock`] to measure real queue waits and run times.
+///
+/// `worker` and `stolen` describe *scheduling*, which is inherently
+/// nondeterministic under work stealing — canonical JSON renderings must
+/// omit them (the sweep layer does).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskProfile {
+    /// The task's key.
+    pub key: TaskKey,
+    /// The seed derived from the key.
+    pub seed: u64,
+    /// Clock tick when the task was enqueued.
+    pub submitted: u64,
+    /// Clock tick when a worker began executing the task.
+    pub started: u64,
+    /// Clock tick when the task finished (or panicked).
+    pub finished: u64,
+    /// The worker index that executed the task (0 on the serial path).
+    pub worker: usize,
+    /// Whether the task was stolen from a sibling's deque.
+    pub stolen: bool,
+}
+
+impl TaskProfile {
+    /// Ticks spent queued before a worker picked the task up.
+    pub fn queue_wait(&self) -> u64 {
+        self.started.saturating_sub(self.submitted)
+    }
+
+    /// Ticks spent executing.
+    pub fn run_ticks(&self) -> u64 {
+        self.finished.saturating_sub(self.started)
+    }
+}
+
 /// All outcomes of one [`Engine::run`] batch, in submission order.
 ///
 /// Deliberately not `PartialEq`: `elapsed` is wall-clock noise. Compare
@@ -70,6 +111,8 @@ impl<R> TaskOutcome<R> {
 pub struct SweepOutcome<R> {
     /// One outcome per submitted task, in submission order.
     pub outcomes: Vec<TaskOutcome<R>>,
+    /// One lifecycle profile per submitted task, in submission order.
+    pub profiles: Vec<TaskProfile>,
     /// Wall-clock time of the batch.
     pub elapsed: Duration,
 }
@@ -158,6 +201,7 @@ type ProgressSink = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
 pub struct Engine {
     jobs: usize,
     progress: Option<ProgressSink>,
+    clock: Arc<dyn Clock>,
 }
 
 impl Engine {
@@ -167,6 +211,7 @@ impl Engine {
         Engine {
             jobs: jobs.max(1),
             progress: None,
+            clock: Arc::new(NullClock),
         }
     }
 
@@ -178,6 +223,15 @@ impl Engine {
     /// The worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Installs the clock that stamps [`TaskProfile`]s. The default
+    /// [`NullClock`] reads 0 forever, keeping profiles deterministic; inject
+    /// a [`WallClock`](crate::clock::WallClock) for real measurements.
+    #[must_use]
+    pub fn with_clock(mut self, clock: impl Clock + 'static) -> Self {
+        self.clock = Arc::new(clock);
+        self
     }
 
     /// Installs a progress sink, called after every task completion (from
@@ -220,12 +274,30 @@ impl Engine {
         let started = Instant::now();
         let total = tasks.len();
         let done = AtomicUsize::new(0);
+        let clock = &self.clock;
 
-        let run_one = |key: TaskKey, input: I| -> TaskOutcome<R> {
+        // (worker, stolen, submitted-tick) → outcome + lifecycle profile.
+        let run_one = |key: TaskKey,
+                       input: I,
+                       worker: usize,
+                       stolen: bool,
+                       submitted: u64|
+         -> (TaskOutcome<R>, TaskProfile) {
             let seed = key.seed();
+            let started_tick = clock.now();
             let result = catch_unwind(AssertUnwindSafe(|| f(&key, seed, input)))
                 .map_err(|payload| panic_message(payload.as_ref()));
+            let finished_tick = clock.now();
             let outcome = TaskOutcome { key, seed, result };
+            let profile = TaskProfile {
+                key: outcome.key.clone(),
+                seed,
+                submitted,
+                started: started_tick,
+                finished: finished_tick,
+                worker,
+                stolen,
+            };
             if let Some(sink) = &self.progress {
                 sink(&ProgressEvent {
                     done: done.fetch_add(1, Ordering::Relaxed) + 1,
@@ -235,30 +307,40 @@ impl Engine {
                     elapsed: started.elapsed(),
                 });
             }
-            outcome
+            (outcome, profile)
         };
 
         let workers = self.jobs.min(total.max(1));
         if workers <= 1 {
             // The serial path: inline, submission order, no threads.
-            let outcomes = tasks
-                .into_iter()
-                .map(|(key, input)| run_one(key, input))
-                .collect();
+            let mut outcomes = Vec::with_capacity(total);
+            let mut profiles = Vec::with_capacity(total);
+            for (key, input) in tasks {
+                let submitted = clock.now();
+                let (outcome, profile) = run_one(key, input, 0, false, submitted);
+                outcomes.push(outcome);
+                profiles.push(profile);
+            }
             return SweepOutcome {
                 outcomes,
+                profiles,
                 elapsed: started.elapsed(),
             };
         }
 
-        // Per-worker deques, filled round-robin by submission index.
-        let queues: Vec<Mutex<VecDeque<(usize, TaskKey, I)>>> =
+        // Per-worker deques, filled round-robin by submission index. Each
+        // entry carries its owner's index so a popper can tell a steal from
+        // a local dequeue.
+        // One enqueued job: submission index, key, input, submission tick.
+        type QueuedJob<I> = (usize, TaskKey, I, u64);
+        let queues: Vec<Mutex<VecDeque<QueuedJob<I>>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (idx, (key, input)) in tasks.into_iter().enumerate() {
-            lock_clean(&queues[idx % workers]).push_back((idx, key, input));
+            let submitted = clock.now();
+            lock_clean(&queues[idx % workers]).push_back((idx, key, input, submitted));
         }
-        let slots: Vec<Mutex<Option<TaskOutcome<R>>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
+        type Finished<R> = (TaskOutcome<R>, TaskProfile);
+        let slots: Vec<Mutex<Option<Finished<R>>>> = (0..total).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for w in 0..workers {
@@ -267,33 +349,42 @@ impl Engine {
                 let run_one = &run_one;
                 scope.spawn(move || {
                     loop {
-                        // Own deque first (front = submission order)...
-                        let job = lock_clean(&queues[w]).pop_front().or_else(|| {
+                        // Own deque first (front = submission order). Bind the
+                        // popped value so the guard drops here — holding our
+                        // own lock while probing siblings would let two
+                        // draining workers deadlock on each other's queues.
+                        let local = lock_clean(&queues[w]).pop_front();
+                        let job = local.map(|j| (j, false)).or_else(|| {
                             // ...then steal from the back of a sibling's.
-                            (1..workers)
-                                .find_map(|d| lock_clean(&queues[(w + d) % workers]).pop_back())
+                            (1..workers).find_map(|d| {
+                                lock_clean(&queues[(w + d) % workers])
+                                    .pop_back()
+                                    .map(|j| (j, true))
+                            })
                         });
-                        let Some((idx, key, input)) = job else {
+                        let Some(((idx, key, input, submitted), stolen)) = job else {
                             // No task regeneration: empty everywhere = done.
                             break;
                         };
-                        let outcome = run_one(key, input);
-                        *lock_clean(&slots[idx]) = Some(outcome);
+                        let pair = run_one(key, input, w, stolen, submitted);
+                        *lock_clean(&slots[idx]) = Some(pair);
                     }
                 });
             }
         });
 
-        let outcomes = slots
-            .into_iter()
-            .map(|slot| {
-                lock_clean(&slot)
-                    .take()
-                    .expect("every submitted task writes its slot")
-            })
-            .collect();
+        let mut outcomes = Vec::with_capacity(total);
+        let mut profiles = Vec::with_capacity(total);
+        for slot in slots {
+            let (outcome, profile) = lock_clean(&slot)
+                .take()
+                .expect("every submitted task writes its slot");
+            outcomes.push(outcome);
+            profiles.push(profile);
+        }
         SweepOutcome {
             outcomes,
+            profiles,
             elapsed: started.elapsed(),
         }
     }
@@ -403,6 +494,47 @@ mod tests {
         });
         let err = catch_unwind(AssertUnwindSafe(|| out.expect_all("ctx"))).unwrap_err();
         assert!(panic_message(err.as_ref()).contains("ctx"), "context kept");
+    }
+
+    #[test]
+    fn profiles_cover_every_task_with_null_clock_zeros() {
+        for jobs in [1, 5] {
+            let out = Engine::new(jobs).run(keys(24), |_k, _s, i| i);
+            assert_eq!(out.profiles.len(), 24, "jobs={jobs}");
+            for (i, p) in out.profiles.iter().enumerate() {
+                assert_eq!(p.key, out.outcomes[i].key, "submission order kept");
+                assert_eq!(p.seed, p.key.seed());
+                assert_eq!((p.submitted, p.started, p.finished), (0, 0, 0));
+                assert_eq!(p.queue_wait(), 0);
+                assert_eq!(p.run_ticks(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn counting_clock_yields_ordered_nonzero_profiles() {
+        let out = Engine::new(1)
+            .with_clock(crate::clock::CountingClock::new())
+            .run(keys(3), |_k, _s, i| i);
+        for p in &out.profiles {
+            assert!(p.submitted < p.started, "{p:?}");
+            assert!(p.started < p.finished, "{p:?}");
+            assert!(!p.stolen, "serial path never steals");
+            assert_eq!(p.worker, 0);
+        }
+        // Serial ticks are strictly increasing across tasks.
+        assert!(out.profiles[0].finished < out.profiles[1].submitted);
+    }
+
+    #[test]
+    fn panicking_tasks_still_get_profiles() {
+        let out = Engine::new(3).run(keys(8), |_k, _s, i| {
+            assert!(i != 2, "boom");
+            i
+        });
+        assert_eq!(out.profiles.len(), 8);
+        assert_eq!(out.profiles[2].key, out.outcomes[2].key);
+        assert!(out.outcomes[2].result.is_err());
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! The structured event stream: one record per replacement-relevant
+//! occurrence inside the micro-op cache.
+
+use uopcache_model::json::Json;
+
+/// What happened.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum EventKind {
+    /// A lookup served entirely from the cache.
+    Hit,
+    /// A lookup whose front was served by a shorter resident window.
+    PartialHit,
+    /// A lookup that found nothing resident.
+    Miss,
+    /// A decoded window was written into the cache.
+    Insert,
+    /// A resident window was evicted (by replacement, upgrade, or replay).
+    Evict,
+    /// An insertion was declined (policy bypass or structural limit).
+    Bypass,
+    /// A resident window was invalidated by L1i inclusion.
+    Invalidate,
+}
+
+impl EventKind {
+    /// The canonical lower-case label used in JSON and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Hit => "hit",
+            EventKind::PartialHit => "partial-hit",
+            EventKind::Miss => "miss",
+            EventKind::Insert => "insert",
+            EventKind::Evict => "evict",
+            EventKind::Bypass => "bypass",
+            EventKind::Invalidate => "invalidate",
+        }
+    }
+}
+
+/// What the replacement policy said about the event (where a policy was
+/// consulted at all).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum Verdict {
+    /// No policy decision was involved (hits, misses, plain insertions).
+    #[default]
+    None,
+    /// The victim came from the policy's primary selection logic.
+    Primary,
+    /// The victim came from the policy's fallback path (e.g. FURBYS
+    /// degrading to SRRIP on a pitfall).
+    Fallback,
+    /// The policy chose to bypass the insertion.
+    PolicyBypass,
+    /// The window exceeded the per-PW entry limit and streamed from the
+    /// decoder instead (a structural bypass, not a policy decision).
+    TooLarge,
+    /// A shorter same-start window was removed to upgrade it in place.
+    Upgrade,
+}
+
+impl Verdict {
+    /// The canonical lower-case label used in JSON and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::None => "none",
+            Verdict::Primary => "primary",
+            Verdict::Fallback => "fallback",
+            Verdict::PolicyBypass => "policy-bypass",
+            Verdict::TooLarge => "too-large",
+            Verdict::Upgrade => "upgrade",
+        }
+    }
+}
+
+/// One replacement-relevant occurrence.
+///
+/// Events are small `Copy` records: the frontend cycle they happened on, the
+/// set (and slot, where one is involved) they touched, the prediction window
+/// identified by its start address / micro-op count / entry footprint, and
+/// the policy's [`Verdict`].
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Event {
+    /// Frontend cycle (or the cache's own access counter when the cache is
+    /// driven standalone, outside the timed frontend).
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The set index the event touched.
+    pub set: u32,
+    /// The slot within the set, where a specific slot was involved
+    /// (hits, insertions, evictions, invalidations).
+    pub slot: Option<u8>,
+    /// Start address of the prediction window.
+    pub start: u64,
+    /// Micro-ops in the window (as requested for lookups, as stored for
+    /// insertions and evictions).
+    pub uops: u32,
+    /// Micro-op cache entries the window occupies.
+    pub entries: u32,
+    /// The policy's verdict, where a policy was consulted.
+    pub verdict: Verdict,
+}
+
+impl Event {
+    /// The canonical JSON rendering: fixed field order, `slot` as `null`
+    /// when no slot was involved.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycle".to_string(), Json::U64(self.cycle)),
+            (
+                "kind".to_string(),
+                Json::Str(self.kind.as_str().to_string()),
+            ),
+            ("set".to_string(), Json::U64(u64::from(self.set))),
+            (
+                "slot".to_string(),
+                match self.slot {
+                    Some(s) => Json::U64(u64::from(s)),
+                    None => Json::Null,
+                },
+            ),
+            ("start".to_string(), Json::U64(self.start)),
+            ("uops".to_string(), Json::U64(u64::from(self.uops))),
+            ("entries".to_string(), Json::U64(u64::from(self.entries))),
+            (
+                "verdict".to_string(),
+                Json::Str(self.verdict.as_str().to_string()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_fixed_field_order() {
+        let ev = Event {
+            cycle: 7,
+            kind: EventKind::Evict,
+            set: 3,
+            slot: Some(2),
+            start: 0x1040,
+            uops: 12,
+            entries: 2,
+            verdict: Verdict::Fallback,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"cycle":7,"kind":"evict","set":3,"slot":2,"start":4160,"uops":12,"entries":2,"verdict":"fallback"}"#
+        );
+    }
+
+    #[test]
+    fn missing_slot_serialises_as_null() {
+        let ev = Event {
+            cycle: 0,
+            kind: EventKind::Miss,
+            set: 0,
+            slot: None,
+            start: 0x40,
+            uops: 4,
+            entries: 1,
+            verdict: Verdict::None,
+        };
+        assert!(ev.to_json().to_string().contains("\"slot\":null"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::PartialHit.as_str(), "partial-hit");
+        assert_eq!(Verdict::PolicyBypass.as_str(), "policy-bypass");
+        assert_eq!(Verdict::default(), Verdict::None);
+    }
+}

@@ -154,7 +154,10 @@ mod tests {
 
     fn run(cfg: FrontendConfig, app: AppId, n: usize) -> SimResult {
         let trace = build_trace(app, InputVariant(0), n);
-        Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace)
+        Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace)
     }
 
     /// A configuration with an effectively disabled micro-op cache (everything

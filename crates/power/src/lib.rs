@@ -25,7 +25,7 @@
 //!
 //! let cfg = FrontendConfig::zen3();
 //! let trace = build_trace(AppId::Clang, InputVariant::default(), 5_000);
-//! let result = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+//! let result = Frontend::builder(cfg).policy(LruPolicy::new()).build().run(&trace);
 //! let model = EnergyModel::zen3_22nm(&cfg);
 //! let breakdown = model.evaluate(&result);
 //! assert!(breakdown.total() > 0.0);

@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use uopcache_cache::{LineCache, LineOutcome, LookupResult, PwReplacementPolicy, UopCache};
 use uopcache_model::{FrontendConfig, LookupTrace, PwDesc, SimResult};
+#[cfg(feature = "obs")]
+use uopcache_obs::Recorder;
 
 /// Exposed L2 latency charged on an L1i miss. Table I's L2 is 16 cycles, but
 /// decoupled frontends hide roughly half of it with fetch-ahead (the paper
@@ -24,49 +26,90 @@ pub struct SimOptions {
     pub classify_misses: bool,
 }
 
-/// The trace-driven frontend simulator.
+/// Configures and constructs a [`Frontend`].
 ///
-/// Construct with a configuration and a replacement policy, then [`run`] a
-/// lookup trace. The simulator may be run repeatedly; statistics accumulate
-/// on the underlying structures while [`run`] returns per-run deltas.
+/// Obtained from [`Frontend::builder`]; every knob is optional except the
+/// configuration:
 ///
-/// [`run`]: Frontend::run
-pub struct Frontend {
+/// ```
+/// use uopcache_cache::LruPolicy;
+/// use uopcache_model::FrontendConfig;
+/// use uopcache_sim::Frontend;
+///
+/// let fe = Frontend::builder(FrontendConfig::zen3())
+///     .policy(LruPolicy::new())
+///     .classify_misses(true)
+///     .build();
+/// assert_eq!(fe.uop_cache().policy_name(), "LRU");
+/// ```
+pub struct FrontendBuilder {
     cfg: FrontendConfig,
-    uopc: UopCache,
-    l1i: LineCache,
-    btb: LineCache,
-    /// Pending asynchronous insertions: (ready_cycle, window).
-    insert_queue: VecDeque<(u64, PwDesc)>,
-    /// Whether the previous window was served by the micro-op cache.
-    uopc_mode: bool,
-    /// Frontend cycle counter.
-    cycle: u64,
-    /// Fractional backend-absorption accumulator.
-    backend_debt: f64,
+    policy: Option<Box<dyn PwReplacementPolicy>>,
+    opts: SimOptions,
+    #[cfg(feature = "obs")]
+    recorder: Option<Box<dyn Recorder>>,
 }
 
-impl Frontend {
-    /// Creates a frontend with the given configuration and micro-op cache
-    /// replacement policy.
-    pub fn new(cfg: FrontendConfig, policy: Box<dyn PwReplacementPolicy>) -> Self {
-        Self::with_options(cfg, policy, SimOptions::default())
+impl FrontendBuilder {
+    fn new(cfg: FrontendConfig) -> Self {
+        FrontendBuilder {
+            cfg,
+            policy: None,
+            opts: SimOptions::default(),
+            #[cfg(feature = "obs")]
+            recorder: None,
+        }
     }
 
-    /// As [`Frontend::new`] with explicit simulation options.
+    /// Sets the micro-op cache replacement policy (default: LRU). Accepts
+    /// both unboxed policies and `Box<dyn PwReplacementPolicy>`.
+    #[must_use]
+    pub fn policy(mut self, policy: impl PwReplacementPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Replaces the whole option block.
+    #[must_use]
+    pub fn options(mut self, opts: SimOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Toggles cold/capacity/conflict miss classification.
+    #[must_use]
+    pub fn classify_misses(mut self, classify: bool) -> Self {
+        self.opts.classify_misses = classify;
+        self
+    }
+
+    /// Installs an event sink on the micro-op cache; the run loop stamps
+    /// each event with the frontend cycle it occurred on.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
+    /// Constructs the frontend.
     ///
     /// # Panics
     ///
     /// Panics if the cache geometries are inconsistent.
-    pub fn with_options(
-        cfg: FrontendConfig,
-        policy: Box<dyn PwReplacementPolicy>,
-        opts: SimOptions,
-    ) -> Self {
+    pub fn build(self) -> Frontend {
+        let cfg = self.cfg;
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(uopcache_cache::LruPolicy::new()));
         let mut uopc =
             UopCache::with_line_bytes(cfg.uop_cache, policy, u64::from(cfg.icache.line_bytes));
-        if opts.classify_misses {
+        if self.opts.classify_misses {
             uopc.enable_classification();
+        }
+        #[cfg(feature = "obs")]
+        if let Some(recorder) = self.recorder {
+            uopc.set_recorder(recorder);
         }
         let l1i = LineCache::new(
             cfg.icache.size_bytes,
@@ -86,6 +129,72 @@ impl Frontend {
             backend_debt: 0.0,
         }
     }
+}
+
+impl std::fmt::Debug for FrontendBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontendBuilder")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+/// The trace-driven frontend simulator.
+///
+/// Construct via [`Frontend::builder`], then [`run`] a lookup trace. The
+/// simulator may be run repeatedly; statistics accumulate on the underlying
+/// structures while [`run`] returns per-run deltas.
+///
+/// [`run`]: Frontend::run
+pub struct Frontend {
+    cfg: FrontendConfig,
+    uopc: UopCache,
+    l1i: LineCache,
+    btb: LineCache,
+    /// Pending asynchronous insertions: (ready_cycle, window).
+    insert_queue: VecDeque<(u64, PwDesc)>,
+    /// Whether the previous window was served by the micro-op cache.
+    uopc_mode: bool,
+    /// Frontend cycle counter.
+    cycle: u64,
+    /// Fractional backend-absorption accumulator.
+    backend_debt: f64,
+}
+
+impl Frontend {
+    /// Starts building a frontend for the given configuration.
+    pub fn builder(cfg: FrontendConfig) -> FrontendBuilder {
+        FrontendBuilder::new(cfg)
+    }
+
+    /// Creates a frontend with the given configuration and micro-op cache
+    /// replacement policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Frontend::builder(cfg).policy(p).build()`"
+    )]
+    pub fn new(cfg: FrontendConfig, policy: Box<dyn PwReplacementPolicy>) -> Self {
+        Self::builder(cfg).policy(policy).build()
+    }
+
+    /// Creates a frontend with explicit simulation options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometries are inconsistent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Frontend::builder(cfg).policy(p).options(o).build()`"
+    )]
+    pub fn with_options(
+        cfg: FrontendConfig,
+        policy: Box<dyn PwReplacementPolicy>,
+        opts: SimOptions,
+    ) -> Self {
+        Self::builder(cfg).policy(policy).options(opts).build()
+    }
 
     /// The configuration in use.
     pub fn config(&self) -> &FrontendConfig {
@@ -95,6 +204,19 @@ impl Frontend {
     /// The micro-op cache (for inspection in tests and experiments).
     pub fn uop_cache(&self) -> &UopCache {
         &self.uopc
+    }
+
+    /// The event sink installed via [`FrontendBuilder::recorder`], if any.
+    #[cfg(feature = "obs")]
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.uopc.recorder()
+    }
+
+    /// Removes and returns the installed event sink (to read out events and
+    /// metrics after a run).
+    #[cfg(feature = "obs")]
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.uopc.take_recorder()
     }
 
     /// Drives the lookup trace through the frontend and returns the
@@ -109,6 +231,10 @@ impl Frontend {
         for access in trace.iter() {
             let pw = access.pw;
             let mut add: u64 = 0;
+
+            // Stamp this access's events with the frontend cycle.
+            #[cfg(feature = "obs")]
+            self.uopc.set_cycle(self.cycle);
 
             // Retire pending asynchronous insertions that are now ready.
             self.drain_insertions();
@@ -291,14 +417,14 @@ mod tests {
     use uopcache_model::{Addr, PwAccess, PwTermination};
     use uopcache_trace::{build_trace, AppId, InputVariant};
 
-    fn lru() -> Box<dyn PwReplacementPolicy> {
-        Box::new(LruPolicy::new())
+    fn frontend(cfg: FrontendConfig) -> Frontend {
+        Frontend::builder(cfg).policy(LruPolicy::new()).build()
     }
 
     #[test]
     fn runs_and_accounts() {
         let trace = build_trace(AppId::Kafka, InputVariant(0), 10_000);
-        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let mut fe = frontend(FrontendConfig::zen3());
         let r = fe.run(&trace);
         assert_eq!(r.uopc.lookups, 10_000);
         assert_eq!(r.uopc.uops_hit + r.uopc.uops_missed, r.uopc.uops_requested);
@@ -311,7 +437,7 @@ mod tests {
         let trace = build_trace(AppId::Python, InputVariant(0), 5_000);
         let mut cfg = FrontendConfig::zen3();
         cfg.perfect.uop_cache = true;
-        let mut fe = Frontend::new(cfg, lru());
+        let mut fe = frontend(cfg);
         let r = fe.run(&trace);
         assert_eq!(r.uopc.uops_missed, 0);
         assert_eq!(r.events.decoded_uops, 0);
@@ -321,7 +447,7 @@ mod tests {
     #[test]
     fn perfect_structures_improve_ipc() {
         let trace = build_trace(AppId::Wordpress, InputVariant(0), 20_000);
-        let base = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        let base = frontend(FrontendConfig::zen3()).run(&trace);
         for which in ["uopc", "icache", "btb", "bp"] {
             let mut cfg = FrontendConfig::zen3();
             match which {
@@ -330,7 +456,7 @@ mod tests {
                 "btb" => cfg.perfect.btb = true,
                 _ => cfg.perfect.branch_predictor = true,
             }
-            let r = Frontend::new(cfg, lru()).run(&trace);
+            let r = frontend(cfg).run(&trace);
             assert!(
                 r.ipc() >= base.ipc(),
                 "{which}: perfect {} < base {}",
@@ -347,7 +473,7 @@ mod tests {
         // misses (the asynchrony of §II-B).
         let pw = PwDesc::new(Addr::new(0x1000), 4, 12, PwTermination::TakenBranch);
         let t: LookupTrace = [PwAccess::new(pw), PwAccess::new(pw)].into_iter().collect();
-        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let mut fe = frontend(FrontendConfig::zen3());
         let r = fe.run(&t);
         assert_eq!(
             r.uopc.pw_misses, 2,
@@ -365,7 +491,7 @@ mod tests {
         }
         accs.push(PwAccess::new(pw));
         let t: LookupTrace = accs.into_iter().collect();
-        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let mut fe = frontend(FrontendConfig::zen3());
         let r = fe.run(&t);
         assert!(
             r.uopc.pw_hits >= 1,
@@ -377,7 +503,7 @@ mod tests {
     #[test]
     fn inclusion_invalidations_occur_under_icache_pressure() {
         let trace = build_trace(AppId::Clang, InputVariant(0), 60_000);
-        let mut fe = Frontend::new(FrontendConfig::zen3(), lru());
+        let mut fe = frontend(FrontendConfig::zen3());
         let r = fe.run(&trace);
         assert!(
             r.uopc.inclusion_invalidations > 0,
@@ -389,10 +515,10 @@ mod tests {
     #[test]
     fn better_policy_means_better_or_equal_ipc() {
         let trace = build_trace(AppId::Postgres, InputVariant(0), 30_000);
-        let lru_r = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        let lru_r = frontend(FrontendConfig::zen3()).run(&trace);
         let mut big = FrontendConfig::zen3();
         big.uop_cache = big.uop_cache.with_entries(4096);
-        let big_r = Frontend::new(big, lru()).run(&trace);
+        let big_r = frontend(big).run(&trace);
         assert!(big_r.uopc.uops_missed <= lru_r.uopc.uops_missed);
         assert!(big_r.ipc() >= lru_r.ipc());
     }
@@ -400,10 +526,10 @@ mod tests {
     #[test]
     fn misprediction_penalty_costs_cycles() {
         let trace = build_trace(AppId::Wordpress, InputVariant(0), 10_000);
-        let base = Frontend::new(FrontendConfig::zen3(), lru()).run(&trace);
+        let base = frontend(FrontendConfig::zen3()).run(&trace);
         let mut cfg = FrontendConfig::zen3();
         cfg.perfect.branch_predictor = true;
-        let perfect = Frontend::new(cfg, lru()).run(&trace);
+        let perfect = frontend(cfg).run(&trace);
         assert!(perfect.events.cycles < base.events.cycles);
         assert_eq!(perfect.mispredictions, 0);
     }
@@ -411,13 +537,10 @@ mod tests {
     #[test]
     fn classification_option_populates_3c_breakdown() {
         let trace = build_trace(AppId::Kafka, InputVariant(0), 20_000);
-        let mut fe = Frontend::with_options(
-            FrontendConfig::zen3(),
-            lru(),
-            SimOptions {
-                classify_misses: true,
-            },
-        );
+        let mut fe = Frontend::builder(FrontendConfig::zen3())
+            .policy(LruPolicy::new())
+            .classify_misses(true)
+            .build();
         let r = fe.run(&trace);
         let classified =
             r.uopc.cold_miss_uops + r.uopc.capacity_miss_uops + r.uopc.conflict_miss_uops;

@@ -21,6 +21,10 @@
 //! Every structure can be made *perfect* via
 //! [`uopcache_model::PerfectStructures`] for the Figure 2 limit study.
 //!
+//! Frontends are constructed through [`Frontend::builder`]; with the default
+//! `obs` feature a `uopcache_obs::Recorder` can be attached there to stream
+//! every replacement decision out of the run.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,7 +34,9 @@
 //! use uopcache_trace::{build_trace, AppId, InputVariant};
 //!
 //! let trace = build_trace(AppId::Kafka, InputVariant::default(), 5_000);
-//! let mut frontend = Frontend::new(FrontendConfig::zen3(), Box::new(LruPolicy::new()));
+//! let mut frontend = Frontend::builder(FrontendConfig::zen3())
+//!     .policy(LruPolicy::new())
+//!     .build();
 //! let result = frontend.run(&trace);
 //! assert!(result.ipc() > 0.0);
 //! assert!(result.uopc.uops_hit > 0);
@@ -38,4 +44,4 @@
 
 pub mod frontend;
 
-pub use frontend::{Frontend, SimOptions};
+pub use frontend::{Frontend, FrontendBuilder, SimOptions};

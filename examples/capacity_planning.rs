@@ -35,7 +35,10 @@ fn main() {
         cfg.uop_cache = cfg.uop_cache.with_entries(entries);
         let model = EnergyModel::zen3_22nm(&cfg);
 
-        let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace);
         let pipeline = FurbysPipeline::new(cfg);
         let profile = pipeline.profile(&trace);
         let furbys = pipeline.deploy_and_run(&profile, &trace);

@@ -33,7 +33,10 @@ fn main() {
     println!("{:<22} {:>10} {:>14}", "policy", "miss rate", "vs LRU");
 
     // Online policies through the timed frontend simulator.
-    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    let lru = Frontend::builder(cfg)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&trace);
     let report = |name: &str, miss_rate: f64, reduction: f64| {
         println!("{name:<22} {:>9.2}% {reduction:>+13.2}%", miss_rate * 100.0);
     };
@@ -47,7 +50,7 @@ fn main() {
     ];
     for policy in online {
         let name = policy.name();
-        let r = Frontend::new(cfg, policy).run(&trace);
+        let r = Frontend::builder(cfg).policy(policy).build().run(&trace);
         report(
             name,
             r.uopc.uop_miss_rate(),

@@ -47,7 +47,10 @@ fn main() {
 
     // STEP 7: deploy on a *held-out* input.
     let test = build_trace(app, InputVariant::new(2), len);
-    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&test);
+    let lru = Frontend::builder(cfg)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&test);
     let furbys = pipeline.deploy_and_run(&profile, &test);
     println!(
         "\ndeployment on an unseen input:\n  LRU    miss rate {:6.2}%\n  FURBYS miss rate {:6.2}%  ({:+.2}% misses vs LRU)",

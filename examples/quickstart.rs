@@ -22,7 +22,10 @@ fn main() {
     );
 
     // 2. Baseline: LRU-managed 512-entry micro-op cache.
-    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    let lru = Frontend::builder(cfg)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&trace);
     println!(
         "LRU    : {:6.2}% uop miss rate, IPC {:.3}",
         lru.uopc.uop_miss_rate() * 100.0,

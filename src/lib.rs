@@ -23,6 +23,7 @@
 //! | [`power`] | `uopcache-power` | energy model, performance-per-watt |
 //! | [`core`] | `uopcache-core` | **FLACK**, **FURBYS**, Jenks breaks, the 7-step pipeline |
 //! | [`exec`] | `uopcache-exec` | deterministic parallel experiment engine |
+//! | [`obs`] | `uopcache-obs` | event stream, metrics registry, recorders |
 //!
 //! # Examples
 //!
@@ -38,7 +39,7 @@
 //! let cfg = FrontendConfig::zen3();
 //! let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 10_000);
 //!
-//! let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+//! let lru = Frontend::builder(cfg).policy(LruPolicy::new()).build().run(&trace);
 //!
 //! let pipeline = FurbysPipeline::new(cfg);
 //! let profile = pipeline.profile(&trace);
@@ -55,6 +56,7 @@ pub use uopcache_core as core;
 pub use uopcache_exec as exec;
 pub use uopcache_flow as flow;
 pub use uopcache_model as model;
+pub use uopcache_obs as obs;
 pub use uopcache_offline as offline;
 pub use uopcache_policies as policies;
 pub use uopcache_power as power;

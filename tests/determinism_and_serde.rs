@@ -24,7 +24,12 @@ fn traces_are_pure_functions_of_their_parameters() {
 fn simulation_results_are_deterministic() {
     let trace = build_trace(AppId::Mysql, InputVariant::DEFAULT, 10_000);
     let cfg = FrontendConfig::zen3();
-    let run = || Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    let run = || {
+        Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace)
+    };
     assert_eq!(run(), run());
 }
 
@@ -73,7 +78,10 @@ fn program_and_stats_round_trip_through_json() {
 #[test]
 fn sim_results_round_trip_through_json() {
     let trace = build_trace(AppId::Drupal, InputVariant::DEFAULT, 3_000);
-    let result = Frontend::new(FrontendConfig::zen3(), Box::new(LruPolicy::new())).run(&trace);
+    let result = Frontend::builder(FrontendConfig::zen3())
+        .policy(LruPolicy::new())
+        .build()
+        .run(&trace);
     let json = json::to_string(&result);
     let back: SimResult = json::from_str(&json).unwrap();
     assert_eq!(back, result);

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use uopcache::exec::Engine;
 use uopcache::model::FrontendConfig;
 use uopcache::trace::AppId;
-use uopcache_bench::sweep::{run_sweep, SweepSpec};
+use uopcache_bench::sweep::{run_sweep, SweepSpec, SCHEMA_VERSION};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -30,6 +30,11 @@ fn check_golden(name: &str, spec: &SweepSpec) {
     let actual = run_sweep(spec, &Engine::new(1)).to_json();
     let parallel = run_sweep(spec, &Engine::new(4)).to_json();
     assert_eq!(actual, parallel, "{name}: sweep is not jobs-invariant");
+    assert_eq!(SCHEMA_VERSION, 1, "bumping the schema needs new goldens");
+    assert!(
+        actual.starts_with("{\"schema_version\":1,"),
+        "{name}: canonical JSON must lead with the schema version"
+    );
 
     let path = golden_path(name);
     if std::env::var("UPDATE_GOLDEN").is_ok() {
@@ -74,6 +79,7 @@ fn golden_zen3() {
             policies: policies(),
             variant: 0,
             len: 4_000,
+            metrics: false,
         },
     );
 }
@@ -94,6 +100,7 @@ fn golden_zen4_small() {
             policies: policies(),
             variant: 1,
             len: 4_000,
+            metrics: false,
         },
     );
 }

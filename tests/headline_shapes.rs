@@ -37,7 +37,9 @@ fn aggregate() -> Aggregate {
     };
     for app in APPS {
         let trace = build_trace(app, InputVariant::DEFAULT, LEN);
-        agg.lru_online += Frontend::new(cfg, Box::new(LruPolicy::new()))
+        agg.lru_online += Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
             .run(&trace)
             .uopc
             .uops_missed;
@@ -124,7 +126,9 @@ fn furbys_is_equivalent_to_a_larger_lru_cache() {
         furbys += pipeline.deploy_and_run(&profile, &trace).uopc.uops_missed;
         let mut big = cfg;
         big.uop_cache = big.uop_cache.with_entries(640);
-        lru_640 += Frontend::new(big, Box::new(LruPolicy::new()))
+        lru_640 += Frontend::builder(big)
+            .policy(LruPolicy::new())
+            .build()
             .run(&trace)
             .uopc
             .uops_missed;
@@ -144,7 +148,10 @@ fn ppw_gain_shape_holds() {
     let mut gains = Vec::new();
     for app in [AppId::Kafka, AppId::Clang] {
         let trace = build_trace(app, InputVariant::DEFAULT, LEN);
-        let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace);
         let pipeline = FurbysPipeline::new(cfg);
         let profile = pipeline.profile(&trace);
         let furbys = pipeline.deploy_and_run(&profile, &trace);

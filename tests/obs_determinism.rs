@@ -1,0 +1,109 @@
+//! Observability must never perturb the simulation, and instrumented output
+//! must stay a pure function of the task keys:
+//!
+//! * a run with a [`NullRecorder`] (or any recorder) produces a `SimResult`
+//!   identical to an uninstrumented baseline;
+//! * a `--metrics` sweep renders byte-identical JSON at `--jobs` 1, 2 and 8,
+//!   sampled event subsets included.
+
+use uopcache::exec::Engine;
+use uopcache::model::FrontendConfig;
+use uopcache::obs::{MetricsRecorder, NullRecorder, SamplingRecorder};
+use uopcache::sim::Frontend;
+use uopcache::trace::{build_trace, AppId, InputVariant};
+use uopcache_bench::sweep::{run_sweep, SweepSpec, SAMPLE_EVERY};
+
+fn metrics_spec() -> SweepSpec {
+    SweepSpec {
+        cfg: FrontendConfig::zen3(),
+        config_name: "zen3".to_string(),
+        apps: vec![AppId::Kafka, AppId::Postgres],
+        policies: vec![
+            "LRU".to_string(),
+            "FURBYS".to_string(),
+            "Random".to_string(),
+        ],
+        variant: 0,
+        len: 2_500,
+        metrics: true,
+    }
+}
+
+#[test]
+fn metrics_sweep_json_is_byte_identical_across_worker_counts() {
+    let spec = metrics_spec();
+    let jobs1 = run_sweep(&spec, &Engine::new(1)).to_json();
+    let jobs2 = run_sweep(&spec, &Engine::new(2)).to_json();
+    let jobs8 = run_sweep(&spec, &Engine::new(8)).to_json();
+    assert_eq!(jobs1, jobs2, "--jobs 2 diverged from the serial path");
+    assert_eq!(jobs1, jobs8, "--jobs 8 diverged from the serial path");
+    assert!(
+        jobs1.contains("\"events\":[{") && jobs1.contains("\"totals\":{"),
+        "metrics mode carries sampled events and merged totals"
+    );
+}
+
+#[test]
+fn recorders_do_not_perturb_the_simulation() {
+    let cfg = FrontendConfig::zen3();
+    let trace = build_trace(AppId::Clang, InputVariant::DEFAULT, 8_000);
+    let policy = || uopcache::cache::LruPolicy::new();
+
+    let baseline = Frontend::builder(cfg).policy(policy()).build().run(&trace);
+    let nulled = Frontend::builder(cfg)
+        .policy(policy())
+        .recorder(NullRecorder::new())
+        .build()
+        .run(&trace);
+    let metered = Frontend::builder(cfg)
+        .policy(policy())
+        .recorder(MetricsRecorder::new(Box::new(SamplingRecorder::new(
+            7,
+            SAMPLE_EVERY,
+        ))))
+        .build()
+        .run(&trace);
+    assert_eq!(baseline, nulled, "NullRecorder changed the simulation");
+    assert_eq!(baseline, metered, "MetricsRecorder changed the simulation");
+}
+
+#[test]
+fn metrics_counters_agree_with_simulator_statistics() {
+    let cfg = FrontendConfig::zen3();
+    let trace = build_trace(AppId::Kafka, InputVariant::DEFAULT, 5_000);
+    let mut frontend = Frontend::builder(cfg)
+        .policy(uopcache::cache::LruPolicy::new())
+        .recorder(MetricsRecorder::new(Box::new(NullRecorder::new())))
+        .build();
+    let result = frontend.run(&trace);
+    let recorder = frontend.take_recorder().expect("recorder installed");
+    let m = recorder.metrics().expect("metrics recorder").clone();
+    assert_eq!(m.counter("insertions"), result.uopc.insertions);
+    // The event stream tags in-place window upgrades as evictions with an
+    // `upgrade` verdict; the simulator's `evicted_pws` counts only true
+    // replacement evictions.
+    assert_eq!(
+        m.counter("evictions") - m.counter("upgrades"),
+        result.uopc.evicted_pws,
+    );
+    assert_eq!(
+        m.counter("hits") + m.counter("partial_hits") + m.counter("misses"),
+        result.uopc.pw_hits + result.uopc.pw_partial_hits + result.uopc.pw_misses,
+        "every lookup emits exactly one lookup-class event"
+    );
+}
+
+#[test]
+fn metrics_mode_reports_the_same_numbers_as_a_plain_sweep() {
+    let mut plain = metrics_spec();
+    plain.metrics = false;
+    let engine = Engine::new(4);
+    let instrumented = run_sweep(&metrics_spec(), &engine);
+    let uninstrumented = run_sweep(&plain, &engine);
+    assert_eq!(instrumented.cells.len(), uninstrumented.cells.len());
+    for (a, b) in instrumented.cells.iter().zip(&uninstrumented.cells) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.result, b.result, "instrumentation perturbed {}", a.key);
+    }
+}

@@ -21,6 +21,7 @@ fn spec() -> SweepSpec {
         ],
         variant: 0,
         len: 3_000,
+        metrics: false,
     }
 }
 

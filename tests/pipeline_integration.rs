@@ -21,7 +21,10 @@ fn ordering_lru_furbys_flack_holds_in_aggregate() {
     let mut sync_lru_missed = 0u64;
     for app in [AppId::Kafka, AppId::Postgres, AppId::Clang] {
         let trace = build_trace(app, InputVariant::DEFAULT, LEN);
-        let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+        let lru = Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace);
         lru_missed += lru.uopc.uops_missed;
         let pipeline = FurbysPipeline::new(cfg);
         let profile = pipeline.profile(&trace);
@@ -70,7 +73,10 @@ fn profiles_transfer_across_inputs() {
     let test = build_trace(app, InputVariant::new(1), LEN);
     let pipeline = FurbysPipeline::new(cfg);
     let profile = pipeline.profile(&train);
-    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&test);
+    let lru = Frontend::builder(cfg)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&test);
     let cross = pipeline.deploy_and_run(&profile, &test);
     assert!(
         cross.uopc.uops_missed < lru.uopc.uops_missed,
@@ -82,7 +88,10 @@ fn profiles_transfer_across_inputs() {
 fn all_oracles_feed_the_pipeline() {
     let cfg = FrontendConfig::zen3();
     let trace = build_trace(AppId::Tomcat, InputVariant::DEFAULT, 10_000);
-    let lru = Frontend::new(cfg, Box::new(LruPolicy::new())).run(&trace);
+    let lru = Frontend::builder(cfg)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&trace);
     for oracle in [OracleKind::Flack, OracleKind::Belady, OracleKind::Foo] {
         let mut pipeline = FurbysPipeline::new(cfg);
         pipeline.oracle = oracle;
@@ -106,7 +115,10 @@ fn iso_capacity_shape_furbys_at_512_beats_lru_at_768() {
     let furbys = pipeline.deploy_and_run(&profile, &trace);
     let mut big = cfg;
     big.uop_cache = big.uop_cache.with_entries(768);
-    let lru_big = Frontend::new(big, Box::new(LruPolicy::new())).run(&trace);
+    let lru_big = Frontend::builder(big)
+        .policy(LruPolicy::new())
+        .build()
+        .run(&trace);
     assert!(
         furbys.uopc.uops_missed < lru_big.uopc.uops_missed,
         "FURBYS@512 ({}) should beat LRU@768 ({})",
