@@ -14,7 +14,7 @@ pub struct Diagnostic {
     /// 1-indexed line.
     pub line: u32,
     /// Rule identifier (`no-unwrap`, `no-float-eq`, `no-narrowing-cast`,
-    /// `unique-policy-names`).
+    /// `no-unbounded-queue`, `unique-policy-names`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -298,6 +298,62 @@ fn rule_no_narrowing_cast(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Crates whose non-test code must not grow queues or buffers without a
+/// capacity bound: the long-running daemon, where unbounded growth under
+/// client pressure is an OOM waiting to happen.
+const BOUNDED_QUEUE_CRATES: [&str; 1] = ["serve"];
+
+/// Rule `no-unbounded-queue`: two patterns.
+///
+/// 1. `mpsc::channel(..)` anywhere in non-test workspace code — the std
+///    unbounded channel buffers without limit; use `sync_channel(cap)` or a
+///    capacity-checked structure.
+/// 2. `Vec::new()` / `VecDeque::new()` / `String::new()` in the serve
+///    crate's non-test code — daemon-side collections must be created with
+///    `with_capacity` (and guarded by an explicit capacity check before
+///    growth) so backpressure, not the allocator, absorbs load spikes.
+fn rule_no_unbounded_queue(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, w) in f.toks.windows(4).enumerate() {
+        if f.in_test_code(i) {
+            continue;
+        }
+        if w[0].is_ident("mpsc")
+            && w[1].is_punct("::")
+            && w[2].is_ident("channel")
+            && w[3].is_punct("(")
+        {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: w[2].line,
+                rule: "no-unbounded-queue",
+                message: "mpsc::channel() buffers without bound; use \
+                          sync_channel(capacity) or a capacity-checked queue"
+                    .into(),
+            });
+        }
+    }
+    if !path_in_crates(&f.path, &BOUNDED_QUEUE_CRATES) {
+        return;
+    }
+    for (i, w) in f.toks.windows(3).enumerate() {
+        if f.in_test_code(i) || !w[1].is_punct("::") || !w[2].is_ident("new") {
+            continue;
+        }
+        if w[0].is_ident("Vec") || w[0].is_ident("VecDeque") || w[0].is_ident("String") {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: w[0].line,
+                rule: "no-unbounded-queue",
+                message: format!(
+                    "{}::new() in daemon code; size it with with_capacity and \
+                     refuse growth past the bound (backpressure, not OOM)",
+                    w[0].text
+                ),
+            });
+        }
+    }
+}
+
 /// Rule `unique-policy-names`: every `impl PwReplacementPolicy for T` block
 /// that returns a string literal from `fn name` must use a distinct string.
 fn rule_unique_policy_names(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
@@ -452,6 +508,7 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> Result<Vec<Diagnostic>, S
         rule_no_unwrap(f, &mut diags);
         rule_no_float_eq(f, &mut diags);
         rule_no_narrowing_cast(f, &mut diags);
+        rule_no_unbounded_queue(f, &mut diags);
     }
     rule_unique_policy_names(&files, &mut diags);
 
@@ -477,6 +534,7 @@ mod tests {
         rule_no_unwrap(&f, &mut out);
         rule_no_float_eq(&f, &mut out);
         rule_no_narrowing_cast(&f, &mut out);
+        rule_no_unbounded_queue(&f, &mut out);
         out
     }
 
@@ -523,6 +581,57 @@ mod tests {
             lint_one(
                 "crates/cache/src/a.rs",
                 "fn f(x: u32) -> usize { x as usize }"
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unbounded_channel_flagged_everywhere() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }";
+        let d = lint_one("crates/exec/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-unbounded-queue");
+        // The bounded variant passes.
+        assert_eq!(
+            lint_one(
+                "crates/exec/src/a.rs",
+                "fn f() { let (tx, rx) = mpsc::sync_channel(8); }"
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn uncapacitated_collections_flagged_in_serve_only() {
+        for ty in ["Vec", "VecDeque", "String"] {
+            let src = format!("fn f() {{ let q = {ty}::new(); }}");
+            assert_eq!(
+                lint_one("crates/serve/src/a.rs", &src).len(),
+                1,
+                "{ty} in serve"
+            );
+            assert_eq!(
+                lint_one("crates/bench/src/a.rs", &src).len(),
+                0,
+                "{ty} elsewhere"
+            );
+        }
+        // with_capacity passes, and test code is exempt.
+        assert_eq!(
+            lint_one(
+                "crates/serve/src/a.rs",
+                "fn f() { let q = VecDeque::with_capacity(8); }"
+            )
+            .len(),
+            0
+        );
+        assert_eq!(
+            lint_one(
+                "crates/serve/src/a.rs",
+                "fn lib() {}\n#[cfg(test)]\nmod tests { fn f() { let q = Vec::new(); } }"
             )
             .len(),
             0

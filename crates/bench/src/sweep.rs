@@ -116,6 +116,142 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
+    /// Renders the spec as canonical JSON — the wire form of a serving job.
+    ///
+    /// Only the fields that name simulation *work* are included (never the
+    /// worker count), so the rendering doubles as the spec's identity: two
+    /// specs with equal JSON produce byte-identical [`SweepReport`]s.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_string(), Json::Str(self.config_name.clone())),
+            (
+                "entries".to_string(),
+                Json::U64(u64::from(self.cfg.uop_cache.entries)),
+            ),
+            (
+                "ways".to_string(),
+                Json::U64(u64::from(self.cfg.uop_cache.ways)),
+            ),
+            (
+                "apps".to_string(),
+                Json::Arr(
+                    self.apps
+                        .iter()
+                        .map(|a| Json::Str(a.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "policies".to_string(),
+                Json::Arr(self.policies.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+            ("variant".to_string(), Json::U64(u64::from(self.variant))),
+            ("len".to_string(), Json::U64(self.len as u64)),
+            ("metrics".to_string(), Json::Bool(self.metrics)),
+        ])
+    }
+
+    /// Reconstructs a spec from the wire form produced by
+    /// [`to_json`](Self::to_json) — the job → sweep-cell mapping the serving
+    /// layer uses. `config` must name a known base configuration (`zen3` or
+    /// `zen4`); `entries`/`ways` default to that base when absent; `apps`
+    /// must name Table II applications; `policies` are resolved against the
+    /// full roster (case-insensitively) to their canonical names, so a
+    /// served job keys its tasks exactly like the offline `sweep` CLI.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or unresolvable field.
+    pub fn from_json(j: &Json) -> Result<SweepSpec, String> {
+        let text = |field: &str| -> Result<String, String> {
+            j.field(field)
+                .map_err(|e| e.to_string())?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field {field:?} must be a string"))
+        };
+        let config_name = text("config")?;
+        let mut cfg = match config_name.as_str() {
+            "zen3" => FrontendConfig::zen3(),
+            "zen4" => FrontendConfig::zen4(),
+            other => return Err(format!("unknown config {other:?} (zen3 or zen4)")),
+        };
+        let geometry = |field: &str, default: u32| -> Result<u32, String> {
+            match j.field(field) {
+                Err(_) => Ok(default),
+                Ok(v) => u32::try_from(
+                    v.as_u64()
+                        .ok_or_else(|| format!("field {field:?} must be an unsigned integer"))?,
+                )
+                .map_err(|_| format!("field {field:?} out of range")),
+            }
+        };
+        cfg.uop_cache = cfg
+            .uop_cache
+            .with_entries(geometry("entries", cfg.uop_cache.entries)?)
+            .with_ways(geometry("ways", cfg.uop_cache.ways)?);
+        let names = |field: &str| -> Result<Vec<String>, String> {
+            j.field(field)
+                .map_err(|e| e.to_string())?
+                .as_arr()
+                .ok_or_else(|| format!("field {field:?} must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("field {field:?} must hold strings"))
+                })
+                .collect()
+        };
+        let apps = names("apps")?
+            .iter()
+            .map(|name| {
+                AppId::ALL
+                    .into_iter()
+                    .find(|a| a.name() == name)
+                    .ok_or_else(|| format!("unknown app {name:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if apps.is_empty() {
+            return Err("field \"apps\" must not be empty".to_string());
+        }
+        let registry = crate::policies::PolicyRegistry::all();
+        let policies = names("policies")?
+            .iter()
+            .map(|p| registry.resolve(p).map(|id| id.name().to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        if policies.is_empty() {
+            return Err("field \"policies\" must not be empty".to_string());
+        }
+        let uint = |field: &str, default: u64| -> Result<u64, String> {
+            match j.field(field) {
+                Err(_) => Ok(default),
+                Ok(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("field {field:?} must be an unsigned integer")),
+            }
+        };
+        let variant = u32::try_from(uint("variant", 0)?)
+            .map_err(|_| "field \"variant\" out of range".to_string())?;
+        let len = usize::try_from(uint("len", 100_000)?)
+            .map_err(|_| "field \"len\" out of range".to_string())?;
+        let metrics = match j.field("metrics") {
+            Err(_) => false,
+            Ok(v) => v
+                .as_bool()
+                .ok_or_else(|| "field \"metrics\" must be a bool".to_string())?,
+        };
+        Ok(SweepSpec {
+            cfg,
+            config_name,
+            apps,
+            policies,
+            variant,
+            len,
+            metrics,
+        })
+    }
+
     /// The key naming one `(app, policy)` simulation task of this sweep.
     pub fn task_key(&self, app: AppId, policy: &str) -> TaskKey {
         TaskKey::new([
@@ -511,6 +647,44 @@ mod tests {
             "schema_version leads the report: {}",
             &json[..40.min(json.len())]
         );
+    }
+
+    #[test]
+    fn spec_json_round_trips_and_resolves_canonical_names() {
+        let spec = tiny_spec();
+        let j = spec.to_json();
+        let back = SweepSpec::from_json(&j).expect("wire form round-trips");
+        assert_eq!(back.to_json().to_string(), j.to_string());
+        assert_eq!(back.cfg, spec.cfg);
+        // Lower-case policy names resolve to the canonical figure labels.
+        let loose = Json::parse(
+            r#"{"config":"zen4","apps":["kafka"],"policies":["lru","ship++"],"len":500}"#,
+        )
+        .expect("valid JSON");
+        let spec = SweepSpec::from_json(&loose).expect("defaults fill in");
+        assert_eq!(spec.policies, vec!["LRU", "SHiP++"]);
+        assert_eq!(spec.variant, 0);
+        assert!(!spec.metrics);
+        assert_eq!(spec.cfg, FrontendConfig::zen4());
+    }
+
+    #[test]
+    fn spec_json_rejects_bad_fields() {
+        for bad in [
+            r#"{"apps":["kafka"],"policies":["lru"]}"#,
+            r#"{"config":"zen9","apps":["kafka"],"policies":["lru"]}"#,
+            r#"{"config":"zen3","apps":["nope"],"policies":["lru"]}"#,
+            r#"{"config":"zen3","apps":["kafka"],"policies":["belaay"]}"#,
+            r#"{"config":"zen3","apps":[],"policies":["lru"]}"#,
+            r#"{"config":"zen3","apps":["kafka"],"policies":[]}"#,
+            r#"{"config":"zen3","apps":["kafka"],"policies":["lru"],"len":"x"}"#,
+        ] {
+            let j = Json::parse(bad).expect("valid JSON");
+            assert!(
+                SweepSpec::from_json(&j).is_err(),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

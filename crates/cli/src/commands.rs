@@ -12,6 +12,7 @@ use uopcache_model::json::Json;
 use uopcache_model::{FrontendConfig, LookupTrace};
 use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder};
 use uopcache_power::EnergyModel;
+use uopcache_serve::{Client, Server, ServerConfig};
 use uopcache_sim::Frontend;
 use uopcache_trace::{build_trace, io as trace_io, AppId, InputVariant, TraceStats};
 
@@ -47,6 +48,18 @@ commands:
   audit      [--root DIR] [--allowlist FILE] [--lint-only]
                                     run the workspace lint pass and the
                                     policy-conformance checks
+  serve      [--addr H:P] [--queue N] [--jobs N] [--job-timeout-ms N]
+                                    run the simulation daemon: bounded job
+                                    queue with 429-style backpressure, panic
+                                    isolation, graceful drain on shutdown;
+                                    results are byte-identical to `sweep`
+  submit     --addr H:P [sweep flags] [--id ID] [--timeout-ms N] [--no-wait]
+             [--json FILE]          submit a sweep job to a daemon; waits and
+                                    writes the canonical report by default
+  status     --addr H:P --job ID    query one job's state on a daemon
+  stats      --addr H:P             fetch a daemon's stats frame (counters,
+                                    queue gauges, latency histograms)
+  shutdown   --addr H:P             ask a daemon to drain and exit
 
 policies: lru srrip ship++ mockingjay ghrp thermometer furbys";
 
@@ -60,7 +73,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
     match args.positional(0) {
         Some("apps") => cmd_apps(),
         Some("gen") => cmd_gen(&args),
-        Some("stats") => cmd_stats(&args),
+        Some("stats") => {
+            if args.get("addr").is_some() {
+                cmd_server_stats(&args)
+            } else {
+                cmd_stats(&args)
+            }
+        }
         Some("simulate") => cmd_simulate(&args),
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args),
@@ -69,6 +88,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("experiment") => cmd_experiment(&args),
         Some("list-experiments") => cmd_list_experiments(),
         Some("audit") => cmd_audit(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        Some("status") => cmd_status(&args),
+        Some("shutdown") => cmd_shutdown(&args),
         Some(other) => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
         None => Err(Box::new(ArgError("no command given".into()))),
     }
@@ -273,7 +296,11 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+/// Builds a [`SweepSpec`] from the shared sweep flags (`--apps`,
+/// `--policies`, `--config`, `--entries`, `--ways`, `--variant`, `--len`,
+/// `--metrics`) — the same parsing for `sweep` (offline) and `submit`
+/// (served), so both paths describe identical work.
+fn spec_from_args(args: &Args) -> Result<SweepSpec, Box<dyn Error>> {
     let cfg = parse_config(args)?;
     let config_name = args.get("config").unwrap_or("zen3").to_string();
     let apps = match args.get("apps") {
@@ -299,13 +326,7 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
             })
             .collect::<Result<Vec<_>, _>>()?,
     };
-    if let Some(jobs) = args.get("jobs") {
-        sweep::set_jobs(
-            jobs.parse()
-                .map_err(|_| ArgError(format!("--jobs {jobs:?} is not a valid value")))?,
-        );
-    }
-    let spec = SweepSpec {
+    Ok(SweepSpec {
         cfg,
         config_name,
         apps,
@@ -313,7 +334,17 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         variant: args.get_parse("variant", 0u32)?,
         len: args.get_parse("len", 100_000usize)?,
         metrics: args.has("metrics"),
-    };
+    })
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+    let spec = spec_from_args(args)?;
+    if let Some(jobs) = args.get("jobs") {
+        sweep::set_jobs(
+            jobs.parse()
+                .map_err(|_| ArgError(format!("--jobs {jobs:?} is not a valid value")))?,
+        );
+    }
     let report = run_sweep(&spec, &sweep::engine());
 
     let mut t = Table::new(
@@ -564,6 +595,89 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
     } else {
         Ok(())
     }
+}
+
+/// Runs the simulation daemon until a client sends `shutdown` and the drain
+/// completes. Prints the bound address first (an ephemeral `--addr :0` bind
+/// is resolved), so scripts can read the port from the first stdout line.
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    let cfg = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7743").to_string(),
+        queue_capacity: args.get_parse("queue", 16usize)?,
+        jobs: args.get_parse("jobs", 0usize)?,
+        job_timeout: match args.get("job-timeout-ms") {
+            None => None,
+            Some(_) => Some(std::time::Duration::from_millis(
+                args.get_parse("job-timeout-ms", 0u64)?,
+            )),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg)?;
+    println!("serving on {}", server.local_addr()?);
+    server.run()?;
+    println!("drained; exiting");
+    Ok(())
+}
+
+fn client_for(args: &Args) -> Result<Client, Box<dyn Error>> {
+    let addr = args.require("addr")?;
+    Ok(Client::connect(addr, std::time::Duration::from_secs(5))?)
+}
+
+/// Submits one sweep job to a daemon. By default waits for the result and
+/// (with `--json FILE`) writes the canonical report — byte-identical to
+/// `uopcache sweep --json` for the same flags, whatever the server's worker
+/// count. `--no-wait` enqueues and returns the job id immediately.
+fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
+    let spec = spec_from_args(args)?;
+    let mut client = client_for(args)?;
+    let id = args.get("id");
+    if args.has("no-wait") {
+        let (job_id, deduped) = client.submit(&spec, id, std::time::Duration::from_secs(30))?;
+        println!(
+            "job {job_id} {}",
+            if deduped { "already known" } else { "accepted" }
+        );
+        return Ok(());
+    }
+    let timeout = std::time::Duration::from_millis(args.get_parse("timeout-ms", 600_000u64)?);
+    let outcome = client.submit_and_wait(&spec, id, timeout)?;
+    println!(
+        "job {} {}done",
+        outcome.job_id,
+        if outcome.deduped { "(deduped) " } else { "" }
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, outcome.report.to_string())?;
+        println!("wrote canonical JSON to {path}");
+    } else {
+        println!("{}", outcome.report);
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), Box<dyn Error>> {
+    let job_id = args.require("job")?;
+    let mut client = client_for(args)?;
+    let state = client.status(job_id, std::time::Duration::from_secs(30))?;
+    println!("job {job_id}: {state}");
+    Ok(())
+}
+
+/// `stats --addr H:P` — the served counterpart of the trace `stats` command.
+fn cmd_server_stats(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut client = client_for(args)?;
+    let stats = client.stats(std::time::Duration::from_secs(30))?;
+    println!("{stats}");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut client = client_for(args)?;
+    let queued = client.shutdown(std::time::Duration::from_secs(30))?;
+    println!("draining ({queued} job(s) still queued)");
+    Ok(())
 }
 
 fn cmd_list_experiments() -> Result<(), Box<dyn Error>> {

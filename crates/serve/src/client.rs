@@ -1,0 +1,305 @@
+//! A blocking client for the serve protocol: connect, submit, wait, stats.
+//!
+//! The client re-renders received result frames through the canonical JSON
+//! printer, so a fetched report is byte-identical to the offline CLI's
+//! output for the same spec (the parse ↔ print round-trip is exact).
+
+use crate::protocol::{frame, frame_type, read_frame, write_frame, FrameError};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use uopcache_bench::sweep::SweepSpec;
+use uopcache_model::json::Json;
+
+/// A failure while talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// Frame-level failure (truncation, schema mismatch, oversized frame).
+    Frame(FrameError),
+    /// The server answered with a `busy` frame — backpressure; retry later.
+    Busy {
+        /// Why the server refused (`"queue full"`, `"draining"`, …).
+        reason: String,
+    },
+    /// The server answered with an `error` frame.
+    Server(String),
+    /// The server answered with a frame the client did not expect.
+    Unexpected(String),
+    /// No complete frame arrived within the client's deadline.
+    TimedOut,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { reason } => write!(f, "server busy: {reason}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Unexpected(ty) => write!(f, "unexpected frame type {ty:?}"),
+            ClientError::TimedOut => f.write_str("timed out waiting for a frame"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// The outcome of a `submit` that waited for completion.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job id the server assigned (or confirmed).
+    pub job_id: String,
+    /// Whether the submit matched an already-known identical job.
+    pub deduped: bool,
+    /// The report, parsed; `to_string()` re-renders it canonically.
+    pub report: Json,
+}
+
+/// A blocking connection to a serve daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to the connect and to each read poll.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure, or an unresolvable address.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> Result<Client, ClientError> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Any socket or serialisation failure.
+    pub fn send(&mut self, body: &Json) -> Result<(), ClientError> {
+        write_frame(&self.stream, body)?;
+        Ok(())
+    }
+
+    /// Receives the next frame, polling up to `deadline_in`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::TimedOut`] if no frame starts in time, otherwise any
+    /// socket or protocol failure.
+    pub fn recv(&mut self, deadline_in: Duration) -> Result<Json, ClientError> {
+        let deadline = Instant::now() + deadline_in;
+        loop {
+            match read_frame(&self.stream, Duration::from_secs(10))? {
+                Some(body) => return Ok(body),
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure, or a non-`pong` reply.
+    pub fn ping(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.send(&frame("ping", Vec::with_capacity(0)))?;
+        let reply = self.recv(timeout)?;
+        expect_type(&reply, "pong").map(|_| ())
+    }
+
+    /// Submits a job and waits for its terminal frame: the parsed report on
+    /// success, [`ClientError::Server`] on failure/panic/timeout,
+    /// [`ClientError::Busy`] when the queue refused it.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure or server-side rejection, as above.
+    pub fn submit_and_wait(
+        &mut self,
+        spec: &SweepSpec,
+        id: Option<&str>,
+        timeout: Duration,
+    ) -> Result<JobResult, ClientError> {
+        let timeout_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+        let mut fields = vec![("job".to_string(), spec.to_json())];
+        if let Some(id) = id {
+            fields.push(("id".to_string(), Json::Str(id.to_string())));
+        }
+        fields.push(("wait".to_string(), Json::Bool(true)));
+        fields.push(("timeout_ms".to_string(), Json::U64(timeout_ms)));
+        self.send(&frame("submit", fields))?;
+
+        let first = self.recv(timeout)?;
+        let accepted = expect_type(&first, "accepted")?;
+        let job_id = str_field(accepted, "job_id")?;
+        let deduped = accepted
+            .field("deduped")
+            .ok()
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+
+        // The server holds the connection until the job is terminal, so give
+        // the read loop the full wait budget plus slack for the final frame.
+        let last = self.recv(timeout + Duration::from_secs(5))?;
+        let result = expect_type(&last, "result")?;
+        Ok(JobResult {
+            job_id,
+            deduped,
+            report: result.field("result").map_err(malformed)?.clone(),
+        })
+    }
+
+    /// Fire-and-forget submit: enqueue without waiting. Returns
+    /// `(job_id, deduped)`.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure or server-side rejection.
+    pub fn submit(
+        &mut self,
+        spec: &SweepSpec,
+        id: Option<&str>,
+        timeout: Duration,
+    ) -> Result<(String, bool), ClientError> {
+        let mut fields = vec![("job".to_string(), spec.to_json())];
+        if let Some(id) = id {
+            fields.push(("id".to_string(), Json::Str(id.to_string())));
+        }
+        self.send(&frame("submit", fields))?;
+        let reply = self.recv(timeout)?;
+        let accepted = expect_type(&reply, "accepted")?;
+        let deduped = accepted
+            .field("deduped")
+            .ok()
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Ok((str_field(accepted, "job_id")?, deduped))
+    }
+
+    /// The current state label of a job (`queued`/`running`/`done`/`failed`).
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure, or an unknown job id.
+    pub fn status(&mut self, job_id: &str, timeout: Duration) -> Result<String, ClientError> {
+        self.send(&frame(
+            "status",
+            vec![("job_id".to_string(), Json::Str(job_id.to_string()))],
+        ))?;
+        let reply = self.recv(timeout)?;
+        let status = expect_type(&reply, "status")?;
+        str_field(status, "state")
+    }
+
+    /// Blocks server-side until a job is terminal, then returns its report.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for failed jobs or wait timeouts, otherwise
+    /// any transport failure.
+    pub fn wait(&mut self, job_id: &str, timeout: Duration) -> Result<Json, ClientError> {
+        let timeout_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+        self.send(&frame(
+            "wait",
+            vec![
+                ("job_id".to_string(), Json::Str(job_id.to_string())),
+                ("timeout_ms".to_string(), Json::U64(timeout_ms)),
+            ],
+        ))?;
+        let reply = self.recv(timeout + Duration::from_secs(5))?;
+        match expect_type(&reply, "result") {
+            Ok(result) => Ok(result.field("result").map_err(malformed)?.clone()),
+            Err(ClientError::Unexpected(ty)) if ty == "status" => {
+                let state = str_field(&reply, "state")?;
+                Err(ClientError::Server(format!(
+                    "job {job_id:?} still {state} after the wait timeout"
+                )))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fetches the server's stats frame (queue gauges plus the metrics
+    /// registry: counters and latency histograms).
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure.
+    pub fn stats(&mut self, timeout: Duration) -> Result<Json, ClientError> {
+        self.send(&frame("stats", Vec::with_capacity(0)))?;
+        let reply = self.recv(timeout)?;
+        expect_type(&reply, "stats").cloned()
+    }
+
+    /// Asks the server to drain and exit; returns the number of jobs that
+    /// were still queued when the drain began.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure.
+    pub fn shutdown(&mut self, timeout: Duration) -> Result<u64, ClientError> {
+        self.send(&frame("shutdown", Vec::with_capacity(0)))?;
+        let reply = self.recv(timeout)?;
+        let ack = expect_type(&reply, "shutdown_ack")?;
+        Ok(ack.field("queued").ok().and_then(Json::as_u64).unwrap_or(0))
+    }
+}
+
+/// Checks a frame's type, converting server-sent `error` and `busy` frames
+/// into their [`ClientError`] variants.
+fn expect_type<'a>(body: &'a Json, want: &str) -> Result<&'a Json, ClientError> {
+    let ty = frame_type(body).map_err(ClientError::Frame)?;
+    if ty == want {
+        return Ok(body);
+    }
+    match ty {
+        "error" => Err(ClientError::Server(str_field(body, "message")?)),
+        "busy" => Err(ClientError::Busy {
+            reason: str_field(body, "reason").unwrap_or_else(|_| "busy".to_string()),
+        }),
+        other => Err(ClientError::Unexpected(other.to_string())),
+    }
+}
+
+fn str_field(body: &Json, name: &str) -> Result<String, ClientError> {
+    Ok(body
+        .field(name)
+        .map_err(malformed)?
+        .as_str()
+        .ok_or_else(|| {
+            ClientError::Frame(FrameError::Malformed(format!("{name:?} must be a string")))
+        })?
+        .to_string())
+}
+
+fn malformed(e: impl std::fmt::Display) -> ClientError {
+    ClientError::Frame(FrameError::Malformed(e.to_string()))
+}

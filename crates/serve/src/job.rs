@@ -1,0 +1,394 @@
+//! Job identity, lifecycle state, the bounded queue and the job table.
+//!
+//! The queue is **bounded by construction**: a push against a full queue
+//! fails immediately with [`QueueError::Full`] and the caller surfaces a
+//! `busy` frame — the daemon applies backpressure instead of buffering
+//! without limit. Closing the queue (graceful shutdown) fails new pushes
+//! with [`QueueError::Closed`] while letting the executor drain what was
+//! already accepted.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use uopcache_bench::sweep::SweepSpec;
+
+/// Derives the default job id: an FNV-1a 64 hash of the spec's canonical
+/// JSON, rendered as 16 hex digits. Content-derived ids make blind client
+/// retries idempotent — resubmitting the same work maps to the same job.
+pub fn job_id_for(spec: &SweepSpec) -> String {
+    let canonical = spec.to_json().to_string();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The lifecycle state of one job.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Accepted and waiting in the bounded queue.
+    Queued,
+    /// Currently executing on the engine.
+    Running,
+    /// Finished; the canonical report JSON is shared with every waiter.
+    Done(Arc<String>),
+    /// Panicked or timed out; the message explains which.
+    Failed(String),
+}
+
+impl JobState {
+    /// The state's wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+/// One entry of the job table.
+#[derive(Clone, Debug)]
+pub struct JobEntry {
+    /// The spec's canonical JSON — the job's identity, checked on id reuse.
+    pub spec_json: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// The server's registry of every job it has seen, with a condition variable
+/// that wakes waiters on any state change.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    entries: Mutex<HashMap<String, JobEntry>>,
+    changed: Condvar,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new job as queued.
+    ///
+    /// # Errors
+    ///
+    /// If the id is already present: returns its current entry when the spec
+    /// matches (the idempotent-retry path) and an explanatory message when it
+    /// does not (id collision with different work).
+    pub fn register(&self, id: &str, spec_json: &str) -> Result<(), Result<JobEntry, String>> {
+        let mut entries = lock_clean(&self.entries);
+        match entries.get(id) {
+            Some(existing) if existing.spec_json == spec_json => Err(Ok(existing.clone())),
+            Some(_) => Err(Err(format!(
+                "job id {id:?} was already submitted with a different spec"
+            ))),
+            None => {
+                entries.insert(
+                    id.to_string(),
+                    JobEntry {
+                        spec_json: spec_json.to_string(),
+                        state: JobState::Queued,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Transitions a job to a new state and wakes every waiter.
+    pub fn set_state(&self, id: &str, state: JobState) {
+        let mut entries = lock_clean(&self.entries);
+        if let Some(e) = entries.get_mut(id) {
+            e.state = state;
+        }
+        drop(entries);
+        self.changed.notify_all();
+    }
+
+    /// The current entry of a job, if known.
+    pub fn get(&self, id: &str) -> Option<JobEntry> {
+        lock_clean(&self.entries).get(id).cloned()
+    }
+
+    /// Blocks until the job reaches a terminal state, `timeout` elapses, or
+    /// `keep_waiting` returns false (the drain/stop check). Returns the last
+    /// observed entry (`None` for an unknown id).
+    pub fn wait_terminal(
+        &self,
+        id: &str,
+        timeout: Duration,
+        keep_waiting: impl Fn() -> bool,
+    ) -> Option<JobEntry> {
+        let deadline = Instant::now() + timeout;
+        let mut entries = lock_clean(&self.entries);
+        loop {
+            match entries.get(id) {
+                None => return None,
+                Some(e) if e.state.is_terminal() => return Some(e.clone()),
+                Some(e) => {
+                    let now = Instant::now();
+                    if now >= deadline || !keep_waiting() {
+                        return Some(e.clone());
+                    }
+                    // Wake at least every 200ms to re-check `keep_waiting`.
+                    let slice = (deadline - now).min(Duration::from_millis(200));
+                    let (guard, _timed_out) = self
+                        .changed
+                        .wait_timeout(entries, slice)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    entries = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum QueueError {
+    /// The queue is at capacity — backpressure; retry later.
+    Full,
+    /// The server is draining — no new work is accepted.
+    Closed,
+}
+
+/// One accepted job awaiting execution.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// The job id (table key).
+    pub id: String,
+    /// The parsed spec to execute.
+    pub spec: SweepSpec,
+    /// When the job entered the queue (queue-wait accounting).
+    pub enqueued: Instant,
+    /// When the job must have *started* by; expired jobs fail instead of
+    /// running (per-job timeout, applied to queue wait).
+    pub start_deadline: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    items: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// The bounded, closable job queue.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// A queue that holds at most `capacity` jobs (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (excluding the one executing).
+    pub fn depth(&self) -> usize {
+        lock_clean(&self.inner).items.len()
+    }
+
+    /// Enqueues a job, refusing instead of growing past capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Full`] at capacity, [`QueueError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn push(&self, job: QueuedJob) -> Result<usize, QueueError> {
+        let mut inner = lock_clean(&self.inner);
+        if inner.closed {
+            return Err(QueueError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(QueueError::Full);
+        }
+        inner.items.push_back(job);
+        let depth = inner.items.len();
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the oldest job, blocking up to `timeout`. Returns `None` on
+    /// timeout or when the queue is closed *and* empty (drain complete).
+    pub fn pop(&self, timeout: Duration) -> Option<QueuedJob> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = lock_clean(&self.inner);
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .nonempty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued jobs remain poppable.
+    pub fn close(&self) {
+        lock_clean(&self.inner).closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        lock_clean(&self.inner).closed
+    }
+}
+
+/// Locks a mutex, tolerating poisoning: queue and table state are plain
+/// bookkeeping, and the server isolates job panics before they can unwind
+/// through a held lock (mirrors the exec pool's policy).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uopcache_model::FrontendConfig;
+    use uopcache_trace::AppId;
+
+    fn spec(len: usize) -> SweepSpec {
+        SweepSpec {
+            cfg: FrontendConfig::zen3(),
+            config_name: "zen3".to_string(),
+            apps: vec![AppId::Kafka],
+            policies: vec!["LRU".to_string()],
+            variant: 0,
+            len,
+            metrics: false,
+        }
+    }
+
+    fn queued(id: &str, len: usize) -> QueuedJob {
+        QueuedJob {
+            id: id.to_string(),
+            spec: spec(len),
+            enqueued: Instant::now(),
+            start_deadline: None,
+        }
+    }
+
+    #[test]
+    fn job_ids_are_content_derived_and_stable() {
+        let a = job_id_for(&spec(100));
+        assert_eq!(a, job_id_for(&spec(100)), "same work, same id");
+        assert_ne!(a, job_id_for(&spec(200)), "different work, different id");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn queue_applies_backpressure_and_preserves_order() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(queued("a", 1)).expect("fits"), 1);
+        assert_eq!(q.push(queued("b", 1)).expect("fits"), 2);
+        assert_eq!(q.push(queued("c", 1)).expect_err("full"), QueueError::Full);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(Duration::from_millis(10)).expect("a").id, "a");
+        q.push(queued("c", 1)).expect("freed a slot");
+        assert_eq!(q.pop(Duration::from_millis(10)).expect("b").id, "b");
+        assert_eq!(q.pop(Duration::from_millis(10)).expect("c").id, "c");
+        assert!(
+            q.pop(Duration::from_millis(10)).is_none(),
+            "empty times out"
+        );
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.push(queued("a", 1)).expect("accepted before close");
+        q.close();
+        assert_eq!(
+            q.push(queued("b", 1)).expect_err("closed"),
+            QueueError::Closed
+        );
+        assert_eq!(q.pop(Duration::from_millis(10)).expect("drains").id, "a");
+        assert!(
+            q.pop(Duration::from_millis(10)).is_none(),
+            "drained + closed"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(queued("a", 1)).expect("one slot exists");
+    }
+
+    #[test]
+    fn table_is_idempotent_on_retry_and_rejects_id_collisions() {
+        let t = JobTable::new();
+        t.register("j1", "{spec}").expect("fresh id");
+        let retry = t.register("j1", "{spec}").expect_err("duplicate");
+        let entry = retry.expect("same spec is an idempotent retry");
+        assert!(matches!(entry.state, JobState::Queued));
+        let clash = t.register("j1", "{other}").expect_err("duplicate");
+        let msg = clash.expect_err("different spec is a collision");
+        assert!(msg.contains("different spec"), "{msg}");
+    }
+
+    #[test]
+    fn wait_terminal_sees_completion_and_respects_timeout() {
+        let t = Arc::new(JobTable::new());
+        t.register("j1", "{spec}").expect("fresh id");
+        let entry = t
+            .wait_terminal("j1", Duration::from_millis(50), || true)
+            .expect("known job");
+        assert!(!entry.state.is_terminal(), "timed out while queued");
+        assert!(t
+            .wait_terminal("nope", Duration::from_millis(1), || true)
+            .is_none());
+
+        let t2 = Arc::clone(&t);
+        let done = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            t2.set_state("j1", JobState::Done(Arc::new("{}".to_string())));
+        });
+        let entry = t
+            .wait_terminal("j1", Duration::from_secs(5), || true)
+            .expect("known job");
+        assert!(matches!(entry.state, JobState::Done(_)));
+        done.join().expect("setter thread exits");
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulation-as-a-service: a long-running daemon around the sweep engine.
+//!
+//! `uopcache-serve` turns the offline sweep pipeline into a TCP service
+//! without changing a single result byte. Clients speak a length-prefixed,
+//! schema-versioned JSON protocol ([`protocol`]); jobs are [`SweepSpec`]s
+//! that flow through a bounded queue ([`job`]) into the same deterministic
+//! exec engine the CLI uses, so a served report is byte-identical to
+//! `uopcache sweep` for the same spec at any worker count.
+//!
+//! The service is built for unattended operation:
+//!
+//! * bounded queue + `busy` frames (429-style) instead of unbounded buffering,
+//! * panic isolation around every job,
+//! * per-job and per-connection timeouts,
+//! * content-derived job ids for idempotent client retries,
+//! * a `stats` endpoint backed by the obs metrics registry,
+//! * graceful drain-then-exit on the `shutdown` frame.
+//!
+//! [`SweepSpec`]: uopcache_bench::sweep::SweepSpec
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, JobResult};
+pub use job::{job_id_for, BoundedQueue, JobState, JobTable, QueueError};
+pub use protocol::{frame, read_frame, write_frame, FrameError, MAX_FRAME_BYTES, SCHEMA_VERSION};
+pub use server::{Runner, Server, ServerConfig, ServerHandle};

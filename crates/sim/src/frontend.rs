@@ -169,33 +169,6 @@ impl Frontend {
         FrontendBuilder::new(cfg)
     }
 
-    /// Creates a frontend with the given configuration and micro-op cache
-    /// replacement policy.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Frontend::builder(cfg).policy(p).build()`"
-    )]
-    pub fn new(cfg: FrontendConfig, policy: Box<dyn PwReplacementPolicy>) -> Self {
-        Self::builder(cfg).policy(policy).build()
-    }
-
-    /// Creates a frontend with explicit simulation options.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache geometries are inconsistent.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Frontend::builder(cfg).policy(p).options(o).build()`"
-    )]
-    pub fn with_options(
-        cfg: FrontendConfig,
-        policy: Box<dyn PwReplacementPolicy>,
-        opts: SimOptions,
-    ) -> Self {
-        Self::builder(cfg).policy(policy).options(opts).build()
-    }
-
     /// The configuration in use.
     pub fn config(&self) -> &FrontendConfig {
         &self.cfg
