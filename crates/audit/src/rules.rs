@@ -308,10 +308,11 @@ const BOUNDED_QUEUE_CRATES: [&str; 1] = ["serve"];
 /// 1. `mpsc::channel(..)` anywhere in non-test workspace code — the std
 ///    unbounded channel buffers without limit; use `sync_channel(cap)` or a
 ///    capacity-checked structure.
-/// 2. `Vec::new()` / `VecDeque::new()` / `String::new()` in the serve
-///    crate's non-test code — daemon-side collections must be created with
-///    `with_capacity` (and guarded by an explicit capacity check before
-///    growth) so backpressure, not the allocator, absorbs load spikes.
+/// 2. `Vec::new()` / `VecDeque::new()` / `String::new()` / `HashMap::new()`
+///    / `HashSet::new()` in the serve crate's non-test code — daemon-side
+///    collections must be created with `with_capacity` (and guarded by an
+///    explicit capacity check or eviction policy before growth) so
+///    backpressure, not the allocator, absorbs load spikes.
 fn rule_no_unbounded_queue(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     for (i, w) in f.toks.windows(4).enumerate() {
         if f.in_test_code(i) {
@@ -339,7 +340,12 @@ fn rule_no_unbounded_queue(f: &SourceFile, out: &mut Vec<Diagnostic>) {
         if f.in_test_code(i) || !w[1].is_punct("::") || !w[2].is_ident("new") {
             continue;
         }
-        if w[0].is_ident("Vec") || w[0].is_ident("VecDeque") || w[0].is_ident("String") {
+        if w[0].is_ident("Vec")
+            || w[0].is_ident("VecDeque")
+            || w[0].is_ident("String")
+            || w[0].is_ident("HashMap")
+            || w[0].is_ident("HashSet")
+        {
             out.push(Diagnostic {
                 file: f.path.clone(),
                 line: w[0].line,
@@ -606,7 +612,7 @@ mod tests {
 
     #[test]
     fn uncapacitated_collections_flagged_in_serve_only() {
-        for ty in ["Vec", "VecDeque", "String"] {
+        for ty in ["Vec", "VecDeque", "String", "HashMap", "HashSet"] {
             let src = format!("fn f() {{ let q = {ty}::new(); }}");
             assert_eq!(
                 lint_one("crates/serve/src/a.rs", &src).len(),

@@ -49,6 +49,7 @@ commands:
                                     run the workspace lint pass and the
                                     policy-conformance checks
   serve      [--addr H:P] [--queue N] [--jobs N] [--job-timeout-ms N]
+             [--retention N]
                                     run the simulation daemon: bounded job
                                     queue with 429-style backpressure, panic
                                     isolation, graceful drain on shutdown;
@@ -611,6 +612,7 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
                 args.get_parse("job-timeout-ms", 0u64)?,
             )),
         },
+        job_retention: args.get_parse("retention", uopcache_serve::DEFAULT_JOB_RETENTION)?,
         ..ServerConfig::default()
     };
     let server = Server::bind(cfg)?;

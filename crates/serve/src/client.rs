@@ -169,12 +169,23 @@ impl Client {
         // The server holds the connection until the job is terminal, so give
         // the read loop the full wait budget plus slack for the final frame.
         let last = self.recv(timeout + Duration::from_secs(5))?;
-        let result = expect_type(&last, "result")?;
-        Ok(JobResult {
-            job_id,
-            deduped,
-            report: result.field("result").map_err(malformed)?.clone(),
-        })
+        match expect_type(&last, "result") {
+            Ok(result) => Ok(JobResult {
+                job_id,
+                deduped,
+                report: result.field("result").map_err(malformed)?.clone(),
+            }),
+            // A `status` frame here is the server-side wait timing out while
+            // the job is still live — surface it as such, not as protocol
+            // noise (mirrors `wait`).
+            Err(ClientError::Unexpected(ty)) if ty == "status" => {
+                let state = str_field(&last, "state")?;
+                Err(ClientError::Server(format!(
+                    "job {job_id:?} still {state} after the wait timeout"
+                )))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Fire-and-forget submit: enqueue without waiting. Returns

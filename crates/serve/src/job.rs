@@ -1,11 +1,14 @@
 //! Job identity, lifecycle state, the bounded queue and the job table.
 //!
-//! The queue is **bounded by construction**: a push against a full queue
-//! fails immediately with [`QueueError::Full`] and the caller surfaces a
-//! `busy` frame — the daemon applies backpressure instead of buffering
+//! Both structures are **bounded by construction**. A push against a full
+//! queue fails immediately with [`QueueError::Full`] and the caller surfaces
+//! a `busy` frame — the daemon applies backpressure instead of buffering
 //! without limit. Closing the queue (graceful shutdown) fails new pushes
 //! with [`QueueError::Closed`] while letting the executor drain what was
-//! already accepted.
+//! already accepted. The job table keeps at most a configured number of
+//! *terminal* jobs (results and failures kept around for late `status`/
+//! `result` fetches); past that, the oldest finished entries are evicted, so
+//! a long-running daemon's memory does not grow with submission count.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -64,18 +67,56 @@ pub struct JobEntry {
     pub state: JobState,
 }
 
-/// The server's registry of every job it has seen, with a condition variable
-/// that wakes waiters on any state change.
-#[derive(Debug, Default)]
+/// Default cap on retained terminal jobs; see [`JobTable::with_retention`].
+pub const DEFAULT_JOB_RETENTION: usize = 1024;
+
+#[derive(Debug)]
+struct TableInner {
+    entries: HashMap<String, JobEntry>,
+    /// Ids of terminal jobs in completion order, oldest first — the
+    /// eviction queue that keeps the table bounded.
+    finished: VecDeque<String>,
+}
+
+/// The server's registry of jobs, with a condition variable that wakes
+/// waiters on any state change.
+///
+/// The table is **bounded**: live (queued/running) jobs are bounded by the
+/// queue capacity, and at most `retention` terminal jobs are kept for late
+/// `status`/`result` fetches — completing another evicts the oldest
+/// finished entry. An evicted id simply becomes unknown; resubmitting it
+/// re-runs the work.
+#[derive(Debug)]
 pub struct JobTable {
-    entries: Mutex<HashMap<String, JobEntry>>,
+    inner: Mutex<TableInner>,
     changed: Condvar,
+    retention: usize,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        Self::with_retention(DEFAULT_JOB_RETENTION)
+    }
 }
 
 impl JobTable {
-    /// An empty table.
+    /// A table retaining [`DEFAULT_JOB_RETENTION`] terminal jobs.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A table that keeps at most `retention` terminal jobs (clamped to at
+    /// least 1).
+    pub fn with_retention(retention: usize) -> Self {
+        let retention = retention.max(1);
+        JobTable {
+            inner: Mutex::new(TableInner {
+                entries: HashMap::with_capacity(retention.min(64)),
+                finished: VecDeque::with_capacity(retention.min(64)),
+            }),
+            changed: Condvar::new(),
+            retention,
+        }
     }
 
     /// Registers a new job as queued.
@@ -86,14 +127,14 @@ impl JobTable {
     /// matches (the idempotent-retry path) and an explanatory message when it
     /// does not (id collision with different work).
     pub fn register(&self, id: &str, spec_json: &str) -> Result<(), Result<JobEntry, String>> {
-        let mut entries = lock_clean(&self.entries);
-        match entries.get(id) {
+        let mut inner = lock_clean(&self.inner);
+        match inner.entries.get(id) {
             Some(existing) if existing.spec_json == spec_json => Err(Ok(existing.clone())),
             Some(_) => Err(Err(format!(
                 "job id {id:?} was already submitted with a different spec"
             ))),
             None => {
-                entries.insert(
+                inner.entries.insert(
                     id.to_string(),
                     JobEntry {
                         spec_json: spec_json.to_string(),
@@ -105,19 +146,65 @@ impl JobTable {
         }
     }
 
-    /// Transitions a job to a new state and wakes every waiter.
+    /// Transitions a job to a new state and wakes every waiter. A transition
+    /// *into* a terminal state enrols the id in the eviction queue; once more
+    /// than `retention` finished jobs accumulate, the oldest is dropped.
     pub fn set_state(&self, id: &str, state: JobState) {
-        let mut entries = lock_clean(&self.entries);
-        if let Some(e) = entries.get_mut(id) {
-            e.state = state;
+        let mut inner = lock_clean(&self.inner);
+        let became_terminal = match inner.entries.get_mut(id) {
+            None => false,
+            Some(e) => {
+                let was_terminal = e.state.is_terminal();
+                e.state = state;
+                e.state.is_terminal() && !was_terminal
+            }
+        };
+        if became_terminal {
+            inner.finished.push_back(id.to_string());
+            while inner.finished.len() > self.retention {
+                let Some(oldest) = inner.finished.pop_front() else {
+                    break;
+                };
+                // Evict only entries that are still terminal: a stale slot
+                // (the id was removed, or evicted and since resubmitted)
+                // must never take down live work.
+                if inner
+                    .entries
+                    .get(&oldest)
+                    .is_some_and(|e| e.state.is_terminal())
+                {
+                    inner.entries.remove(&oldest);
+                }
+            }
         }
-        drop(entries);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Forgets a job entirely — used when a submission is refused *after*
+    /// registration (queue full, draining), so the id stays free for a retry
+    /// to re-enqueue instead of deduping onto a dead entry. Wakes waiters,
+    /// which then observe the id as unknown.
+    pub fn remove(&self, id: &str) {
+        let mut inner = lock_clean(&self.inner);
+        inner.entries.remove(id);
+        drop(inner);
         self.changed.notify_all();
     }
 
     /// The current entry of a job, if known.
     pub fn get(&self, id: &str) -> Option<JobEntry> {
-        lock_clean(&self.entries).get(id).cloned()
+        lock_clean(&self.inner).entries.get(id).cloned()
+    }
+
+    /// Jobs currently in the table (live plus retained terminal).
+    pub fn len(&self) -> usize {
+        lock_clean(&self.inner).entries.len()
+    }
+
+    /// Whether the table holds no jobs at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Blocks until the job reaches a terminal state, `timeout` elapses, or
@@ -130,9 +217,9 @@ impl JobTable {
         keep_waiting: impl Fn() -> bool,
     ) -> Option<JobEntry> {
         let deadline = Instant::now() + timeout;
-        let mut entries = lock_clean(&self.entries);
+        let mut inner = lock_clean(&self.inner);
         loop {
-            match entries.get(id) {
+            match inner.entries.get(id) {
                 None => return None,
                 Some(e) if e.state.is_terminal() => return Some(e.clone()),
                 Some(e) => {
@@ -144,9 +231,9 @@ impl JobTable {
                     let slice = (deadline - now).min(Duration::from_millis(200));
                     let (guard, _timed_out) = self
                         .changed
-                        .wait_timeout(entries, slice)
+                        .wait_timeout(inner, slice)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    entries = guard;
+                    inner = guard;
                 }
             }
         }
@@ -366,6 +453,42 @@ mod tests {
         let clash = t.register("j1", "{other}").expect_err("duplicate");
         let msg = clash.expect_err("different spec is a collision");
         assert!(msg.contains("different spec"), "{msg}");
+    }
+
+    #[test]
+    fn table_evicts_oldest_terminal_entries_past_retention() {
+        let t = JobTable::with_retention(2);
+        // A live job is never evicted, whatever finishes around it.
+        t.register("live", "{live}").expect("fresh id");
+        for i in 0..5 {
+            let id = format!("j{i}");
+            t.register(&id, "{spec}").expect("fresh id");
+            t.set_state(&id, JobState::Done(Arc::new("{}".to_string())));
+        }
+        assert!(t.get("live").is_some(), "live job survives eviction");
+        assert!(t.get("j0").is_none(), "oldest finished jobs are evicted");
+        assert!(t.get("j1").is_none());
+        assert!(t.get("j2").is_none());
+        assert!(t.get("j3").is_some(), "newest finished jobs are retained");
+        assert!(t.get("j4").is_some());
+        assert_eq!(t.len(), 3, "1 live + 2 retained terminal");
+        // An evicted id is fully reusable.
+        t.register("j0", "{other}").expect("evicted id is free again");
+    }
+
+    #[test]
+    fn removed_ids_are_unknown_and_reusable() {
+        let t = JobTable::new();
+        t.register("j1", "{spec}").expect("fresh id");
+        t.remove("j1");
+        assert!(t.get("j1").is_none(), "removed job is unknown");
+        assert!(
+            t.wait_terminal("j1", Duration::from_millis(1), || true)
+                .is_none(),
+            "waiters observe a removed id as unknown"
+        );
+        t.register("j1", "{other}")
+            .expect("removed id accepts a fresh spec");
     }
 
     #[test]

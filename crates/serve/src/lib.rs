@@ -24,6 +24,6 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, JobResult};
-pub use job::{job_id_for, BoundedQueue, JobState, JobTable, QueueError};
+pub use job::{job_id_for, BoundedQueue, JobState, JobTable, QueueError, DEFAULT_JOB_RETENTION};
 pub use protocol::{frame, read_frame, write_frame, FrameError, MAX_FRAME_BYTES, SCHEMA_VERSION};
 pub use server::{Runner, Server, ServerConfig, ServerHandle};

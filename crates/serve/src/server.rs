@@ -3,8 +3,12 @@
 //! ## Robustness model
 //!
 //! * **Backpressure** — jobs land in a [`BoundedQueue`]; a full queue answers
-//!   with a `busy` frame (`"code": 429`) instead of buffering, so memory use
-//!   is bounded by `queue_capacity` regardless of client behaviour.
+//!   with a `busy` frame (`"code": 429`) instead of buffering. A rejected
+//!   submission leaves no job-table entry, so the retry the busy frame asks
+//!   for re-enqueues instead of deduping onto a dead rejection. The table
+//!   itself retains at most `job_retention` finished jobs (oldest evicted),
+//!   so memory use is bounded by `queue_capacity` + `job_retention`
+//!   regardless of client behaviour or uptime.
 //! * **Panic isolation** — the executor wraps every job in `catch_unwind`;
 //!   a panicking job becomes a `failed` state surfaced as an `error` frame
 //!   while the daemon keeps serving. (Per-cell panics inside a job never even
@@ -27,7 +31,9 @@
 //! byte-identical to the same spec run through the offline `uopcache sweep`
 //! CLI at any `--jobs` value.
 
-use crate::job::{job_id_for, BoundedQueue, JobState, JobTable, QueueError, QueuedJob};
+use crate::job::{
+    job_id_for, BoundedQueue, JobState, JobTable, QueueError, QueuedJob, DEFAULT_JOB_RETENTION,
+};
 use crate::protocol::{frame, frame_type, read_frame, write_frame, FrameError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +72,10 @@ pub struct ServerConfig {
     pub frame_stall_limit: Duration,
     /// Maximum concurrent connections; excess connects get a `busy` frame.
     pub max_connections: usize,
+    /// Terminal jobs retained in the table for late `status`/`result`
+    /// fetches; past this the oldest finished entries are evicted, bounding
+    /// daemon memory over a long uptime.
+    pub job_retention: usize,
     /// After the drain finishes, wait at most this long for connections to
     /// notice and close before `run` returns anyway.
     pub drain_grace: Duration,
@@ -82,6 +92,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(120),
             frame_stall_limit: Duration::from_secs(10),
             max_connections: 64,
+            job_retention: DEFAULT_JOB_RETENTION,
             drain_grace: Duration::from_secs(5),
         }
     }
@@ -142,12 +153,13 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let queue = BoundedQueue::new(cfg.queue_capacity);
+        let table = JobTable::with_retention(cfg.job_retention);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cfg,
                 queue,
-                table: JobTable::new(),
+                table,
                 metrics: Mutex::new(MetricsRegistry::new()),
                 draining: AtomicBool::new(false),
                 stopped: AtomicBool::new(false),
@@ -207,12 +219,33 @@ impl Server {
                     shared.count("connections_accepted");
                     shared.active_conns.fetch_add(1, Ordering::SeqCst);
                     let conn_shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name("uopcache-serve-conn".to_string())
-                        .spawn(move || {
-                            handle_connection(&conn_shared, stream);
-                            conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                        })?;
+                    // Spawn the handler on a clone of the stream so a failed
+                    // spawn (transient thread exhaustion) still owns a socket
+                    // to apologise on — the server keeps accepting; only
+                    // returning from `run` may abandon in-flight jobs.
+                    let spawned = stream.try_clone().and_then(|conn| {
+                        std::thread::Builder::new()
+                            .name("uopcache-serve-conn".to_string())
+                            .spawn(move || {
+                                handle_connection(&conn_shared, conn);
+                                conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                            })
+                    });
+                    if let Err(e) = spawned {
+                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        shared.count("connections_rejected");
+                        let busy = frame(
+                            "busy",
+                            vec![
+                                ("code".to_string(), Json::U64(429)),
+                                (
+                                    "reason".to_string(),
+                                    Json::Str(format!("connection thread unavailable: {e}")),
+                                ),
+                            ],
+                        );
+                        let _ = write_frame(&stream, &busy);
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -478,27 +511,25 @@ fn handle_submit(shared: &Shared, stream: &TcpStream, req: &Json) -> bool {
                 enqueued: now,
                 start_deadline: queue_timeout.map(|t| now + t),
             };
+            // A refused submission is forgotten entirely: a `busy` frame
+            // tells the client to retry later, so its id must stay free for
+            // that retry to re-enqueue — a terminal entry here would turn
+            // every retry into a dedupe onto a job that never ran.
             if shared.draining.load(Ordering::SeqCst) {
                 shared.count("jobs_rejected_busy");
-                shared
-                    .table
-                    .set_state(&id, JobState::Failed("rejected: draining".to_string()));
+                shared.table.remove(&id);
                 return reply(&busy_frame(shared, &id, "draining"));
             }
             match shared.queue.push(job) {
                 Ok(_depth) => shared.count("jobs_accepted"),
                 Err(QueueError::Full) => {
                     shared.count("jobs_rejected_busy");
-                    shared
-                        .table
-                        .set_state(&id, JobState::Failed("rejected: queue full".to_string()));
+                    shared.table.remove(&id);
                     return reply(&busy_frame(shared, &id, "queue full"));
                 }
                 Err(QueueError::Closed) => {
                     shared.count("jobs_rejected_busy");
-                    shared
-                        .table
-                        .set_state(&id, JobState::Failed("rejected: draining".to_string()));
+                    shared.table.remove(&id);
                     return reply(&busy_frame(shared, &id, "draining"));
                 }
             }

@@ -181,14 +181,17 @@ fn full_queue_answers_with_a_structured_busy_frame() {
         }
         other => panic!("expected a busy frame, got {other}"),
     }
-    // The rejection is recorded as a terminal failed state, visible in both
-    // the job table and the stats counters.
-    assert_eq!(
-        client
-            .status("rejected", Duration::from_secs(5))
-            .expect("status"),
-        "failed"
-    );
+    // The rejection leaves no trace in the job table — the id stays free for
+    // a retry — but the stats counters record it.
+    let unknown = client
+        .status("rejected", Duration::from_secs(5))
+        .expect_err("a rejected id is forgotten, not parked as failed");
+    match unknown {
+        ClientError::Server(message) => {
+            assert!(message.contains("unknown job"), "got {message:?}")
+        }
+        other => panic!("expected an unknown-job error, got {other}"),
+    }
     let stats = client.stats(Duration::from_secs(5)).expect("stats");
     let busy_count = stats
         .field("metrics")
@@ -199,6 +202,71 @@ fn full_queue_answers_with_a_structured_busy_frame() {
     assert_eq!(busy_count, Some(1));
 
     gate.release();
+    client.shutdown(Duration::from_secs(5)).expect("drain ack");
+    server
+        .join_within(Duration::from_secs(30))
+        .expect("server exits")
+        .expect("clean exit");
+}
+
+#[test]
+fn busy_rejected_job_can_be_retried_once_the_queue_frees() {
+    let gate = Arc::new(Gate::default());
+    let runner_gate = Arc::clone(&gate);
+    let server = Server::bind_with_runner(
+        ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+        Box::new(move |_spec, _engine| {
+            runner_gate.hold();
+            "{\"schema_version\":1}".to_string()
+        }),
+    )
+    .expect("loopback bind")
+    .spawn()
+    .expect("spawn");
+
+    let mut client = connect(&server);
+    // Occupy the executor and fill the 1-slot queue, then bounce a third job
+    // off the full queue — the documented retry-later backpressure path.
+    let victim = spec(&[AppId::Tomcat], 100);
+    client
+        .submit(
+            &spec(&[AppId::Kafka], 100),
+            Some("occupant"),
+            Duration::from_secs(5),
+        )
+        .expect("first job accepted");
+    gate.wait_entered(1);
+    client
+        .submit(
+            &spec(&[AppId::Mysql], 100),
+            Some("queued"),
+            Duration::from_secs(5),
+        )
+        .expect("second job queued");
+    let err = client
+        .submit(&victim, None, Duration::from_secs(5))
+        .expect_err("queue is full");
+    assert!(matches!(err, ClientError::Busy { .. }), "{err}");
+
+    // Once the backlog drains, the *same* blind retry — identical spec, so
+    // an identical content-derived id — must actually run, not dedupe onto a
+    // stale rejection.
+    gate.release();
+    client
+        .wait("queued", Duration::from_secs(30))
+        .expect("backlog drains");
+    let outcome = client
+        .submit_and_wait(&victim, None, Duration::from_secs(30))
+        .expect("retry after busy re-enqueues and completes");
+    assert!(
+        !outcome.deduped,
+        "the retry must be a fresh job, not a dedupe onto the rejection"
+    );
+    assert_eq!(outcome.report.to_string(), "{\"schema_version\":1}");
+
     client.shutdown(Duration::from_secs(5)).expect("drain ack");
     server
         .join_within(Duration::from_secs(30))
