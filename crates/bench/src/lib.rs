@@ -18,6 +18,7 @@
 
 pub mod apps;
 pub mod experiments;
+pub mod hotpath;
 pub mod policies;
 pub mod runs;
 pub mod sweep;

@@ -183,6 +183,10 @@ impl<P: PwReplacementPolicy> PwReplacementPolicy for CheckedPolicy<P> {
         self.inner.name()
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.inner.prepare(sets, ways);
+    }
+
     fn on_lookup(&mut self, pw: &uopcache_model::PwDesc) {
         self.ops += 1;
         self.inner.on_lookup(pw);

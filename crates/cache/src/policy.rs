@@ -18,6 +18,12 @@ pub trait PwReplacementPolicy {
     /// Human-readable policy name (used in reports and figures).
     fn name(&self) -> &'static str;
 
+    /// Called once when the cache is constructed, with its geometry.
+    /// Policies that key state by `(set, slot)` preallocate it here so the
+    /// simulation loop runs without heap allocation. The default does
+    /// nothing (stateless policies need no arena).
+    fn prepare(&mut self, _sets: usize, _ways: u32) {}
+
     /// Called at the start of every lookup, hit or miss. Offline (oracle)
     /// policies use this to advance their position in the trace; history
     /// based policies may update global state here.
@@ -72,6 +78,10 @@ pub trait PwReplacementPolicy {
 impl PwReplacementPolicy for Box<dyn PwReplacementPolicy> {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        (**self).prepare(sets, ways);
     }
 
     fn on_lookup(&mut self, pw: &PwDesc) {

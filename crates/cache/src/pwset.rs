@@ -1,8 +1,15 @@
 //! One micro-op cache set: a pool of entry slots shared by whole prediction
 //! windows.
+//!
+//! Storage is a struct-of-arrays arena sized at construction: a `live`
+//! bitmask of occupied slots, a dense array of start addresses (the lookup
+//! key — one cache line covers eight ways), and a parallel array of
+//! [`PwMeta`] records. Nothing allocates after [`PwSet::new`]; the hot
+//! [`find`](PwSet::find) walks the start-address array guided by the bitmask
+//! instead of chasing per-way heap cells.
 
 use crate::meta::PwMeta;
-use uopcache_model::{Addr, PwDesc};
+use uopcache_model::{Addr, PwDesc, PwTermination};
 
 /// A single set of the micro-op cache.
 ///
@@ -14,14 +21,36 @@ use uopcache_model::{Addr, PwDesc};
 #[derive(Clone, Debug)]
 pub struct PwSet {
     ways: u8,
-    /// Residents indexed by stable slot id; `None` slots are free ids.
-    residents: Vec<Option<PwMeta>>,
     /// Entry slots currently in use.
     used_entries: u8,
+    /// Bit `i` set ⇔ slot `i` holds a resident PW.
+    live: u64,
+    /// All `ways` low bits set — the universe `live` lives in.
+    mask: u64,
+    /// Start address per slot (valid only where `live` has the bit set).
+    starts: Box<[Addr]>,
+    /// Full metadata per slot (valid only where `live` has the bit set).
+    metas: Box<[PwMeta]>,
 }
 
+/// Filler for dead arena cells; never observable through the public API.
+const DEAD: PwMeta = PwMeta {
+    desc: PwDesc {
+        start: Addr::new(0),
+        uops: 0,
+        bytes: 0,
+        term: PwTermination::TakenBranch,
+    },
+    slot: 0,
+    entries: 0,
+    inserted_at: 0,
+    last_access: 0,
+    hits: 0,
+};
+
 impl PwSet {
-    /// Creates an empty set with `ways` entry slots.
+    /// Creates an empty set with `ways` entry slots, preallocating the whole
+    /// arena.
     ///
     /// # Panics
     ///
@@ -31,8 +60,11 @@ impl PwSet {
         let ways = u8::try_from(ways).expect("ways checked to be in 1..=64");
         PwSet {
             ways,
-            residents: Vec::new(),
             used_entries: 0,
+            live: 0,
+            mask: u64::MAX >> (64 - u32::from(ways)),
+            starts: vec![Addr::new(0); usize::from(ways)].into_boxed_slice(),
+            metas: vec![DEAD; usize::from(ways)].into_boxed_slice(),
         }
     }
 
@@ -48,39 +80,68 @@ impl PwSet {
 
     /// Number of resident PWs.
     pub fn resident_count(&self) -> usize {
-        self.residents.iter().flatten().count()
+        self.live.count_ones() as usize
     }
 
     /// The resident PWs, ordered by slot.
     pub fn residents(&self) -> impl Iterator<Item = &PwMeta> {
-        self.residents.iter().flatten()
+        let live = self.live;
+        self.metas
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| live & (1 << i) != 0)
+            .map(|(_, m)| m)
     }
 
     /// Collects the residents into a vector (slot order) — the slice handed
     /// to replacement policies.
     pub fn resident_metas(&self) -> Vec<PwMeta> {
-        self.residents.iter().flatten().copied().collect()
+        self.residents().copied().collect()
+    }
+
+    /// Refills `out` with the residents in slot order. Allocation-free as
+    /// long as `out` has capacity for `ways` elements — the cache keeps one
+    /// such scratch buffer for its policy calls.
+    pub fn fill_residents(&self, out: &mut Vec<PwMeta>) {
+        out.clear();
+        let mut live = self.live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            out.push(self.metas[i]);
+            live &= live - 1;
+        }
     }
 
     /// Finds the resident PW starting at `start`, if any. At most one PW per
     /// start address is resident (the cache keeps the larger of two
     /// overlapping windows).
     pub fn find(&self, start: Addr) -> Option<&PwMeta> {
-        self.residents
-            .iter()
-            .flatten()
-            .find(|m| m.desc.start == start)
+        let mut live = self.live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.starts[i] == start {
+                return Some(&self.metas[i]);
+            }
+            live &= live - 1;
+        }
+        None
     }
 
     /// Mutable variant of [`PwSet::find`].
     pub fn find_mut(&mut self, start: Addr) -> Option<&mut PwMeta> {
-        self.residents
-            .iter_mut()
-            .flatten()
-            .find(|m| m.desc.start == start)
+        let mut live = self.live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            if self.starts[i] == start {
+                return Some(&mut self.metas[i]);
+            }
+            live &= live - 1;
+        }
+        None
     }
 
     /// Inserts a PW occupying `entries` slots, returning its metadata.
+    /// The PW takes the lowest free slot id.
     ///
     /// # Panics
     ///
@@ -100,22 +161,18 @@ impl PwSet {
             self.find(desc.start).is_none(),
             "duplicate start address in set"
         );
-        let slot = match self.residents.iter().position(Option::is_none) {
-            Some(i) => i,
-            None => {
-                self.residents.push(None);
-                self.residents.len() - 1
-            }
-        };
+        let slot = (!self.live & self.mask).trailing_zeros() as usize;
         let meta = PwMeta {
             desc,
-            slot: u8::try_from(slot).expect("at most `ways` slots ever allocated"),
+            slot: u8::try_from(slot).expect("at most `ways` slots in the arena"),
             entries: u8::try_from(entries).expect("entries checked against ways <= 64"),
             inserted_at: now,
             last_access: now,
             hits: 0,
         };
-        self.residents[slot] = Some(meta);
+        self.live |= 1 << slot;
+        self.starts[slot] = desc.start;
+        self.metas[slot] = meta;
         self.used_entries += u8::try_from(entries).expect("entries checked against ways <= 64");
         meta
     }
@@ -126,9 +183,10 @@ impl PwSet {
     ///
     /// Panics if the slot is empty or out of range.
     pub fn remove_slot(&mut self, slot: u8) -> PwMeta {
-        let meta = self.residents[usize::from(slot)]
-            .take()
-            .expect("slot occupied");
+        let bit = 1u64 << slot;
+        assert!(self.live & bit != 0, "slot occupied");
+        self.live &= !bit;
+        let meta = self.metas[usize::from(slot)];
         self.used_entries -= meta.entries;
         meta
     }
@@ -145,9 +203,8 @@ impl PwSet {
     ///
     /// Panics if the slot is empty.
     pub fn touch(&mut self, slot: u8, now: u64) -> PwMeta {
-        let meta = self.residents[usize::from(slot)]
-            .as_mut()
-            .expect("slot occupied");
+        assert!(self.live & (1 << slot) != 0, "slot occupied");
+        let meta = &mut self.metas[usize::from(slot)];
         meta.last_access = now;
         meta.hits += 1;
         *meta
@@ -183,6 +240,18 @@ mod tests {
         set.remove_slot(a.slot);
         let c = set.insert(pw(0x30, 4), 1, 0);
         assert_eq!(c.slot, a.slot, "freed slot should be reused");
+    }
+
+    #[test]
+    fn lowest_free_slot_wins() {
+        let mut set = PwSet::new(8);
+        let a = set.insert(pw(0x10, 1), 1, 0);
+        let b = set.insert(pw(0x20, 1), 1, 0);
+        let c = set.insert(pw(0x30, 1), 1, 0);
+        assert_eq!((a.slot, b.slot, c.slot), (0, 1, 2));
+        set.remove_slot(b.slot);
+        assert_eq!(set.insert(pw(0x40, 1), 1, 0).slot, 1);
+        assert_eq!(set.insert(pw(0x50, 1), 1, 0).slot, 3);
     }
 
     #[test]
@@ -231,5 +300,32 @@ mod tests {
         let metas = set.resident_metas();
         assert_eq!(metas.len(), 2);
         assert!(metas[0].slot < metas[1].slot);
+    }
+
+    #[test]
+    fn fill_residents_matches_resident_metas_without_growing() {
+        let mut set = PwSet::new(8);
+        set.insert(pw(0x10, 1), 1, 0);
+        set.insert(pw(0x20, 20), 3, 0);
+        set.insert(pw(0x30, 1), 1, 0);
+        set.remove_start(Addr::new(0x20));
+        let mut buf = Vec::with_capacity(8);
+        buf.push(DEAD); // stale contents must be cleared by the refill
+        set.fill_residents(&mut buf);
+        assert_eq!(buf, set.resident_metas());
+        assert_eq!(buf.capacity(), 8, "refill must not grow the buffer");
+    }
+
+    #[test]
+    fn sixty_four_ways_round_trip() {
+        let mut set = PwSet::new(64);
+        for i in 0..64u64 {
+            set.insert(pw(0x1000 + i * 64, 1), 1, i);
+        }
+        assert_eq!(set.free_entries(), 0);
+        assert_eq!(set.resident_count(), 64);
+        let m = set.remove_start(Addr::new(0x1000 + 63 * 64)).unwrap();
+        assert_eq!(m.slot, 63);
+        assert_eq!(set.insert(pw(0x9000, 1), 1, 99).slot, 63);
     }
 }

@@ -1,6 +1,7 @@
 //! The micro-op cache storage structure.
 
 use crate::classify::{MissClass, MissClassifier};
+use crate::meta::PwMeta;
 use crate::policy::PwReplacementPolicy;
 use crate::pwset::PwSet;
 use uopcache_model::{Addr, LineAddr, PwDesc, UopCacheConfig, UopCacheStats};
@@ -51,12 +52,17 @@ impl LookupResult {
 }
 
 /// Outcome of a micro-op cache insertion attempt.
-#[derive(Clone, Eq, PartialEq, Debug)]
+///
+/// Kept `Copy` so the hot insertion path allocates nothing; the descriptors
+/// of the windows an insertion displaced are readable until the next
+/// insertion via [`UopCache::last_evicted`].
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum InsertOutcome {
-    /// The PW was written into the cache; lists any PWs evicted to make room.
+    /// The PW was written into the cache.
     Inserted {
-        /// Whole PWs evicted by the replacement policy.
-        evicted: Vec<PwDesc>,
+        /// Number of whole PWs evicted by the replacement policy to make
+        /// room (their descriptors are in [`UopCache::last_evicted`]).
+        evicted: u32,
     },
     /// The policy chose to bypass the insertion.
     Bypassed,
@@ -99,6 +105,17 @@ pub struct UopCache {
     classifier: Option<MissClassifier>,
     /// Global access counter (advances on every lookup).
     now: u64,
+    /// `log2(line_bytes)` — set indexing is a shift, not a division.
+    set_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// geometries); `None` falls back to a modulo.
+    set_mask: Option<u64>,
+    /// Scratch buffer for the slot-ordered resident slice handed to the
+    /// policy (capacity `ways`, reused across insertions — never grows).
+    resident_scratch: Vec<PwMeta>,
+    /// Descriptors evicted by the most recent insertion (capacity `ways`,
+    /// reused across insertions — never grows).
+    evicted_scratch: Vec<PwDesc>,
     /// Optional event sink (`None` — the default — skips all emission work).
     #[cfg(feature = "obs")]
     recorder: Option<Box<dyn Recorder>>,
@@ -120,13 +137,19 @@ impl UopCache {
     /// # Panics
     ///
     /// Panics if the geometry is inconsistent (see
-    /// [`UopCacheConfig::sets`]).
+    /// [`UopCacheConfig::sets`]) or `line_bytes` is not a power of two.
     pub fn with_line_bytes(
         cfg: UopCacheConfig,
-        policy: Box<dyn PwReplacementPolicy>,
+        mut policy: Box<dyn PwReplacementPolicy>,
         line_bytes: u64,
     ) -> Self {
-        let sets = (0..cfg.sets()).map(|_| PwSet::new(cfg.ways)).collect();
+        let set_count = cfg.sets();
+        let sets = (0..set_count).map(|_| PwSet::new(cfg.ways)).collect();
+        policy.prepare(set_count as usize, cfg.ways);
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         UopCache {
             cfg,
             line_bytes,
@@ -135,6 +158,12 @@ impl UopCache {
             stats: UopCacheStats::default(),
             classifier: None,
             now: 0,
+            set_shift: line_bytes.trailing_zeros(),
+            set_mask: u64::from(set_count)
+                .is_power_of_two()
+                .then(|| u64::from(set_count) - 1),
+            resident_scratch: Vec::with_capacity(cfg.ways as usize),
+            evicted_scratch: Vec::with_capacity(cfg.ways as usize),
             #[cfg(feature = "obs")]
             recorder: None,
             #[cfg(feature = "obs")]
@@ -315,6 +344,7 @@ impl UopCache {
     /// window, §IV). If an equal-or-longer window is resident the insertion
     /// is a no-op.
     pub fn insert(&mut self, pw: &PwDesc) -> InsertOutcome {
+        self.evicted_scratch.clear();
         let entries = pw.entries(self.cfg.uops_per_entry);
         let set_idx = self.set_index(pw.start);
         if entries > self.cfg.max_entries_per_pw || entries > self.cfg.ways {
@@ -353,11 +383,11 @@ impl UopCache {
             );
         }
 
-        let resident = self.sets[set_idx].resident_metas();
+        self.sets[set_idx].fill_residents(&mut self.resident_scratch);
         let free = self.sets[set_idx].free_entries();
         if self
             .policy
-            .should_bypass(set_idx, pw, entries, free, &resident)
+            .should_bypass(set_idx, pw, entries, free, &self.resident_scratch)
         {
             self.stats.bypasses += 1;
             #[cfg(feature = "obs")]
@@ -373,18 +403,22 @@ impl UopCache {
             return InsertOutcome::Bypassed;
         }
 
-        let mut evicted = Vec::new();
         while self.sets[set_idx].free_entries() < entries {
-            let resident = self.sets[set_idx].resident_metas();
-            debug_assert!(!resident.is_empty(), "no residents but set is full");
-            let victim_idx = self.policy.choose_victim(set_idx, pw, &resident);
+            self.sets[set_idx].fill_residents(&mut self.resident_scratch);
+            debug_assert!(
+                !self.resident_scratch.is_empty(),
+                "no residents but set is full"
+            );
+            let victim_idx = self
+                .policy
+                .choose_victim(set_idx, pw, &self.resident_scratch);
             let fallback = self.policy.last_selection_was_fallback();
             if fallback {
                 self.stats.fallback_victim_selections += 1;
             } else {
                 self.stats.primary_victim_selections += 1;
             }
-            let victim = resident[victim_idx];
+            let victim = self.resident_scratch[victim_idx];
             let removed = self.sets[set_idx].remove_slot(victim.slot);
             self.policy.on_evict(set_idx, &removed);
             self.stats.evicted_pws += 1;
@@ -403,7 +437,7 @@ impl UopCache {
                     Verdict::Primary
                 },
             );
-            evicted.push(removed.desc);
+            self.evicted_scratch.push(removed.desc);
         }
         let meta = self.sets[set_idx].insert(*pw, entries, self.now);
         self.policy.on_insert(set_idx, &meta);
@@ -419,7 +453,19 @@ impl UopCache {
             entries,
             Verdict::None,
         );
-        InsertOutcome::Inserted { evicted }
+        #[allow(clippy::cast_possible_truncation)]
+        InsertOutcome::Inserted {
+            evicted: self.evicted_scratch.len() as u32,
+        }
+    }
+
+    /// Descriptors of the PWs displaced by the most recent [`insert`]
+    /// call (replacement evictions only — upgrades and invalidations are
+    /// not listed; an insertion that evicted nothing leaves this empty).
+    ///
+    /// [`insert`]: UopCache::insert
+    pub fn last_evicted(&self) -> &[PwDesc] {
+        &self.evicted_scratch
     }
 
     /// Invalidates every resident PW that touches the given i-cache line
@@ -428,12 +474,18 @@ impl UopCache {
     pub fn invalidate_line(&mut self, line: LineAddr) -> u32 {
         let mut invalidated = 0;
         for set_idx in 0..self.sets.len() {
-            let victims: Vec<u8> = self.sets[set_idx]
+            // At most `ways` (≤ 64) victims per set: a stack buffer keeps
+            // the inclusion path allocation-free.
+            let mut victims = [0u8; 64];
+            let mut n = 0;
+            for m in self.sets[set_idx]
                 .residents()
                 .filter(|m| m.desc.lines(self.line_bytes).any(|l| l == line))
-                .map(|m| m.slot)
-                .collect();
-            for slot in victims {
+            {
+                victims[n] = m.slot;
+                n += 1;
+            }
+            for &slot in &victims[..n] {
                 let removed = self.sets[set_idx].remove_slot(slot);
                 self.policy.on_invalidate(set_idx, &removed);
                 self.stats.inclusion_invalidations += 1;
@@ -483,8 +535,18 @@ impl UopCache {
         self.sets[self.set_index(start)].free_entries()
     }
 
+    /// Set index for `start`, via the shift/mask precomputed at
+    /// construction (the per-lookup division in
+    /// [`UopCacheConfig::set_index_for`] is measurable on the hot path).
+    /// Produces identical indices to that method.
+    #[inline]
     fn set_index(&self, start: Addr) -> usize {
-        self.cfg.set_index_for(start, self.line_bytes)
+        let line = start.get() >> self.set_shift;
+        #[allow(clippy::cast_possible_truncation)]
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % u64::from(self.cfg.sets())) as usize,
+        }
     }
 }
 
@@ -590,9 +652,10 @@ mod tests {
         // Inserting a 3-entry PW must evict 3 LRU PWs.
         let out = c.insert(&pw(0x40 + 4 * 128, 24));
         match out {
-            InsertOutcome::Inserted { evicted } => assert_eq!(evicted.len(), 3),
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, 3),
             other => panic!("expected insertion, got {other:?}"),
         }
+        assert_eq!(c.last_evicted().len(), 3);
         // 4 ways: one surviving 1-entry PW + the new 3-entry PW.
         assert_eq!(c.free_entries_for(Addr::new(0x40)), 0);
     }
@@ -687,9 +750,10 @@ mod tests {
         c.lookup(&a);
         let out = c.insert(&pw(0x40 + 512, 8));
         match out {
-            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![b]),
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, 1),
             other => panic!("{other:?}"),
         }
+        assert_eq!(c.last_evicted(), &[b]);
     }
 
     #[cfg(feature = "obs")]

@@ -132,6 +132,16 @@ impl PwReplacementPolicy for FurbysPolicy {
         "FURBYS"
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.rrpv.reserve(sets, ways);
+        if self.recent_evicted.len() < sets {
+            self.recent_evicted.resize_with(sets, VecDeque::new);
+        }
+        for d in &mut self.recent_evicted {
+            d.reserve(self.detector_depth);
+        }
+    }
+
     fn on_hit(&mut self, set: usize, meta: &PwMeta) {
         *self.rrpv.get_mut(set, meta.slot) = 0;
     }

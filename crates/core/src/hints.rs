@@ -7,7 +7,7 @@
 //! [`HintMap`] attached to the deployed executable: a mapping from PW start
 //! address to its weight group, serialisable alongside the binary.
 
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::json::{FromJson, Json, JsonError, ToJson};
 use uopcache_model::Addr;
 
@@ -32,7 +32,9 @@ use uopcache_model::Addr;
 pub struct HintMap {
     /// Number of reserved bits per hint (paper: 3 → 8 weight groups).
     bits: u8,
-    weights: HashMap<Addr, u8>,
+    /// Per-start weights, in a fast simulator-internal map: `get` runs per
+    /// resident on every FURBYS victim/bypass decision.
+    weights: FastHashMap<Addr, u8>,
 }
 
 impl HintMap {
@@ -48,7 +50,7 @@ impl HintMap {
         );
         HintMap {
             bits,
-            weights: HashMap::new(),
+            weights: FastHashMap::default(),
         }
     }
 

@@ -67,6 +67,19 @@ impl FlowGraph {
         self.adj.len()
     }
 
+    /// Clears all edges and resizes the network to `nodes` nodes, retaining
+    /// the edge and adjacency allocations, so a solver loop building one
+    /// network per problem instance (e.g. FOO's per-set solves) can reuse a
+    /// single graph instead of reallocating each time.
+    pub fn reset(&mut self, nodes: usize) {
+        self.edges.clear();
+        for row in &mut self.adj {
+            row.clear();
+        }
+        self.adj.resize_with(nodes, Vec::new);
+        self.is_forward_dag = true;
+    }
+
     /// Number of (forward) edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len() / 2
@@ -281,6 +294,25 @@ impl FlowGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_reuses_the_graph_for_a_fresh_solve() {
+        let mut g = FlowGraph::new(2);
+        g.add_edge(0, 1, 4, 7);
+        g.min_cost_flow(0, 1, 10);
+
+        // Shrink, re-grow, and solve an unrelated instance: results must
+        // match a freshly constructed graph.
+        g.reset(1);
+        assert_eq!(g.node_count(), 1);
+        g.reset(3);
+        assert_eq!((g.node_count(), g.edge_count()), (3, 0));
+        let e = g.add_edge(0, 1, 5, -2);
+        g.add_edge(1, 2, 5, 0);
+        let r = g.min_cost_flow(0, 2, 5);
+        assert_eq!(r, McmfResult { flow: 5, cost: -10 });
+        assert_eq!(g.flow_on(e), 5);
+    }
 
     #[test]
     fn single_edge() {

@@ -24,6 +24,7 @@
 pub mod access;
 pub mod addr;
 pub mod config;
+pub mod hash;
 pub mod json;
 pub mod pw;
 pub mod rng;

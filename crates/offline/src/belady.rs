@@ -45,11 +45,25 @@ pub struct BeladyPolicy {
 impl BeladyPolicy {
     /// Builds the oracle from the trace that will subsequently be replayed.
     pub fn from_trace(trace: &LookupTrace) -> Self {
+        Self::from_index(OccurrenceIndex::new(trace))
+    }
+
+    /// Builds the oracle from a prebuilt occurrence index, rewinding its
+    /// cursors. Together with [`BeladyPolicy::into_index`] this lets repeated
+    /// passes over the same trace share one index instead of re-scanning the
+    /// trace per pass.
+    pub fn from_index(mut occ: OccurrenceIndex) -> Self {
+        occ.reset_cursors();
         BeladyPolicy {
-            occ: OccurrenceIndex::new(trace),
+            occ,
             clock: 0,
             started: false,
         }
+    }
+
+    /// Recovers the occurrence index for reuse in a later pass.
+    pub fn into_index(self) -> OccurrenceIndex {
+        self.occ
     }
 
     /// The current position in the trace (for diagnostics).
@@ -192,6 +206,27 @@ mod tests {
                 lru_stats.uops_missed
             );
         }
+    }
+
+    #[test]
+    fn recycled_index_replays_identically() {
+        let pattern: Vec<u64> = (0..60).map(|i| [0u64, 128, 256][i % 3]).collect();
+        let t = trace_of(&pattern);
+        let mut first = UopCache::new(small_cfg(), Box::new(BeladyPolicy::from_trace(&t)));
+        let first_stats = run_trace(&mut first, &t);
+
+        // Exhaust the cursors, then recycle the index through the
+        // from_index/into_index round trip: the rewind must restore a
+        // byte-identical replay.
+        let mut occ = crate::OccurrenceIndex::new(&t);
+        occ.next_use_after(Addr::new(0), 60);
+        occ.next_use_after(Addr::new(128), 60);
+        occ.next_use_after(Addr::new(256), 60);
+        let occ = BeladyPolicy::from_index(occ).into_index();
+        let mut cache = UopCache::new(small_cfg(), Box::new(BeladyPolicy::from_index(occ)));
+        let stats = run_trace(&mut cache, &t);
+        assert_eq!(stats.uops_missed, first_stats.uops_missed);
+        assert_eq!(stats.pw_hits, first_stats.pw_hits);
     }
 
     #[test]

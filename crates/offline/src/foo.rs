@@ -24,7 +24,8 @@
 //! extensions (cost-aware benefit, coverage intervals for partial hits) that
 //! `uopcache-core` layers on top.
 
-use uopcache_flow::FlowGraph;
+use uopcache_flow::{EdgeId, FlowGraph};
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{LookupTrace, UopCacheConfig};
 
 /// What one unit of cached data is worth.
@@ -143,12 +144,18 @@ pub fn solve(trace: &LookupTrace, cfg: &UopCacheConfig, foo_cfg: &FooConfig) -> 
         per_set[s].push(u32::try_from(i).expect("trace indices fit in u32"));
     }
 
+    // One scratch arena shared by every per-set solve: the interval list,
+    // last-seen map, edge handles and flow network are cleared and refilled
+    // per set instead of reallocated, keeping the solver loop allocation-flat
+    // once the largest set has been visited.
+    let mut scratch = SetScratch::default();
     for indices in &per_set {
         solve_set(
             trace,
             cfg,
             foo_cfg,
             indices,
+            &mut scratch,
             &mut keep,
             &mut expected_hit,
             &mut objective_value,
@@ -174,11 +181,33 @@ struct Interval {
     benefit: i64,
 }
 
+/// Reusable buffers for the per-set solves, cleared between sets so their
+/// allocations carry over (see [`solve`]).
+struct SetScratch {
+    last_seen: FastHashMap<(u64, u32), usize>,
+    intervals: Vec<Interval>,
+    edge_ids: Vec<EdgeId>,
+    graph: FlowGraph,
+}
+
+impl Default for SetScratch {
+    fn default() -> Self {
+        SetScratch {
+            last_seen: FastHashMap::default(),
+            intervals: Vec::new(),
+            edge_ids: Vec::new(),
+            graph: FlowGraph::new(0),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn solve_set(
     trace: &LookupTrace,
     cfg: &UopCacheConfig,
     foo_cfg: &FooConfig,
     indices: &[u32],
+    scratch: &mut SetScratch,
     keep: &mut [bool],
     expected_hit: &mut [bool],
     objective_value: &mut i64,
@@ -189,9 +218,10 @@ fn solve_set(
     }
     let accesses = trace.accesses();
     // Build intervals between consecutive same-key accesses.
-    let mut last_seen: std::collections::HashMap<(u64, u32), usize> =
-        std::collections::HashMap::new();
-    let mut intervals: Vec<Interval> = Vec::new();
+    let last_seen = &mut scratch.last_seen;
+    last_seen.clear();
+    let intervals = &mut scratch.intervals;
+    intervals.clear();
     for (local, &gi) in indices.iter().enumerate() {
         let pw = accesses[gi as usize].pw;
         let key = match foo_cfg.interval_mode {
@@ -229,22 +259,22 @@ fn solve_set(
 
     // Flow network: node per local access; route `ways` units end to end.
     let capacity = i64::from(cfg.ways);
-    let mut graph = FlowGraph::new(m);
+    let graph = &mut scratch.graph;
+    graph.reset(m);
     for k in 0..m - 1 {
         graph.add_edge(k, k + 1, capacity, 0);
     }
-    let edge_ids: Vec<_> = intervals
-        .iter()
-        .map(|iv| {
-            // Per-unit cost: negative benefit spread over the interval's
-            // entries, so a saturated edge earns the full benefit.
-            let per_unit = -(iv.benefit / iv.size);
-            graph.add_edge(iv.from, iv.to, iv.size, per_unit)
-        })
-        .collect();
+    let edge_ids = &mut scratch.edge_ids;
+    edge_ids.clear();
+    for iv in intervals.iter() {
+        // Per-unit cost: negative benefit spread over the interval's
+        // entries, so a saturated edge earns the full benefit.
+        let per_unit = -(iv.benefit / iv.size);
+        edge_ids.push(graph.add_edge(iv.from, iv.to, iv.size, per_unit));
+    }
     graph.min_cost_flow(0, m - 1, capacity);
 
-    for (iv, &eid) in intervals.iter().zip(&edge_ids) {
+    for (iv, &eid) in intervals.iter().zip(edge_ids.iter()) {
         if graph.flow_on(eid) == iv.size {
             keep[indices[iv.from] as usize] = true;
             expected_hit[indices[iv.to] as usize] = true;

@@ -1,6 +1,6 @@
 //! Next-use indexing over a lookup trace, shared by the oracle policies.
 
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, LookupTrace};
 
 /// Position `u32::MAX` stands for "never used again".
@@ -23,13 +23,13 @@ pub const NEVER: u32 = u32::MAX;
 /// ```
 #[derive(Clone, Debug)]
 pub struct OccurrenceIndex {
-    positions: HashMap<Addr, (Vec<u32>, usize)>,
+    positions: FastHashMap<Addr, (Vec<u32>, usize)>,
 }
 
 impl OccurrenceIndex {
     /// Builds the index for `trace`.
     pub fn new(trace: &LookupTrace) -> Self {
-        let mut positions: HashMap<Addr, (Vec<u32>, usize)> = HashMap::new();
+        let mut positions: FastHashMap<Addr, (Vec<u32>, usize)> = FastHashMap::default();
         for (i, a) in trace.iter().enumerate() {
             positions
                 .entry(a.pw.start)
@@ -60,6 +60,15 @@ impl OccurrenceIndex {
     /// Total occurrences of `start` in the trace.
     pub fn count(&self, start: Addr) -> usize {
         self.positions.get(&start).map_or(0, |(l, _)| l.len())
+    }
+
+    /// Rewinds every per-address cursor to the start of the trace, so the
+    /// index can serve another in-order replay of the same trace without
+    /// being rebuilt (the position lists are immutable; only cursors move).
+    pub fn reset_cursors(&mut self) {
+        for (_, cursor) in self.positions.values_mut() {
+            *cursor = 0;
+        }
     }
 }
 

@@ -74,6 +74,18 @@ impl PwReplacementPolicy for OracleReplayPolicy {
         "OracleReplay"
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        if self.kept.len() < sets {
+            self.kept.resize_with(sets, Vec::new);
+        }
+        let ways = ways as usize;
+        for row in &mut self.kept {
+            if row.len() < ways {
+                row.resize(ways, false);
+            }
+        }
+    }
+
     fn on_lookup(&mut self, _pw: &PwDesc) {
         if self.started {
             self.clock += 1;
@@ -173,12 +185,30 @@ pub fn replay_full(
     timing: EvictionTiming,
     classify: bool,
 ) -> (UopCacheStats, Vec<(uopcache_model::Addr, u32, u32)>) {
+    let mut obs = Vec::new();
+    let stats = replay_full_into(trace, cfg, solution, timing, classify, &mut obs);
+    (stats, obs)
+}
+
+/// As [`replay_full`], writing the per-access observations into a
+/// caller-provided buffer (cleared first), so callers replaying many
+/// solutions over the same trace reuse one observation allocation across
+/// passes instead of paying a trace-sized `Vec` per replay.
+pub fn replay_full_into(
+    trace: &LookupTrace,
+    cfg: &UopCacheConfig,
+    solution: &FooSolution,
+    timing: EvictionTiming,
+    classify: bool,
+    obs: &mut Vec<(uopcache_model::Addr, u32, u32)>,
+) -> UopCacheStats {
     let policy = OracleReplayPolicy::new(solution, trace);
     let mut cache = UopCache::new(*cfg, Box::new(policy));
     if classify {
         cache.enable_classification();
     }
-    let mut obs = Vec::with_capacity(trace.len());
+    obs.clear();
+    obs.reserve(trace.len());
     for (t, access) in trace.iter().enumerate() {
         let result = cache.lookup(&access.pw);
         obs.push((access.pw.start, result.hit_uops(), access.pw.uops));
@@ -201,7 +231,7 @@ pub fn replay_full(
             }
         }
     }
-    (*cache.stats(), obs)
+    *cache.stats()
 }
 
 #[cfg(test)]
@@ -269,6 +299,24 @@ mod tests {
             reduction > 5.0,
             "expected substantial miss reduction, got {reduction:.2}%"
         );
+    }
+
+    #[test]
+    fn observed_into_reuses_the_buffer_across_passes() {
+        let cfg = UopCacheConfig::zen3();
+        let t = build_trace(AppId::Kafka, InputVariant(0), 5_000);
+        let sol = foo::solve(&t, &cfg, &FooConfig::flack());
+        let (stats, obs) = replay_observed(&t, &cfg, &sol, EvictionTiming::Lazy);
+
+        let mut buf = Vec::new();
+        let first = replay_full_into(&t, &cfg, &sol, EvictionTiming::Lazy, false, &mut buf);
+        assert_eq!(first, stats);
+        assert_eq!(buf, obs);
+        let cap = buf.capacity();
+        let second = replay_full_into(&t, &cfg, &sol, EvictionTiming::Lazy, false, &mut buf);
+        assert_eq!(second, stats);
+        assert_eq!(buf, obs);
+        assert_eq!(buf.capacity(), cap, "second pass must reuse the allocation");
     }
 
     #[test]

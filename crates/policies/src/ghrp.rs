@@ -111,6 +111,11 @@ impl PwReplacementPolicy for GhrpPolicy {
         "GHRP"
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.sig.reserve(sets, ways);
+        self.rrpv.reserve(sets, ways);
+    }
+
     fn on_lookup(&mut self, pw: &PwDesc) {
         self.push_history(pw.start);
     }

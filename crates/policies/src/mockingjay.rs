@@ -2,8 +2,8 @@
 //! (Shah, Jain & Lin, HPCA 2022), adapted to prediction windows.
 
 use crate::slots::SlotTable;
-use std::collections::HashMap;
 use uopcache_cache::{PwMeta, PwReplacementPolicy};
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, PwDesc};
 
 /// Reuse distance assumed for never-seen PWs (in lookups).
@@ -36,9 +36,9 @@ const SAMPLER_CAP: usize = 1 << 14;
 #[derive(Clone, Debug)]
 pub struct MockingjayPolicy {
     /// Exponentially-weighted predicted reuse distance per start address.
-    rdp: HashMap<Addr, u64>,
+    rdp: FastHashMap<Addr, u64>,
     /// Last sampled access time per start address.
-    sampler: HashMap<Addr, u64>,
+    sampler: FastHashMap<Addr, u64>,
     /// Per-slot estimated time of next access.
     eta: SlotTable<u64>,
     clock: u64,
@@ -54,8 +54,8 @@ impl MockingjayPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
         MockingjayPolicy {
-            rdp: HashMap::new(),
-            sampler: HashMap::new(),
+            rdp: FastHashMap::default(),
+            sampler: FastHashMap::default(),
             eta: SlotTable::new(),
             clock: 0,
         }
@@ -84,6 +84,10 @@ impl MockingjayPolicy {
 impl PwReplacementPolicy for MockingjayPolicy {
     fn name(&self) -> &'static str {
         "Mockingjay"
+    }
+
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.eta.reserve(sets, ways);
     }
 
     fn on_hit(&mut self, set: usize, meta: &PwMeta) {

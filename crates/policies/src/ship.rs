@@ -66,6 +66,11 @@ impl PwReplacementPolicy for ShipPlusPlusPolicy {
         "SHiP++"
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.rrpv.reserve(sets, ways);
+        self.tag.reserve(sets, ways);
+    }
+
     fn on_hit(&mut self, set: usize, meta: &PwMeta) {
         *self.rrpv.get_mut(set, meta.slot) = 0;
         let (sig, reused) = *self.tag.get(set, meta.slot);

@@ -27,6 +27,24 @@ impl<T: Default + Clone> SlotTable<T> {
         }
     }
 
+    /// Grows the table to cover `sets × ways` cells up front (all reading
+    /// as default), so subsequent `get_mut` calls never allocate. Policies
+    /// call this from [`prepare`] with the cache geometry; cells outside it
+    /// still lazily grow if ever touched.
+    ///
+    /// [`prepare`]: uopcache_cache::PwReplacementPolicy::prepare
+    pub fn reserve(&mut self, sets: usize, ways: u32) {
+        if self.rows.len() < sets {
+            self.rows.resize_with(sets, Vec::new);
+        }
+        let ways = ways as usize;
+        for row in &mut self.rows {
+            if row.len() < ways {
+                row.resize_with(ways, T::default);
+            }
+        }
+    }
+
     /// Mutable access to the cell, growing the table as needed.
     pub fn get_mut(&mut self, set: usize, slot: u8) -> &mut T {
         if self.rows.len() <= set {

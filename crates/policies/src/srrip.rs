@@ -68,6 +68,10 @@ impl PwReplacementPolicy for SrripPolicy {
         "SRRIP"
     }
 
+    fn prepare(&mut self, sets: usize, ways: u32) {
+        self.rrpv.reserve(sets, ways);
+    }
+
     fn on_hit(&mut self, set: usize, meta: &PwMeta) {
         *self.rrpv.get_mut(set, meta.slot) = 0;
     }

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use uopcache_cache::{PwMeta, PwReplacementPolicy};
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, PwDesc};
 
 /// Profile-derived temperature class of a PW.
@@ -38,7 +39,9 @@ pub enum HotClass {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ThermometerPolicy {
-    classes: HashMap<Addr, HotClass>,
+    /// Profiled classes, in a fast simulator-internal map: `class_of` runs
+    /// per resident on every victim/bypass decision.
+    classes: FastHashMap<Addr, HotClass>,
     hot_threshold: f64,
     warm_threshold: f64,
 }

@@ -473,7 +473,8 @@ mod tests {
         assert!(t.get("j4").is_some());
         assert_eq!(t.len(), 3, "1 live + 2 retained terminal");
         // An evicted id is fully reusable.
-        t.register("j0", "{other}").expect("evicted id is free again");
+        t.register("j0", "{other}")
+            .expect("evicted id is free again");
     }
 
     #[test]

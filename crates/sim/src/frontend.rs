@@ -17,6 +17,11 @@ const BTB_MISS_PENALTY: u64 = 2;
 const UOPC_DELIVERY_PER_CYCLE: u64 = 8;
 /// Assumed micro-ops per x86 instruction for instruction-count reporting.
 const UOPS_PER_INST: f64 = 1.12;
+/// Initial capacity of the asynchronous-insertion queue and its drain batch
+/// buffer. In-flight insertions are bounded by the insertion latency (a few
+/// tens of cycles) times one insertion per access, so this comfortably
+/// covers steady state; pathological bursts merely grow the buffers once.
+const INSERT_QUEUE_CAPACITY: usize = 256;
 
 /// Non-architectural simulation switches.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
@@ -123,7 +128,8 @@ impl FrontendBuilder {
             uopc,
             l1i,
             btb,
-            insert_queue: VecDeque::new(),
+            insert_queue: VecDeque::with_capacity(INSERT_QUEUE_CAPACITY),
+            insert_batch: Vec::with_capacity(INSERT_QUEUE_CAPACITY),
             uopc_mode: false,
             cycle: 0,
             backend_debt: 0.0,
@@ -155,6 +161,10 @@ pub struct Frontend {
     btb: LineCache,
     /// Pending asynchronous insertions: (ready_cycle, window).
     insert_queue: VecDeque<(u64, PwDesc)>,
+    /// Reusable batch buffer: insertions due this cycle are staged here
+    /// before being driven into the cache, so the per-access drain never
+    /// allocates (both buffers are preallocated and only ever refilled).
+    insert_batch: Vec<PwDesc>,
     /// Whether the previous window was served by the micro-op cache.
     uopc_mode: bool,
     /// Frontend cycle counter.
@@ -356,17 +366,27 @@ impl Frontend {
     }
 
     fn drain_insertions(&mut self) {
+        self.insert_batch.clear();
         while let Some(&(ready, pw)) = self.insert_queue.front() {
             if ready > self.cycle {
                 break;
             }
             self.insert_queue.pop_front();
+            self.insert_batch.push(pw);
+        }
+        for i in 0..self.insert_batch.len() {
+            let pw = self.insert_batch[i];
             self.uopc.insert(&pw);
         }
     }
 
     fn flush_insertions(&mut self) {
+        self.insert_batch.clear();
         while let Some((_, pw)) = self.insert_queue.pop_front() {
+            self.insert_batch.push(pw);
+        }
+        for i in 0..self.insert_batch.len() {
+            let pw = self.insert_batch[i];
             self.uopc.insert(&pw);
         }
     }

@@ -1,0 +1,73 @@
+//! Allocation budget for the simulation hot path.
+//!
+//! The kernel is designed so that once a cache has been constructed and
+//! warmed, driving a trace through it performs **zero heap allocations**:
+//! set storage is a preallocated structure-of-arrays arena, victim and
+//! resident scratch live in reusable buffers, and the stateless policies
+//! (LRU) and table-based policies with [`prepare`]-time reservation (SRRIP)
+//! never touch the allocator on the lookup/insert path.
+//!
+//! This test wires the bench harness's [`CountingAllocator`] in as the
+//! test binary's global allocator and pins the budget at exactly zero for
+//! a steady-state pass. Everything is measured inside one `#[test]` so no
+//! concurrently running test can pollute the global counters.
+//!
+//! [`prepare`]: uopcache::cache::PwReplacementPolicy::prepare
+//! [`CountingAllocator`]: uopcache_bench::hotpath::CountingAllocator
+
+use uopcache::cache::{LruPolicy, PwReplacementPolicy, UopCache};
+use uopcache::model::UopCacheConfig;
+use uopcache::policies::{run_trace, SrripPolicy};
+use uopcache::trace::{build_trace, AppId, InputVariant};
+use uopcache_bench::hotpath::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const LEN: usize = 8_000;
+
+type PolicyCtor = fn() -> Box<dyn PwReplacementPolicy>;
+
+/// Runs `trace` once more over a warmed cache and returns how many heap
+/// allocations the pass performed.
+fn steady_state_allocs(cache: &mut UopCache, trace: &uopcache::model::LookupTrace) -> (u64, u64) {
+    let before_calls = CountingAllocator::allocations();
+    let before_bytes = CountingAllocator::bytes_allocated();
+    let stats = run_trace(cache, trace);
+    let calls = CountingAllocator::allocations() - before_calls;
+    let bytes = CountingAllocator::bytes_allocated() - before_bytes;
+    assert_eq!(stats.lookups, LEN as u64, "the pass must cover the trace");
+    (calls, bytes)
+}
+
+#[test]
+fn steady_state_lookup_path_does_not_allocate() {
+    // The counter must actually be live in this binary, or the zero
+    // assertions below would be vacuous.
+    assert!(
+        CountingAllocator::is_active(),
+        "CountingAllocator is not installed as the global allocator"
+    );
+
+    let policies: [(&str, PolicyCtor); 2] = [
+        ("LRU", || Box::new(LruPolicy::new())),
+        ("SRRIP", || Box::new(SrripPolicy::new())),
+    ];
+    for (name, make_policy) in policies {
+        for app in [AppId::Kafka, AppId::Postgres] {
+            let trace = build_trace(app, InputVariant(0), LEN);
+            let mut cache = UopCache::new(UopCacheConfig::zen3(), make_policy());
+            // Warmup: fill the sets and let lazily grown side tables reach
+            // their steady shape.
+            run_trace(&mut cache, &trace);
+
+            let (calls, bytes) = steady_state_allocs(&mut cache, &trace);
+            assert_eq!(
+                (calls, bytes),
+                (0, 0),
+                "{name}/{}: steady-state pass allocated {calls} times ({bytes} bytes)",
+                app.name(),
+            );
+        }
+    }
+}

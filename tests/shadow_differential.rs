@@ -1,0 +1,151 @@
+//! Shadow-model differential test: the set-associative `UopCache` under LRU,
+//! configured fully associative (one set), must agree access-for-access with
+//! the independent `ShadowFaCache` reference model — same hit/miss outcome,
+//! same resident set after every access (which pins the eviction sequence),
+//! same entry occupancy.
+//!
+//! The streams are randomized but seeded, and deliberately include the two
+//! interesting PW interactions:
+//!
+//! * **overlapping windows** — the same start address looked up with two
+//!   different lengths (a sometimes-taken branch inside the window), which
+//!   exercises partial hits and the upgrade-in-place path;
+//! * **recency churn** — a Zipf-ish skew so some windows are hot (never
+//!   evicted) and others cycle through the LRU tail.
+
+use uopcache::cache::{LruPolicy, ShadowFaCache, UopCache};
+use uopcache::model::rng::{Prng, Rng};
+use uopcache::model::{Addr, PwDesc, PwTermination, UopCacheConfig};
+
+/// One set, 24 entries: fully associative, so the set-associative cache and
+/// the FA shadow see identical capacity pressure.
+fn fa_config() -> UopCacheConfig {
+    UopCacheConfig {
+        entries: 24,
+        ways: 24,
+        uops_per_entry: 8,
+        switch_penalty: 1,
+        inclusive_with_l1i: true,
+        max_entries_per_pw: 24,
+    }
+}
+
+struct Window {
+    start: Addr,
+    /// Short variant: the window up to its sometimes-taken branch.
+    short_uops: u32,
+    /// Long variant: the window running through that branch (same start).
+    long_uops: u32,
+}
+
+fn universe(rng: &mut Prng, n: usize) -> Vec<Window> {
+    (0..n)
+        .map(|i| {
+            let short_uops = rng.gen_range(1u32..=16);
+            // Long variant caps at 96 uops = 12 entries, comfortably inside
+            // both max_entries_per_pw and the shadow's capacity.
+            let long_uops = short_uops + rng.gen_range(1u32..=(96 - short_uops));
+            Window {
+                start: Addr::new(0x1_0000 + (i as u64) * 64),
+                short_uops,
+                long_uops,
+            }
+        })
+        .collect()
+}
+
+fn pw(start: Addr, uops: u32) -> PwDesc {
+    PwDesc::new(start, uops, uops * 3, PwTermination::TakenBranch)
+}
+
+/// Drives one seeded stream through both models, asserting equivalence after
+/// every access.
+fn run_stream(seed: u64, accesses: usize) {
+    let cfg = fa_config();
+    let mut rng = Prng::seed_from_u64(seed);
+    let windows = universe(&mut rng, 40);
+    let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
+    let mut shadow = ShadowFaCache::new(cfg.entries, cfg.uops_per_entry);
+
+    for t in 0..accesses {
+        // Zipf-ish skew: square a uniform draw so low indices dominate.
+        let u = rng.gen_f64();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((u * u) * windows.len() as f64) as usize;
+        let w = &windows[idx.min(windows.len() - 1)];
+        // The branch inside the window is sometimes taken: mostly the short
+        // window, sometimes the long one with the same start address.
+        let uops = if rng.gen_bool(0.3) {
+            w.long_uops
+        } else {
+            w.short_uops
+        };
+        let access = pw(w.start, uops);
+
+        let shadow_hit = shadow.access(&access);
+        let result = cache.lookup(&access);
+        if !result.is_full_hit() {
+            cache.insert(&access);
+        }
+
+        assert_eq!(
+            shadow_hit,
+            result.is_full_hit(),
+            "seed {seed:#x} access {t}: hit/miss diverged on {access} \
+             (shadow {shadow_hit}, cache {result:?})"
+        );
+        assert_eq!(
+            shadow.used_entries(),
+            cache.occupied_entries(),
+            "seed {seed:#x} access {t}: occupancy diverged after {access}"
+        );
+        for w in &windows {
+            assert_eq!(
+                shadow.contains(w.start),
+                cache.resident_uops(w.start).is_some(),
+                "seed {seed:#x} access {t}: residency of {} diverged \
+                 (eviction order drifted)",
+                w.start
+            );
+        }
+    }
+    assert!(
+        cache.stats().evicted_pws > 0,
+        "seed {seed:#x}: the stream must create eviction pressure"
+    );
+    assert!(
+        cache.stats().pw_partial_hits > 0,
+        "seed {seed:#x}: overlapping windows must produce partial hits"
+    );
+}
+
+#[test]
+fn lru_cache_matches_shadow_reference_on_seeded_streams() {
+    for seed in 0..8u64 {
+        run_stream(0x5bad_0000 ^ seed, 2_000);
+    }
+}
+
+/// The upgrade path specifically: a short window is resident, the long
+/// variant arrives, and both models must keep exactly one (longer) window.
+#[test]
+fn upgrade_in_place_matches_shadow() {
+    let cfg = fa_config();
+    let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
+    let mut shadow = ShadowFaCache::new(cfg.entries, cfg.uops_per_entry);
+    let short = pw(Addr::new(0x40), 6);
+    let long = pw(Addr::new(0x40), 30);
+
+    for access in [&short, &long, &short, &long] {
+        let shadow_hit = shadow.access(access);
+        let result = cache.lookup(access);
+        if !result.is_full_hit() {
+            cache.insert(access);
+        }
+        assert_eq!(shadow_hit, result.is_full_hit(), "on {access}");
+        assert_eq!(shadow.used_entries(), cache.occupied_entries());
+    }
+    // Both end with the long window resident.
+    assert!(shadow.covers(&long));
+    assert_eq!(cache.resident_uops(Addr::new(0x40)), Some(30));
+}
