@@ -27,7 +27,7 @@ pub struct ConformanceResult {
 /// The nine online policies, freshly constructed with deterministic inputs.
 fn online_policies() -> Vec<Box<dyn PwReplacementPolicy>> {
     let mut hints = HintMap::new(3);
-    let mut rates = std::collections::HashMap::new();
+    let mut rates = uopcache_model::hash::FastHashMap::default();
     for i in 0..24u64 {
         hints.set(
             Addr::new(0x1000 + i * 64),

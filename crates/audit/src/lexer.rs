@@ -51,13 +51,35 @@ impl Tok {
     }
 }
 
+/// A lexed file: code tokens plus the comments that were skipped over.
+///
+/// Comments are returned separately (rather than interleaved) so the token
+/// windows the rules match against are unaffected, while comment-driven
+/// markers (`audit:allow(..)`, `audit:hot-path`, ...) can be read from real
+/// comments only — a string literal containing `audit:allow(...)` is a
+/// [`TokKind::Str`] token and can never suppress a rule.
+pub struct Lexed {
+    /// The code tokens, comments and whitespace skipped.
+    pub toks: Vec<Tok>,
+    /// One entry per comment: the text without delimiters (for line and doc
+    /// comments, without the leading `//`/`///`; for block comments, the
+    /// interior), at the line the comment starts on.
+    pub comments: Vec<(u32, String)>,
+}
+
 /// Tokenizes `src`, skipping comments and whitespace.
 ///
 /// Unterminated strings or comments end the token stream early rather than
 /// erroring: the audit lints best-effort rather than refusing a file.
 pub fn tokenize(src: &str) -> Vec<Tok> {
+    tokenize_full(src).toks
+}
+
+/// Tokenizes `src`, also collecting the comments (see [`Lexed`]).
+pub fn tokenize_full(src: &str) -> Lexed {
     let b: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
+    let mut comments: Vec<(u32, String)> = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
     let n = b.len();
@@ -79,9 +101,17 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         // Comments.
         if c == '/' && i + 1 < n {
             if b[i + 1] == '/' {
+                let start = i;
                 while i < n && b[i] != '\n' {
                     i += 1;
                 }
+                let text: String = b[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .trim_start_matches('/')
+                    .trim_start_matches('!')
+                    .to_string();
+                comments.push((line, text));
                 continue;
             }
             if b[i + 1] == '*' {
@@ -99,6 +129,10 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
                         i += 1;
                     }
                 }
+                let interior: String = b[start + 2..i.saturating_sub(2).max(start + 2)]
+                    .iter()
+                    .collect();
+                comments.push((line, interior));
                 line += bump_lines(&b[start..i]);
                 continue;
             }
@@ -301,7 +335,7 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         });
         i += 1;
     }
-    toks
+    Lexed { toks, comments }
 }
 
 #[cfg(test)]
@@ -367,6 +401,84 @@ mod tests {
         let toks = tokenize("let a = \"x\ny\";\nb");
         let b = toks.iter().find(|t| t.is_ident("b")).expect("b token");
         assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn byte_and_char_literals_holding_quotes_and_slashes() {
+        // `b'"'` and `'"'` must not open a string; `'/'` followed by more
+        // code must not open a comment. Historically classic lexer traps.
+        let toks = kinds("let a = b'\"'; let b = '\"'; let c = '/'; after");
+        assert!(
+            !toks.iter().any(|(k, _)| *k == TokKind::Str),
+            "char literals misread as strings: {toks:?}"
+        );
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["\"", "\"", "/"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "after"));
+    }
+
+    #[test]
+    fn string_containing_line_comment_marker_is_still_a_string() {
+        let toks = kinds("let url = \"https://example.com\"; x.unwrap()");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "https://example.com"));
+        // The code after the string is still lexed (the `//` inside the
+        // string did not eat the rest of the line).
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b /* c */ */ still comment */ code");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].0 == TokKind::Ident && toks[0].1 == "code");
+    }
+
+    #[test]
+    fn raw_string_with_hashes_containing_quote_escape_lookalikes() {
+        let toks = kinds(r####"let s = r#"a \" b "quoted" // not comment"#; end"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("not comment")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "end"));
+    }
+
+    #[test]
+    fn byte_string_contents_are_not_code() {
+        let toks = kinds("let s = b\"// x.unwrap()\"; done");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let lexed = tokenize_full("code1 // trailing note\n/* block\nspans */\ncode2");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].0, 1);
+        assert!(lexed.comments[0].1.contains("trailing note"));
+        assert_eq!(lexed.comments[1].0, 2);
+        assert!(lexed.comments[1].1.contains("block"));
+        // and the code tokens are unaffected
+        let idents: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["code1", "code2"]);
     }
 
     #[test]

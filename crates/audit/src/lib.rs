@@ -6,28 +6,43 @@
 //! The paper's headline results (FLACK optimality, FURBYS miss reduction)
 //! are only as trustworthy as the policy implementations — a single
 //! off-by-one in victim indexing or slot recycling silently shifts every
-//! figure. This crate guards that boundary from two sides:
+//! figure. And the repo's operational guarantees (zero-allocation warmed
+//! hot path, byte-identical output at any `--jobs`) were until v2 enforced
+//! only *dynamically*, on the inputs the tests happen to run. This crate
+//! guards those boundaries statically:
 //!
-//! * **Lint pass** ([`run_lint`]): a hand-rolled Rust tokenizer walks every
-//!   workspace `.rs` file and enforces repo-specific rules — no `unwrap()`
-//!   (or undocumented `expect()`) in the correctness-core crates, no exact
-//!   float equality in metrics code, no unchecked narrowing casts in
-//!   slot/set arithmetic, and unique `name()` strings across replacement
-//!   policies. Violations print `file:line` diagnostics; an [`Allowlist`]
-//!   file (or an inline `audit:allow(rule)` comment) suppresses justified
-//!   exceptions.
-//! * **Conformance harness** ([`run_conformance`]): drives all nine online
+//! * **Lint pass** ([`run_lint`]): a hand-rolled tokenizer ([`lexer`]) and
+//!   item parser ([`parser`]) walk every workspace `.rs` file, build a
+//!   workspace-wide call graph ([`callgraph`]), and run three graph
+//!   analyses ([`reach`]) on top of the token-pattern rules:
+//!   alloc-reachability from the hot-path roots, hash-order-dependence of
+//!   canonical output, and lock/spawn discipline in the concurrent crates.
+//!   Violations print `file:line` diagnostics with call-path traces; an
+//!   [`Allowlist`] file (entries carry a mandatory `reason:` and optional
+//!   `expires:`) or an inline `audit:allow(rule)` comment suppresses
+//!   justified exceptions, and stale suppressions are themselves
+//!   diagnostics.
+//! * **Conformance harness** ([`run_conformance`]): drives all online
 //!   replacement policies through seeded random PW streams under
 //!   [`uopcache_cache::CheckedPolicy`] (feature `strict-invariants`), so any
 //!   violation of the `PwReplacementPolicy` contract panics at the exact
 //!   hook with a replayable diagnostic.
 //!
 //! Both halves are exposed through the CLI's `audit` subcommand, which
-//! exits nonzero if either finds a problem.
+//! exits nonzero if either finds a problem; `audit --json` emits the
+//! diagnostics as canonical JSON ([`diagnostics_json`]) and `audit
+//! --graph` dumps the call graph ([`callgraph_json`]) for downstream
+//! tooling.
 
+pub mod callgraph;
 pub mod conformance;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
 
 pub use conformance::{run_conformance, ConformanceResult};
-pub use rules::{run_lint, Allowlist, Diagnostic};
+pub use rules::{
+    callgraph_json, diagnostics_json, run_lint, run_lint_sources, today_utc, Allowlist,
+    AuditReport, Diagnostic,
+};

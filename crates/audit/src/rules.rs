@@ -1,9 +1,19 @@
 //! The audit's lint rules, the allowlist that configures them, and the
 //! workspace walker that applies them.
+//!
+//! v2 layers a call-graph analysis (see [`crate::callgraph`] and
+//! [`crate::reach`]) on top of the original token-pattern rules, and adds
+//! two determinism rules (`no-std-hashmap`, `no-ambient-time`). All
+//! diagnostics flow through the same [`Allowlist`] + inline-comment
+//! suppression machinery and come back in canonical order (file, line,
+//! rule), ready for byte-stable JSON emission.
 
-use crate::lexer::{tokenize, Tok, TokKind};
-use std::collections::HashMap;
+use crate::callgraph::{self, FileView};
+use crate::lexer::{tokenize_full, Tok, TokKind};
+use crate::parser::{parse_items, FileItems};
+use crate::reach;
 use std::path::{Path, PathBuf};
+use uopcache_model::hash::FastHashMap;
 
 /// A single lint finding.
 #[derive(Clone, Debug, Eq, PartialEq)]
@@ -13,8 +23,12 @@ pub struct Diagnostic {
     pub file: PathBuf,
     /// 1-indexed line.
     pub line: u32,
-    /// Rule identifier (`no-unwrap`, `no-float-eq`, `no-narrowing-cast`,
-    /// `no-unbounded-queue`, `unique-policy-names`).
+    /// Rule identifier: token rules (`no-unwrap`, `no-float-eq`,
+    /// `no-narrowing-cast`, `no-unbounded-queue`, `unique-policy-names`,
+    /// `no-std-hashmap`, `no-ambient-time`), graph rules
+    /// (`hot-path-alloc`, `unordered-emission`, `lock-order`,
+    /// `lock-across-channel`, `unaccounted-spawn`), and the allowlist's own
+    /// hygiene rule (`stale-allowlist`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -33,21 +47,44 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// One allowlist entry.
+#[derive(Clone, Debug)]
+struct AllowEntry {
+    rule: String,
+    suffix: String,
+    line: Option<u32>,
+    /// Mandatory justification (kept for documentation; its presence is
+    /// what the parser enforces).
+    #[allow(dead_code)]
+    reason: String,
+    /// Optional `YYYY-MM-DD` expiry; past it the entry stops suppressing.
+    expires: Option<String>,
+    /// Line in the allowlist file (for `stale-allowlist` diagnostics).
+    src_line: u32,
+}
+
 /// Rule suppressions parsed from an allowlist file.
 ///
-/// Format, one entry per line:
+/// Format, one entry per line (full-line `#` comments and blanks allowed):
 ///
 /// ```text
-/// # comment
-/// <rule> <path-suffix>            # suppress <rule> in files ending in <path-suffix>
-/// <rule> <path-suffix>:<line>     # suppress only on that line
+/// <rule> <path-suffix>[:<line>] reason: <why this is justified> [expires: YYYY-MM-DD]
 /// ```
 ///
-/// In addition, a source line containing the comment `audit:allow(<rule>)`
-/// suppresses that rule on that line without an allowlist entry.
+/// The `reason:` field is mandatory — an unexplained suppression is a
+/// future foot-gun. `expires:` makes a suppression temporary: past the
+/// date the entry stops suppressing and is itself reported
+/// (`stale-allowlist`), as is any entry that no longer matches any
+/// diagnostic.
+///
+/// In addition, a source **comment** containing `audit:allow(<rule>)`
+/// suppresses that rule on that line without an allowlist entry. Only real
+/// comments count — the marker inside a string literal does nothing.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String, Option<u32>)>,
+    entries: Vec<AllowEntry>,
+    /// Where the entries came from, for `stale-allowlist` spans.
+    source: PathBuf,
 }
 
 impl Allowlist {
@@ -55,33 +92,80 @@ impl Allowlist {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed line.
+    /// Returns a message naming the first malformed line (bad shape,
+    /// missing `reason:`, or malformed `expires:` date).
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
         for (i, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
+            let line_no = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next()) else {
+            let Some((rule, rest)) = line.split_once(char::is_whitespace) else {
                 return Err(format!(
-                    "allowlist line {}: expected `<rule> <path>`",
-                    i + 1
+                    "allowlist line {line_no}: expected `<rule> <path> reason: ...`"
                 ));
             };
-            let (suffix, line_no) = match path.rsplit_once(':') {
-                Some((p, l)) if l.chars().all(|c| c.is_ascii_digit()) && !l.is_empty() => {
+            let rest = rest.trim_start();
+            let Some((path, rest)) = rest.split_once(char::is_whitespace) else {
+                return Err(format!(
+                    "allowlist line {line_no}: missing mandatory `reason:` field"
+                ));
+            };
+            let rest = rest.trim_start();
+            let Some(after_kw) = rest.strip_prefix("reason:") else {
+                return Err(format!(
+                    "allowlist line {line_no}: expected `reason:` after the path, got `{rest}`"
+                ));
+            };
+            let (reason, expires) = match after_kw.rsplit_once("expires:") {
+                Some((r, d)) => {
+                    let d = d.trim();
+                    let ok = d.len() == 10
+                        && d.bytes().enumerate().all(|(k, b)| {
+                            if k == 4 || k == 7 {
+                                b == b'-'
+                            } else {
+                                b.is_ascii_digit()
+                            }
+                        });
+                    if !ok {
+                        return Err(format!(
+                            "allowlist line {line_no}: `expires:` wants YYYY-MM-DD, got `{d}`"
+                        ));
+                    }
+                    (r.trim(), Some(d.to_string()))
+                }
+                None => (after_kw.trim(), None),
+            };
+            if reason.is_empty() {
+                return Err(format!(
+                    "allowlist line {line_no}: `reason:` must not be empty"
+                ));
+            }
+            let (suffix, entry_line) = match path.rsplit_once(':') {
+                Some((p, l)) if !l.is_empty() && l.chars().all(|c| c.is_ascii_digit()) => {
                     let n = l
                         .parse()
-                        .map_err(|e| format!("allowlist line {}: bad line number: {e}", i + 1))?;
+                        .map_err(|e| format!("allowlist line {line_no}: bad line number: {e}"))?;
                     (p, Some(n))
                 }
                 _ => (path, None),
             };
-            entries.push((rule.to_string(), suffix.to_string(), line_no));
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                suffix: suffix.to_string(),
+                line: entry_line,
+                reason: reason.to_string(),
+                expires,
+                src_line: line_no,
+            });
         }
-        Ok(Allowlist { entries })
+        Ok(Allowlist {
+            entries,
+            source: PathBuf::from("audit.allowlist"),
+        })
     }
 
     /// Loads the allowlist from `path`; a missing file is an empty allowlist.
@@ -91,29 +175,112 @@ impl Allowlist {
     /// Returns a message if the file exists but cannot be read or parsed.
     pub fn load(path: &Path) -> Result<Self, String> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Self::parse(&text),
+            Ok(text) => {
+                let mut al = Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                al.source = path.to_path_buf();
+                Ok(al)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
             Err(e) => Err(format!("cannot read allowlist {}: {e}", path.display())),
         }
     }
 
-    /// Whether the allowlist suppresses `rule` at `file:line`.
-    pub fn permits(&self, rule: &str, file: &Path, line: u32) -> bool {
-        let file = file.to_string_lossy();
-        self.entries.iter().any(|(r, suffix, l)| {
-            r == rule && file.ends_with(suffix.as_str()) && l.is_none_or(|n| n == line)
-        })
+    /// Filters `diags` through the allowlist and appends `stale-allowlist`
+    /// diagnostics for entries that are expired or matched nothing.
+    /// `today` is an ISO `YYYY-MM-DD` date (see [`today_utc`]).
+    fn apply(&self, mut diags: Vec<Diagnostic>, today: &str) -> Vec<Diagnostic> {
+        let mut matched = vec![false; self.entries.len()];
+        diags.retain(|d| {
+            let file = d.file.to_string_lossy().replace('\\', "/");
+            let mut suppressed = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.rule == d.rule
+                    && file.ends_with(e.suffix.as_str())
+                    && e.line.is_none_or(|n| n == d.line)
+                {
+                    matched[i] = true;
+                    if e.expires.as_deref().is_none_or(|x| today <= x) {
+                        suppressed = true;
+                    }
+                }
+            }
+            !suppressed
+        });
+        for (i, e) in self.entries.iter().enumerate() {
+            let expired = e.expires.as_deref().is_some_and(|x| today > x);
+            if expired {
+                diags.push(Diagnostic {
+                    file: self.source.clone(),
+                    line: e.src_line,
+                    rule: "stale-allowlist",
+                    message: format!(
+                        "entry `{} {}` expired on {}; fix the finding or renew the date",
+                        e.rule,
+                        e.suffix,
+                        e.expires.as_deref().unwrap_or("?")
+                    ),
+                });
+            } else if !matched[i] {
+                diags.push(Diagnostic {
+                    file: self.source.clone(),
+                    line: e.src_line,
+                    rule: "stale-allowlist",
+                    message: format!(
+                        "entry `{} {}` no longer matches any diagnostic; delete it",
+                        e.rule, e.suffix
+                    ),
+                });
+            }
+        }
+        diags
     }
+}
+
+/// Today's date in UTC as `YYYY-MM-DD` (civil-from-days, no deps).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = i64::try_from(secs / 86_400).unwrap_or(0);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// Crates whose non-test code must not call `unwrap()` (or undocumented
 /// `expect()`): the simulation-correctness core.
 const NO_UNWRAP_CRATES: [&str; 5] = ["cache", "policies", "offline", "core", "sim"];
 
+/// Crates whose observable behaviour must be bit-deterministic: bare std
+/// `HashMap`/`HashSet` (randomly seeded SipHash → run-dependent iteration
+/// order) are forbidden in favour of `uopcache_model::hash::FastHashMap`.
+/// `serve` is deliberately absent: it hashes *externally supplied* job ids,
+/// where the DoS-resistant std hasher is the right tool.
+const DETERMINISTIC_CRATES: [&str; 14] = [
+    "model", "cache", "policies", "offline", "core", "sim", "trace", "flow", "power", "obs",
+    "bench", "cli", "exec", "audit",
+];
+
+/// Crates that must not read ambient time (`Instant::now`,
+/// `SystemTime::now`) outside the `exec::Clock` seam. `serve` is exempt:
+/// wall-clock deadlines against real clients are its job.
+const NO_AMBIENT_TIME_CRATES: [&str; 11] = [
+    "model", "cache", "policies", "offline", "core", "sim", "trace", "flow", "power", "obs", "exec",
+];
+
 /// A parsed source file ready for linting.
 struct SourceFile {
     path: PathBuf,
     toks: Vec<Tok>,
+    items: FileItems,
     /// Token-index ranges belonging to `#[cfg(test)]` items.
     test_ranges: Vec<(usize, usize)>,
     /// `(line, rule)` pairs from inline `audit:allow(rule)` comments.
@@ -122,24 +289,25 @@ struct SourceFile {
 
 impl SourceFile {
     fn parse(path: PathBuf, src: &str) -> Self {
-        let toks = tokenize(src);
-        let test_ranges = find_test_ranges(&toks);
-        let inline_allows = src
-            .lines()
-            .enumerate()
-            .filter_map(|(i, l)| {
-                let marker = l.find("audit:allow(")?;
-                let rest = &l[marker + "audit:allow(".len()..];
-                let rule = rest.split(')').next()?.trim().to_string();
-                Some((
-                    u32::try_from(i).expect("allowlist lines fit in u32") + 1,
-                    rule,
-                ))
-            })
-            .collect();
+        let lexed = tokenize_full(src);
+        let test_ranges = find_test_ranges(&lexed.toks);
+        // Inline allows come from real comments only: the marker inside a
+        // string literal is data, not a suppression.
+        let mut inline_allows = Vec::new();
+        for (line, text) in &lexed.comments {
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find("audit:allow(") {
+                rest = &rest[at + "audit:allow(".len()..];
+                if let Some(rule) = rest.split(')').next() {
+                    inline_allows.push((*line, rule.trim().to_string()));
+                }
+            }
+        }
+        let items = parse_items(&lexed.toks, &lexed.comments);
         SourceFile {
             path,
-            toks,
+            toks: lexed.toks,
+            items,
             test_ranges,
             inline_allows,
         }
@@ -360,10 +528,75 @@ fn rule_no_unbounded_queue(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule `no-std-hashmap`: bare `HashMap`/`HashSet` identifiers in the
+/// deterministic crates' non-test code. Std's default hasher is seeded per
+/// process, so iteration order varies run to run; every map whose contents
+/// can reach output must be a `FastHashMap`/`FastHashSet`
+/// (`uopcache_model::hash`), which hashes deterministically.
+fn rule_no_std_hashmap(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !path_in_crates(&f.path, &DETERMINISTIC_CRATES) {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = &f.toks[i];
+        if f.in_test_code(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "no-std-hashmap",
+                message: format!(
+                    "std `{}` is randomly seeded (iteration order varies per \
+                     run); use `uopcache_model::hash::Fast{}` in deterministic \
+                     simulation code",
+                    t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `no-ambient-time`: `Instant::now()` / `SystemTime::now()` outside
+/// the `exec::Clock` seam (`crates/exec/src/clock.rs`), in the simulation
+/// crates' non-test code. Ambient time reads make behaviour untestable and
+/// non-reproducible; route them through a `Clock` implementation.
+fn rule_no_ambient_time(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !path_in_crates(&f.path, &NO_AMBIENT_TIME_CRATES) {
+        return;
+    }
+    let p = f.path.to_string_lossy().replace('\\', "/");
+    if p.ends_with("crates/exec/src/clock.rs") {
+        return; // the seam itself
+    }
+    for (i, w) in f.toks.windows(4).enumerate() {
+        if f.in_test_code(i) {
+            continue;
+        }
+        if (w[0].is_ident("Instant") || w[0].is_ident("SystemTime"))
+            && w[1].is_punct("::")
+            && w[2].is_ident("now")
+            && w[3].is_punct("(")
+        {
+            out.push(Diagnostic {
+                file: f.path.clone(),
+                line: w[2].line,
+                rule: "no-ambient-time",
+                message: format!(
+                    "`{}::now()` outside the `exec::Clock` seam; inject a \
+                     `Clock` (or justify wall-clock use with an inline allow)",
+                    w[0].text
+                ),
+            });
+        }
+    }
+}
+
 /// Rule `unique-policy-names`: every `impl PwReplacementPolicy for T` block
 /// that returns a string literal from `fn name` must use a distinct string.
 fn rule_unique_policy_names(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
-    let mut seen: HashMap<String, (PathBuf, u32, String)> = HashMap::new();
+    let mut seen: FastHashMap<String, (PathBuf, u32, String)> = FastHashMap::default();
     for f in files {
         let toks = &f.toks;
         for i in 0..toks.len() {
@@ -482,21 +715,14 @@ fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Runs the full lint pass over every workspace `.rs` file under `root`,
-/// returning the diagnostics that survive the allowlist, sorted by file and
-/// line.
-///
-/// # Errors
-///
-/// Returns a message if `root` contains no `.rs` files (almost certainly a
-/// wrong `--root`).
-pub fn run_lint(root: &Path, allowlist: &Allowlist) -> Result<Vec<Diagnostic>, String> {
+/// Reads all lintable sources under `root`, workspace-relative.
+fn read_sources(root: &Path) -> Result<Vec<(PathBuf, String)>, String> {
     let mut paths = Vec::new();
     collect_rs_files(root, &mut paths);
     if paths.is_empty() {
         return Err(format!("no .rs files found under {}", root.display()));
     }
-    let files: Vec<SourceFile> = paths
+    Ok(paths
         .into_iter()
         .filter(|p| !exempt_path(p))
         .filter_map(|p| {
@@ -505,8 +731,46 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> Result<Vec<Diagnostic>, S
                 .strip_prefix(root)
                 .map(Path::to_path_buf)
                 .unwrap_or_else(|_| p.clone());
-            Some(SourceFile::parse(rel, &src))
+            Some((rel, src))
         })
+        .collect())
+}
+
+/// The result of a full audit run.
+pub struct AuditReport {
+    /// Surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files linted.
+    pub files: usize,
+    /// Call-graph nodes (parsed function bodies).
+    pub functions: usize,
+    /// Call-graph edges.
+    pub edges: usize,
+}
+
+/// Runs the full lint pass — token rules, call-graph passes, allowlist —
+/// over every workspace `.rs` file under `root`. `today` (ISO
+/// `YYYY-MM-DD`) drives `expires:` handling; see [`today_utc`].
+///
+/// # Errors
+///
+/// Returns a message if `root` contains no `.rs` files (almost certainly a
+/// wrong `--root`).
+pub fn run_lint(root: &Path, allowlist: &Allowlist, today: &str) -> Result<AuditReport, String> {
+    let sources = read_sources(root)?;
+    Ok(run_lint_sources(sources, allowlist, today))
+}
+
+/// [`run_lint`] over in-memory sources — the seam fixture tests use to
+/// assert each rule fires (and stays quiet) on known snippets.
+pub fn run_lint_sources(
+    sources: Vec<(PathBuf, String)>,
+    allowlist: &Allowlist,
+    today: &str,
+) -> AuditReport {
+    let files: Vec<SourceFile> = sources
+        .into_iter()
+        .map(|(p, s)| SourceFile::parse(p, &s))
         .collect();
 
     let mut diags = Vec::new();
@@ -515,19 +779,150 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> Result<Vec<Diagnostic>, S
         rule_no_float_eq(f, &mut diags);
         rule_no_narrowing_cast(f, &mut diags);
         rule_no_unbounded_queue(f, &mut diags);
+        rule_no_std_hashmap(f, &mut diags);
+        rule_no_ambient_time(f, &mut diags);
     }
     rule_unique_policy_names(&files, &mut diags);
 
-    let by_file: HashMap<PathBuf, &SourceFile> =
+    let views: Vec<FileView> = files
+        .iter()
+        .map(|f| FileView {
+            path: &f.path,
+            toks: &f.toks,
+            items: &f.items,
+            test_ranges: &f.test_ranges,
+        })
+        .collect();
+    let graph = callgraph::build(&views);
+    diags.extend(reach::analyze(&graph, &views));
+
+    let by_file: FastHashMap<PathBuf, &SourceFile> =
         files.iter().map(|f| (f.path.clone(), f)).collect();
     diags.retain(|d| {
-        !allowlist.permits(d.rule, &d.file, d.line)
-            && !by_file
-                .get(&d.file)
-                .is_some_and(|f| f.allowed_inline(d.rule, d.line))
+        !by_file
+            .get(&d.file)
+            .is_some_and(|f| f.allowed_inline(d.rule, d.line))
     });
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(diags)
+    let mut diags = allowlist.apply(diags, today);
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    AuditReport {
+        diagnostics: diags,
+        files: files.len(),
+        functions: graph.nodes.len(),
+        edges: graph.edges.iter().map(Vec::len).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_path(p: &Path) -> String {
+    json_escape(&p.to_string_lossy().replace('\\', "/"))
+}
+
+/// Canonical JSON for a diagnostic list: `schema_version: 1`, one
+/// diagnostic per line, already in (file, line, rule) order — byte-stable
+/// so CI can diff it against a committed golden.
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_path(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Builds the workspace call graph under `root` and dumps it as canonical
+/// JSON: nodes (with hot-root/exempt flags) and index-based edges, both in
+/// deterministic order. Future lints — and the kernel-specialization work —
+/// consume this.
+///
+/// # Errors
+///
+/// Returns a message if `root` contains no `.rs` files.
+pub fn callgraph_json(root: &Path) -> Result<String, String> {
+    let sources = read_sources(root)?;
+    let files: Vec<SourceFile> = sources
+        .into_iter()
+        .map(|(p, s)| SourceFile::parse(p, &s))
+        .collect();
+    let views: Vec<FileView> = files
+        .iter()
+        .map(|f| FileView {
+            path: &f.path,
+            toks: &f.toks,
+            items: &f.items,
+            test_ranges: &f.test_ranges,
+        })
+        .collect();
+    let g = callgraph::build(&views);
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"nodes\": [");
+    for (i, n) in g.nodes.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"file\": \"{}\", \"line\": {}, \"hot_root\": {}, \
+             \"alloc_exempt\": {}, \"test\": {}}}",
+            json_escape(&n.display_name()),
+            json_path(views[n.file].path),
+            n.line,
+            reach::is_hot_root(&g, i),
+            reach::is_alloc_exempt(&g, i),
+            n.in_test
+        ));
+    }
+    out.push_str(if g.nodes.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"edges\": [");
+    let mut first = true;
+    for (from, callees) in g.edges.iter().enumerate() {
+        for &to in callees {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("    [{from}, {to}]"));
+        }
+    }
+    if first {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -541,6 +936,8 @@ mod tests {
         rule_no_float_eq(&f, &mut out);
         rule_no_narrowing_cast(&f, &mut out);
         rule_no_unbounded_queue(&f, &mut out);
+        rule_no_std_hashmap(&f, &mut out);
+        rule_no_ambient_time(&f, &mut out);
         out
     }
 
@@ -548,7 +945,7 @@ mod tests {
     fn unwrap_flagged_only_in_core_crates() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
         assert_eq!(lint_one("crates/cache/src/a.rs", src).len(), 1);
-        assert_eq!(lint_one("crates/trace/src/a.rs", src).len(), 0);
+        assert_eq!(lint_one("crates/serve/src/a.rs", src).len(), 0);
     }
 
     #[test]
@@ -612,7 +1009,7 @@ mod tests {
 
     #[test]
     fn uncapacitated_collections_flagged_in_serve_only() {
-        for ty in ["Vec", "VecDeque", "String", "HashMap", "HashSet"] {
+        for ty in ["Vec", "VecDeque", "String"] {
             let src = format!("fn f() {{ let q = {ty}::new(); }}");
             assert_eq!(
                 lint_one("crates/serve/src/a.rs", &src).len(),
@@ -620,7 +1017,7 @@ mod tests {
                 "{ty} in serve"
             );
             assert_eq!(
-                lint_one("crates/bench/src/a.rs", &src).len(),
+                lint_one("crates/flow/src/a.rs", &src).len(),
                 0,
                 "{ty} elsewhere"
             );
@@ -642,6 +1039,39 @@ mod tests {
             .len(),
             0
         );
+    }
+
+    #[test]
+    fn std_hashmap_flagged_in_deterministic_crates() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let d = lint_one("crates/policies/src/a.rs", src);
+        assert!(d.iter().all(|d| d.rule == "no-std-hashmap"));
+        assert_eq!(d.len(), 3);
+        // serve is excluded: it hashes untrusted input. (Vec::new absent so
+        // no-unbounded-queue stays quiet; HashMap::new still trips it.)
+        let d = lint_one("crates/serve/src/a.rs", src);
+        assert!(d.iter().all(|d| d.rule == "no-unbounded-queue"));
+        // The blessed alias does not trip the rule.
+        assert_eq!(
+            lint_one(
+                "crates/policies/src/a.rs",
+                "use uopcache_model::hash::FastHashMap;\nfn f() { let m: FastHashMap<u32, u32> = FastHashMap::default(); }"
+            )
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn ambient_time_flagged_outside_clock_seam() {
+        let src = "fn f() -> std::time::Instant { Instant::now() }";
+        let d = lint_one("crates/core/src/a.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-ambient-time");
+        // The seam file and the serve crate are exempt.
+        assert_eq!(lint_one("crates/exec/src/clock.rs", src).len(), 0);
+        assert_eq!(lint_one("crates/serve/src/a.rs", src).len(), 0);
     }
 
     #[test]
@@ -673,25 +1103,90 @@ mod tests {
         assert!(out.is_empty());
     }
 
-    #[test]
-    fn allowlist_suffix_and_line_forms() {
-        let al =
-            Allowlist::parse("# comment\nno-unwrap crates/cache/src/a.rs\nno-float-eq b.rs:17\n")
-                .expect("parses");
-        assert!(al.permits("no-unwrap", Path::new("crates/cache/src/a.rs"), 3));
-        assert!(!al.permits("no-float-eq", Path::new("crates/cache/src/a.rs"), 3));
-        assert!(al.permits("no-float-eq", Path::new("x/b.rs"), 17));
-        assert!(!al.permits("no-float-eq", Path::new("x/b.rs"), 18));
-        assert!(Allowlist::parse("too many words here\n").is_err());
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: String::new(),
+        }
     }
 
     #[test]
-    fn inline_allow_comment_suppresses() {
+    fn allowlist_v2_suffix_line_reason_and_expiry() {
+        let al = Allowlist::parse(
+            "# comment\n\
+             no-unwrap crates/cache/src/a.rs reason: legacy seam, tracked in DESIGN.md\n\
+             no-float-eq b.rs:17 reason: tolerance checked one line above expires: 2099-01-01\n",
+        )
+        .expect("parses");
+        let out = al.apply(
+            vec![
+                diag("no-unwrap", "crates/cache/src/a.rs", 3),
+                diag("no-float-eq", "x/b.rs", 17),
+                diag("no-float-eq", "x/b.rs", 18),
+            ],
+            "2026-01-01",
+        );
+        // Line 18 survives; the two matches are suppressed; nothing stale.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 18);
+    }
+
+    #[test]
+    fn allowlist_requires_reason() {
+        assert!(Allowlist::parse("no-unwrap crates/cache/src/a.rs\n").is_err());
+        assert!(Allowlist::parse("no-unwrap a.rs reason:\n").is_err());
+        assert!(Allowlist::parse("no-unwrap a.rs reason: ok expires: soon\n").is_err());
+    }
+
+    #[test]
+    fn expired_and_unmatched_entries_are_stale() {
+        let al = Allowlist::parse(
+            "no-unwrap a.rs reason: short-lived expires: 2020-01-01\n\
+             no-float-eq never.rs reason: obsolete\n",
+        )
+        .expect("parses");
+        let out = al.apply(vec![diag("no-unwrap", "x/a.rs", 1)], "2026-01-01");
+        // The expired entry no longer suppresses, and both entries are
+        // reported stale.
+        assert_eq!(out.len(), 3);
+        let stale: Vec<_> = out.iter().filter(|d| d.rule == "stale-allowlist").collect();
+        assert_eq!(stale.len(), 2);
+        assert!(stale[0].message.contains("expired") || stale[1].message.contains("expired"));
+    }
+
+    #[test]
+    fn inline_allow_comment_suppresses_but_string_contents_do_not() {
         let f = SourceFile::parse(
             PathBuf::from("crates/cache/src/a.rs"),
-            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // audit:allow(no-unwrap)",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // audit:allow(no-unwrap)\n\
+             fn g() -> &'static str { \"audit:allow(no-unwrap)\" }",
         );
         assert!(f.allowed_inline("no-unwrap", 1));
         assert!(!f.allowed_inline("no-float-eq", 1));
+        // The marker inside a string literal is data, not a suppression.
+        assert!(!f.allowed_inline("no-unwrap", 2));
+    }
+
+    #[test]
+    fn diagnostics_json_is_canonical() {
+        assert_eq!(
+            diagnostics_json(&[]),
+            "{\n  \"schema_version\": 1,\n  \"diagnostics\": []\n}\n"
+        );
+        let js = diagnostics_json(&[diag("no-unwrap", "crates/cache/src/a.rs", 3)]);
+        assert!(js.contains("\"schema_version\": 1"));
+        assert!(js
+            .contains("\"file\": \"crates/cache/src/a.rs\", \"line\": 3, \"rule\": \"no-unwrap\""));
+    }
+
+    #[test]
+    fn today_utc_is_iso_shaped() {
+        let t = today_utc();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.as_bytes()[4], b'-');
+        assert_eq!(t.as_bytes()[7], b'-');
+        assert!(t.as_str() >= "2024-01-01", "{t}");
     }
 }

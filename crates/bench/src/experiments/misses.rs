@@ -544,7 +544,7 @@ pub fn fig21_bypass(quick: bool) -> Vec<Table> {
 /// on hot PWs; FURBYS wins on warm PWs; FLACK's remaining edge is in cold
 /// PWs).
 pub fn fig22_hotness(quick: bool) -> Vec<Table> {
-    use std::collections::HashMap;
+    use uopcache_model::hash::FastHashMap;
     use uopcache_model::Addr;
 
     let cfg = FrontendConfig::zen3();
@@ -567,7 +567,7 @@ pub fn fig22_hotness(quick: bool) -> Vec<Table> {
             2 // cold
         }
     };
-    let index_of: HashMap<Addr, usize> = ranked
+    let index_of: FastHashMap<Addr, usize> = ranked
         .iter()
         .enumerate()
         .map(|(i, &(a, _))| (a, i))

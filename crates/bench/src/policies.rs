@@ -6,10 +6,10 @@
 //! `FromStr`/`Display`, and the audit `unique-policy-names` rule keys off a
 //! single authoritative list.
 
-use std::collections::HashMap;
 use std::str::FromStr;
 use uopcache_cache::{LruPolicy, PwReplacementPolicy};
 use uopcache_core::{FurbysPipeline, Profile};
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, FrontendConfig, LookupTrace};
 use uopcache_policies::{
     profile::lru_pw_hit_rates, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy,
@@ -195,7 +195,7 @@ impl PolicyRegistry {
 pub struct ProfileInputs {
     /// Per-start PW-granularity LRU hit rates (Thermometer's profile — a
     /// straight BTB-style port, blind to micro-op costs).
-    pub lru_rates: HashMap<Addr, f64>,
+    pub lru_rates: FastHashMap<Addr, f64>,
     /// The FURBYS profile (FLACK-derived hints).
     pub furbys: Profile,
 }

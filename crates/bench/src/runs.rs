@@ -3,11 +3,11 @@
 use crate::apps::{trace_for, TRACE_LEN};
 use crate::policies::{PolicyId, ProfileInputs};
 use crate::sweep::{self, config_label};
-use std::collections::HashMap;
 use std::sync::Arc;
 use uopcache_cache::UopCache;
 use uopcache_core::Flack;
 use uopcache_exec::TaskKey;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{FrontendConfig, LookupTrace, SimResult, UopCacheStats};
 use uopcache_offline::BeladyPolicy;
 use uopcache_policies::run_trace;
@@ -28,9 +28,9 @@ pub struct Lab {
     pub cfg: FrontendConfig,
     /// Trace length per app.
     pub len: usize,
-    traces: HashMap<(AppId, u32), LookupTrace>,
-    profiles: HashMap<(AppId, u32), ProfileInputs>,
-    online: HashMap<(AppId, u32, PolicyId), SimResult>,
+    traces: FastHashMap<(AppId, u32), LookupTrace>,
+    profiles: FastHashMap<(AppId, u32), ProfileInputs>,
+    online: FastHashMap<(AppId, u32, PolicyId), SimResult>,
     sim_opts: SimOptions,
 }
 
@@ -46,9 +46,9 @@ impl Lab {
         Lab {
             cfg,
             len,
-            traces: HashMap::new(),
-            profiles: HashMap::new(),
-            online: HashMap::new(),
+            traces: FastHashMap::default(),
+            profiles: FastHashMap::default(),
+            online: FastHashMap::default(),
             sim_opts: SimOptions::default(),
         }
     }

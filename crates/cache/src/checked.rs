@@ -34,7 +34,7 @@
 
 use crate::meta::PwMeta;
 use crate::policy::PwReplacementPolicy;
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, UopCacheStats};
 
 /// Shadow record of one resident window, keyed by `(set, slot)`.
@@ -54,7 +54,7 @@ pub struct CheckedPolicy<P: PwReplacementPolicy> {
     inner: P,
     ways: u32,
     /// Per-set live windows implied by the hook sequence.
-    sets: HashMap<usize, HashMap<u8, Live>>,
+    sets: FastHashMap<usize, FastHashMap<u8, Live>>,
     /// Hooks observed so far (the replay coordinate printed on violation).
     ops: u64,
 }
@@ -70,7 +70,7 @@ impl<P: PwReplacementPolicy> CheckedPolicy<P> {
         CheckedPolicy {
             inner,
             ways,
-            sets: HashMap::new(),
+            sets: FastHashMap::default(),
             ops: 0,
         }
     }
@@ -108,7 +108,7 @@ impl<P: PwReplacementPolicy> CheckedPolicy<P> {
     /// no omissions (windows the hook sequence says are still resident).
     fn check_resident_slice(&self, hook: &str, set: usize, resident: &[PwMeta]) {
         let live = self.sets.get(&set);
-        let live_count = live.map_or(0, HashMap::len);
+        let live_count = live.map_or(0, FastHashMap::len);
         if resident.len() != live_count {
             self.violation(
                 hook,
@@ -178,6 +178,9 @@ impl<P: PwReplacementPolicy> CheckedPolicy<P> {
     }
 }
 
+// audit:alloc-exempt — strict-invariants diagnostic wrapper: its whole job is
+// building violation reports, so it allocates freely; the timed kernel and the
+// alloc_budget wall never run with it enabled.
 impl<P: PwReplacementPolicy> PwReplacementPolicy for CheckedPolicy<P> {
     fn name(&self) -> &'static str {
         self.inner.name()

@@ -1,7 +1,7 @@
 //! Cold / capacity / conflict miss classification (the paper's §III-B study).
 
 use crate::shadow::ShadowFaCache;
-use std::collections::HashSet;
+use uopcache_model::hash::FastHashSet;
 use uopcache_model::{Addr, PwDesc};
 
 /// The classic 3C class of a miss.
@@ -35,7 +35,7 @@ impl std::fmt::Display for MissClass {
 #[derive(Clone, Debug)]
 pub struct MissClassifier {
     shadow: ShadowFaCache,
-    touched: HashSet<Addr>,
+    touched: FastHashSet<Addr>,
 }
 
 impl MissClassifier {
@@ -43,7 +43,7 @@ impl MissClassifier {
     pub fn new(capacity_entries: u32, uops_per_entry: u32) -> Self {
         MissClassifier {
             shadow: ShadowFaCache::new(capacity_entries, uops_per_entry),
-            touched: HashSet::new(),
+            touched: FastHashSet::default(),
         }
     }
 

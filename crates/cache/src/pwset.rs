@@ -102,12 +102,13 @@ impl PwSet {
     /// Refills `out` with the residents in slot order. Allocation-free as
     /// long as `out` has capacity for `ways` elements — the cache keeps one
     /// such scratch buffer for its policy calls.
+    // audit:hot-path — per-victim-choice resident snapshot
     pub fn fill_residents(&self, out: &mut Vec<PwMeta>) {
         out.clear();
         let mut live = self.live;
         while live != 0 {
             let i = live.trailing_zeros() as usize;
-            out.push(self.metas[i]);
+            out.push(self.metas[i]); // audit:allow(hot-path-alloc) — caller-owned scratch, pre-sized to `ways`
             live &= live - 1;
         }
     }
@@ -115,6 +116,7 @@ impl PwSet {
     /// Finds the resident PW starting at `start`, if any. At most one PW per
     /// start address is resident (the cache keeps the larger of two
     /// overlapping windows).
+    // audit:hot-path — per-lookup probe
     pub fn find(&self, start: Addr) -> Option<&PwMeta> {
         let mut live = self.live;
         while live != 0 {
@@ -128,6 +130,7 @@ impl PwSet {
     }
 
     /// Mutable variant of [`PwSet::find`].
+    // audit:hot-path — per-hit recency update
     pub fn find_mut(&mut self, start: Addr) -> Option<&mut PwMeta> {
         let mut live = self.live;
         while live != 0 {
@@ -147,6 +150,7 @@ impl PwSet {
     ///
     /// Panics if there is not enough free space (the caller must evict first)
     /// or if a PW with the same start address is already resident.
+    // audit:hot-path — per-fill slot claim
     pub fn insert(&mut self, desc: PwDesc, entries: u32, now: u64) -> PwMeta {
         assert!(
             entries >= 1 && entries <= u32::from(self.ways),
@@ -182,6 +186,7 @@ impl PwSet {
     /// # Panics
     ///
     /// Panics if the slot is empty or out of range.
+    // audit:hot-path — per-eviction slot release
     pub fn remove_slot(&mut self, slot: u8) -> PwMeta {
         let bit = 1u64 << slot;
         assert!(self.live & bit != 0, "slot occupied");
@@ -192,6 +197,7 @@ impl PwSet {
     }
 
     /// Removes the resident PW starting at `start`, if present.
+    // audit:hot-path — per-invalidate removal
     pub fn remove_start(&mut self, start: Addr) -> Option<PwMeta> {
         let slot = self.find(start)?.slot;
         Some(self.remove_slot(slot))
@@ -202,6 +208,7 @@ impl PwSet {
     /// # Panics
     ///
     /// Panics if the slot is empty.
+    // audit:hot-path — per-hit timestamp bump
     pub fn touch(&mut self, slot: u8, now: u64) -> PwMeta {
         assert!(self.live & (1 << slot) != 0, "slot occupied");
         let meta = &mut self.metas[usize::from(slot)];

@@ -1,6 +1,7 @@
 //! Fully-associative LRU shadow cache used for miss classification.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, PwDesc};
 
 /// A fully-associative LRU cache of prediction windows with a capacity
@@ -27,7 +28,7 @@ pub struct ShadowFaCache {
     uops_per_entry: u32,
     used_entries: u32,
     /// start -> (entries, uops, last_use)
-    resident: HashMap<Addr, (u32, u32, u64)>,
+    resident: FastHashMap<Addr, (u32, u32, u64)>,
     /// last_use -> start, for O(log n) LRU selection.
     order: BTreeMap<u64, Addr>,
     now: u64,
@@ -48,7 +49,7 @@ impl ShadowFaCache {
             capacity_entries,
             uops_per_entry,
             used_entries: 0,
-            resident: HashMap::new(),
+            resident: FastHashMap::default(),
             order: BTreeMap::new(),
             now: 0,
         }

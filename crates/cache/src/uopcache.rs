@@ -263,6 +263,7 @@ impl UopCache {
 
     /// Looks up a prediction window and updates statistics and policy
     /// recency state.
+    // audit:hot-path — per-access entry point; must stay allocation-free warmed
     pub fn lookup(&mut self, pw: &PwDesc) -> LookupResult {
         self.now += 1;
         self.stats.lookups += 1;
@@ -343,6 +344,7 @@ impl UopCache {
     /// upgraded in place to the larger window (the paper keeps the larger
     /// window, §IV). If an equal-or-longer window is resident the insertion
     /// is a no-op.
+    // audit:hot-path — per-miss fill path; must stay allocation-free warmed
     pub fn insert(&mut self, pw: &PwDesc) -> InsertOutcome {
         self.evicted_scratch.clear();
         let entries = pw.entries(self.cfg.uops_per_entry);
@@ -437,7 +439,7 @@ impl UopCache {
                     Verdict::Primary
                 },
             );
-            self.evicted_scratch.push(removed.desc);
+            self.evicted_scratch.push(removed.desc); // audit:allow(hot-path-alloc) — scratch is cleared, never shrunk: warmed capacity absorbs every push
         }
         let meta = self.sets[set_idx].insert(*pw, entries, self.now);
         self.policy.on_insert(set_idx, &meta);

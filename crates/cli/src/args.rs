@@ -1,13 +1,13 @@
 //! Minimal flag parsing: `--key value` pairs plus positionals.
 
-use std::collections::HashMap;
 use std::fmt;
+use uopcache_model::hash::FastHashMap;
 
 /// A parsed command line.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     positionals: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: FastHashMap<String, String>,
     switches: Vec<String>,
 }
 
@@ -22,6 +22,19 @@ impl fmt::Display for ArgError {
 }
 
 impl std::error::Error for ArgError {}
+
+/// A command that found problems and already reported them: the caller
+/// should exit nonzero with the message but skip the usage text.
+#[derive(Debug)]
+pub struct CheckFailed(pub String);
+
+impl fmt::Display for CheckFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CheckFailed {}
 
 impl Args {
     /// Parses `argv`. `--key value` becomes a flag, a bare `--key` followed

@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::{ArgError, Args};
+use crate::args::{ArgError, Args, CheckFailed};
 use std::error::Error;
 use std::path::Path;
 use uopcache_bench::policies::{PolicyId, PolicyRegistry, ProfileInputs};
@@ -55,9 +55,13 @@ commands:
   experiment ID [--quick] [--jobs N]
                                     regenerate one paper table/figure
   list-experiments                  show all experiment ids
-  audit      [--root DIR] [--allowlist FILE] [--lint-only]
-                                    run the workspace lint pass and the
-                                    policy-conformance checks
+  audit      [--root DIR] [--allowlist FILE] [--lint-only] [--json] [--graph]
+                                    run the workspace lint pass (token rules
+                                    plus call-graph alloc-reachability,
+                                    determinism, and concurrency analyses)
+                                    and the policy-conformance checks;
+                                    --json emits canonical diagnostics,
+                                    --graph dumps the call graph
   serve      [--addr H:P] [--queue N] [--jobs N] [--job-timeout-ms N]
              [--retention N]
                                     run the simulation daemon: bounded job
@@ -645,19 +649,55 @@ fn cmd_experiment(args: &Args) -> Result<(), Box<dyn Error>> {
 
 fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
     let root = args.get("root").unwrap_or(".").to_string();
+
+    // `--graph`: dump the workspace call graph as canonical JSON and exit.
+    if args.has("graph") {
+        let graph = uopcache_audit::callgraph_json(Path::new(&root)).map_err(ArgError)?;
+        print!("{graph}");
+        return Ok(());
+    }
+
     let allowlist_path = args
         .get("allowlist")
         .unwrap_or("audit.allowlist")
         .to_string();
     let allowlist =
         uopcache_audit::Allowlist::load(Path::new(&allowlist_path)).map_err(ArgError)?;
-    let diags = uopcache_audit::run_lint(Path::new(&root), &allowlist).map_err(ArgError)?;
+    let today = uopcache_audit::today_utc();
+    let report =
+        uopcache_audit::run_lint(Path::new(&root), &allowlist, &today).map_err(ArgError)?;
+    let diags = report.diagnostics;
+
+    // `--json`: canonical machine output (lint only), byte-stable for CI
+    // diffing; the exit code still reflects the findings.
+    if args.has("json") {
+        print!("{}", uopcache_audit::diagnostics_json(&diags));
+        if diags.is_empty() {
+            return Ok(());
+        }
+        return Err(Box::new(CheckFailed(format!(
+            "audit failed with {} problem(s)",
+            diags.len()
+        ))));
+    }
+
     for d in &diags {
         eprintln!("{d}");
+        // GitHub annotation format: surfaces findings on the PR diff.
+        eprintln!(
+            "::error file={},line={}::[{}] {}",
+            d.file.display(),
+            d.line,
+            d.rule,
+            d.message
+        );
     }
     let mut failures = diags.len();
     if failures == 0 {
-        println!("lint: clean");
+        println!(
+            "lint: clean ({} files, {} fns, {} call edges)",
+            report.files, report.functions, report.edges
+        );
     } else {
         eprintln!("lint: {failures} violation(s)");
     }
@@ -680,7 +720,7 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
     }
 
     if failures > 0 {
-        Err(Box::new(ArgError(format!(
+        Err(Box::new(CheckFailed(format!(
             "audit failed with {failures} problem(s)"
         ))))
     } else {

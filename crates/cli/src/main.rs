@@ -29,8 +29,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
+            // A failed check already printed its findings — the usage text
+            // is only for argument mistakes.
+            if !e.is::<args::CheckFailed>() {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
             ExitCode::FAILURE
         }
     }

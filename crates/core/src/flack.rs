@@ -1,7 +1,7 @@
 //! FLACK: FOO-based seLectively-bypassing Asynchronizing Cost-varying
 //! selective-data-Keeping — the offline near-optimal policy.
 
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, LookupTrace, UopCacheConfig, UopCacheStats};
 use uopcache_offline::foo::{self, FooConfig, FooSolution, IntervalMode, Objective};
 use uopcache_offline::replay::{self, EvictionTiming};
@@ -126,7 +126,7 @@ pub struct FlackOutcome {
     /// Statistics of the replay through the set-associative cache.
     pub stats: UopCacheStats,
     /// Micro-op-weighted hit rate per start address under FLACK's decisions.
-    pub hit_rates: HashMap<Addr, f64>,
+    pub hit_rates: FastHashMap<Addr, f64>,
 }
 
 #[cfg(test)]

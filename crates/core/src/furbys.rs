@@ -90,7 +90,7 @@ impl FurbysPolicy {
 
     fn detector(&mut self, set: usize) -> &mut VecDeque<Addr> {
         if self.recent_evicted.len() <= set {
-            self.recent_evicted.resize_with(set + 1, VecDeque::new);
+            self.recent_evicted.resize_with(set + 1, VecDeque::new); // audit:allow(hot-path-alloc) — lazy per-set init; steady-state after every set is touched once
         }
         &mut self.recent_evicted[set]
     }
@@ -101,7 +101,7 @@ impl FurbysPolicy {
             return;
         }
         let d = self.detector(set);
-        d.push_back(start);
+        d.push_back(start); // audit:allow(hot-path-alloc) — ring bounded at detector_depth; capacity warms to the bound and stays
         while d.len() > depth {
             d.pop_front();
         }

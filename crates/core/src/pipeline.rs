@@ -15,8 +15,8 @@ use crate::flack::Flack;
 use crate::furbys::FurbysPolicy;
 use crate::hints::HintMap;
 use crate::weights::{compute_weights, WeightConfig};
-use std::collections::HashMap;
 use uopcache_cache::UopCache;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, FrontendConfig, LookupTrace, SimResult};
 use uopcache_offline::BeladyPolicy;
 use uopcache_policies::profile::hit_rates_from_observations;
@@ -49,7 +49,7 @@ impl OracleKind {
 #[derive(Clone, Debug)]
 pub struct Profile {
     /// Per-start micro-op-weighted hit rates under the oracle's decisions.
-    pub hit_rates: HashMap<Addr, f64>,
+    pub hit_rates: FastHashMap<Addr, f64>,
     /// The weight groups injected into the binary.
     pub hints: HintMap,
 }

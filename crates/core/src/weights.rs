@@ -2,7 +2,7 @@
 
 use crate::hints::HintMap;
 use crate::jenks::{classify, jenks_breaks};
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, UopCacheConfig};
 
 /// How hit rates are grouped into weights.
@@ -31,11 +31,11 @@ impl Default for WeightConfig {
 /// # Examples
 ///
 /// ```
-/// use std::collections::HashMap;
+/// use uopcache_model::hash::FastHashMap;
 /// use uopcache_core::{compute_weights, WeightConfig};
 /// use uopcache_model::{Addr, UopCacheConfig};
 ///
-/// let mut rates = HashMap::new();
+/// let mut rates = FastHashMap::default();
 /// // 0x0000 and 0x1000 map to the same set of the 64-set Zen3 cache.
 /// rates.insert(Addr::new(0x0000), 0.05);
 /// rates.insert(Addr::new(0x1000), 0.95);
@@ -43,7 +43,7 @@ impl Default for WeightConfig {
 /// assert!(hints.get(Addr::new(0x1000)) > hints.get(Addr::new(0x0000)));
 /// ```
 pub fn compute_weights(
-    hit_rates: &HashMap<Addr, f64>,
+    hit_rates: &FastHashMap<Addr, f64>,
     cfg: &UopCacheConfig,
     wcfg: &WeightConfig,
 ) -> HintMap {
@@ -53,7 +53,7 @@ pub fn compute_weights(
         return hints;
     }
     if wcfg.per_set {
-        let mut per_set: HashMap<usize, Vec<(Addr, f64)>> = HashMap::new();
+        let mut per_set: FastHashMap<usize, Vec<(Addr, f64)>> = FastHashMap::default();
         for (&a, &r) in hit_rates {
             per_set
                 .entry(cfg.set_index_for(a, 64))
@@ -93,7 +93,7 @@ mod tests {
     fn weights_are_monotone_in_hit_rate_within_a_set() {
         // Addresses 0x000, 0x1000, 0x2000... spaced by sets*64 = 4096 bytes
         // map to the same set.
-        let mut rates = HashMap::new();
+        let mut rates = FastHashMap::default();
         let addrs: Vec<Addr> = (0..8u64).map(|i| Addr::new(i * 4096)).collect();
         for (i, &a) in addrs.iter().enumerate() {
             rates.insert(a, i as f64 / 7.0);
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn fewer_bits_coarsen_groups() {
-        let mut rates = HashMap::new();
+        let mut rates = FastHashMap::default();
         for i in 0..16u64 {
             rates.insert(Addr::new(i * 4096), i as f64 / 15.0);
         }
@@ -128,9 +128,9 @@ mod tests {
                 per_set: true,
             },
         );
-        let fine_distinct: std::collections::HashSet<u8> =
+        let fine_distinct: uopcache_model::hash::FastHashSet<u8> =
             rates.keys().map(|&a| fine.get(a)).collect();
-        let coarse_distinct: std::collections::HashSet<u8> =
+        let coarse_distinct: uopcache_model::hash::FastHashSet<u8> =
             rates.keys().map(|&a| coarse.get(a)).collect();
         assert!(coarse_distinct.len() <= 2);
         assert!(fine_distinct.len() > coarse_distinct.len());
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn global_mode_spans_sets() {
-        let mut rates = HashMap::new();
+        let mut rates = FastHashMap::default();
         rates.insert(Addr::new(0), 0.1);
         rates.insert(Addr::new(64), 0.9); // different set
         let hints = compute_weights(
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn empty_rates_yield_empty_hints() {
-        let hints = compute_weights(&HashMap::new(), &cfg(), &WeightConfig::default());
+        let hints = compute_weights(&FastHashMap::default(), &cfg(), &WeightConfig::default());
         assert!(hints.is_empty());
     }
 }

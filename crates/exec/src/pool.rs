@@ -265,13 +265,14 @@ impl Engine {
     /// Each task is `f(&key, seed, input)` where `seed == key.seed()`. A
     /// panicking task yields `Err(message)` in its slot; siblings are
     /// unaffected.
+    // audit:spawn-site — scoped workers: std::thread::scope joins every worker before return
     pub fn run<I, R, F>(&self, tasks: Vec<(TaskKey, I)>, f: F) -> SweepOutcome<R>
     where
         I: Send,
         R: Send,
         F: Fn(&TaskKey, u64, I) -> R + Sync,
     {
-        let started = Instant::now();
+        let started = Instant::now(); // audit:allow(no-ambient-time) — elapsed feeds human throughput display only; documented wall-clock noise excluded from Eq
         let total = tasks.len();
         let done = AtomicUsize::new(0);
         let clock = &self.clock;

@@ -1,11 +1,11 @@
 //! Prediction-window lookup traces: the input consumed by the simulator and
 //! by the offline (oracle) replacement policies.
 
+use crate::hash::FastHashMap;
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::json_struct;
 use crate::pw::PwDesc;
 use crate::Addr;
-use std::collections::HashMap;
 
 /// One micro-op cache lookup: a prediction window requested by the frontend.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
@@ -98,7 +98,7 @@ impl LookupTrace {
 
     /// Number of distinct PW start addresses (the static footprint in PWs).
     pub fn unique_starts(&self) -> usize {
-        let mut seen: HashMap<Addr, ()> = HashMap::new();
+        let mut seen: FastHashMap<Addr, ()> = FastHashMap::default();
         for a in &self.accesses {
             seen.insert(a.pw.start, ());
         }
@@ -108,7 +108,7 @@ impl LookupTrace {
     /// Static footprint in micro-op cache entries: for every start address,
     /// the largest window observed, measured in entries.
     pub fn footprint_entries(&self, uops_per_entry: u32) -> u64 {
-        let mut max_uops: HashMap<Addr, u32> = HashMap::new();
+        let mut max_uops: FastHashMap<Addr, u32> = FastHashMap::default();
         for a in &self.accesses {
             let e = max_uops.entry(a.pw.start).or_insert(0);
             *e = (*e).max(a.pw.uops);
@@ -120,8 +120,8 @@ impl LookupTrace {
     }
 
     /// Per-start-address access counts, for hotness classification (Fig. 22).
-    pub fn access_counts(&self) -> HashMap<Addr, u64> {
-        let mut counts = HashMap::new();
+    pub fn access_counts(&self) -> FastHashMap<Addr, u64> {
+        let mut counts = FastHashMap::default();
         for a in &self.accesses {
             *counts.entry(a.pw.start).or_insert(0) += 1;
         }

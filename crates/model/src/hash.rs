@@ -82,7 +82,14 @@ impl Hasher for FastHasher {
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
 /// A `HashMap` keyed with [`FastHasher`].
-pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+///
+/// This alias is the blessed deterministic map: the audit's `no-std-hashmap`
+/// rule forbids bare `std::collections::HashMap` in simulation code and
+/// points here instead.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>; // audit:allow(no-std-hashmap) — the definition site of the blessed alias
+
+/// A `HashSet` keyed with [`FastHasher`] (see [`FastHashMap`]).
+pub type FastHashSet<T> = std::collections::HashSet<T, FastBuildHasher>; // audit:allow(no-std-hashmap) — the definition site of the blessed alias
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,8 @@
 //! [`MetricsRecorder`] folds the stream into a [`MetricsRegistry`] before
 //! forwarding to an inner sink.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use uopcache_model::hash::FastHashMap;
 
 use crate::event::{Event, EventKind, Verdict};
 use crate::metrics::{Histogram, MetricsRegistry};
@@ -92,7 +93,7 @@ impl Recorder for RingRecorder {
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
-        self.ring.push_back(*ev);
+        self.ring.push_back(*ev); // audit:allow(hot-path-alloc) — ring popped at capacity above; warmed capacity is stable
     }
 
     fn events(&self) -> Vec<Event> {
@@ -143,7 +144,7 @@ impl Recorder for SamplingRecorder {
         let index = self.offered;
         self.offered += 1;
         if splitmix64(self.seed ^ index).is_multiple_of(self.every) {
-            self.kept.push(*ev);
+            self.kept.push(*ev); // audit:allow(hot-path-alloc) — sampled observability sink, off in the timed kernel (obs feature)
         }
     }
 
@@ -187,9 +188,9 @@ fn eviction_age_hist() -> Histogram {
 pub struct MetricsRecorder {
     inner: Box<dyn Recorder>,
     registry: MetricsRegistry,
-    last_lookup: HashMap<u64, u64>,
-    inserted_at: HashMap<(u32, u64), u64>,
-    occupancy: HashMap<u32, u64>,
+    last_lookup: FastHashMap<u64, u64>,
+    inserted_at: FastHashMap<(u32, u64), u64>,
+    occupancy: FastHashMap<u32, u64>,
     lookups: u64,
 }
 
@@ -204,9 +205,9 @@ impl MetricsRecorder {
         MetricsRecorder {
             inner,
             registry,
-            last_lookup: HashMap::new(),
-            inserted_at: HashMap::new(),
-            occupancy: HashMap::new(),
+            last_lookup: FastHashMap::default(),
+            inserted_at: FastHashMap::default(),
+            occupancy: FastHashMap::default(),
             lookups: 0,
         }
     }

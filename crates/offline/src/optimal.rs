@@ -8,7 +8,7 @@
 //! and FLACK can be measured. FLACK is *near*-optimal; this module is how the
 //! test suite keeps that claim honest.
 
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, LookupTrace, UopCacheConfig};
 
 /// Result of the exhaustive search.
@@ -56,7 +56,7 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
     // set in entries.
     let accesses = trace.accesses();
     let mut starts: Vec<Addr> = Vec::new();
-    let mut start_idx: HashMap<Addr, usize> = HashMap::new();
+    let mut start_idx: FastHashMap<Addr, usize> = FastHashMap::default();
     for a in accesses {
         start_idx.entry(a.pw.start).or_insert_with(|| {
             starts.push(a.pw.start);
@@ -82,12 +82,12 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
     // State: resident uop count per start (u32 each); memoised per access
     // index.
     type State = Vec<u32>;
-    let mut memo: Vec<HashMap<State, u64>> = vec![HashMap::new(); accesses.len() + 1];
+    let mut memo: Vec<FastHashMap<State, u64>> = vec![FastHashMap::default(); accesses.len() + 1];
     let mut explored = 0u64;
 
     // Iterative deepening is unnecessary; plain DFS with memoisation.
     fn feasible(state: &[u32], sets: &[usize], cfg: &UopCacheConfig) -> bool {
-        let mut used: HashMap<usize, u32> = HashMap::new();
+        let mut used: FastHashMap<usize, u32> = FastHashMap::default();
         for (i, &uops) in state.iter().enumerate() {
             if uops > 0 {
                 *used.entry(sets[i]).or_insert(0) += uops.div_ceil(cfg.uops_per_entry);
@@ -101,10 +101,10 @@ pub fn optimal_missed_uops(trace: &LookupTrace, cfg: &UopCacheConfig) -> Optimal
         t: usize,
         state: State,
         accesses: &[uopcache_model::PwAccess],
-        start_idx: &HashMap<Addr, usize>,
+        start_idx: &FastHashMap<Addr, usize>,
         sets: &[usize],
         cfg: &UopCacheConfig,
-        memo: &mut Vec<HashMap<State, u64>>,
+        memo: &mut Vec<FastHashMap<State, u64>>,
         explored: &mut u64,
         cacheable: &dyn Fn(u32) -> bool,
     ) -> u64 {

@@ -49,6 +49,8 @@ impl OracleReplayPolicy {
         self.keep.get(t as usize).copied().unwrap_or(false)
     }
 
+    // audit:alloc-exempt — offline oracle replay bookkeeping; replay policies
+    // are compared for decisions, never timed by the kernel benchmark
     fn set_kept(&mut self, set: usize, slot: u8, value: bool) {
         if self.kept.len() <= set {
             self.kept.resize_with(set + 1, Vec::new);

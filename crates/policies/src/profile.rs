@@ -2,8 +2,8 @@
 //! input to profile-guided policies (Thermometer here, FURBYS in
 //! `uopcache-core`).
 
-use std::collections::HashMap;
 use uopcache_cache::{LruPolicy, UopCache};
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, LookupTrace, UopCacheConfig};
 
 /// Runs `trace` through an LRU cache and returns the micro-op-weighted hit
@@ -20,10 +20,10 @@ use uopcache_model::{Addr, LookupTrace, UopCacheConfig};
 /// let rates = lru_hit_rates(&trace, UopCacheConfig::zen3());
 /// assert!(rates.values().all(|&r| (0.0..=1.0).contains(&r)));
 /// ```
-pub fn lru_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> HashMap<Addr, f64> {
+pub fn lru_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> FastHashMap<Addr, f64> {
     let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
-    let mut hit: HashMap<Addr, u64> = HashMap::new();
-    let mut total: HashMap<Addr, u64> = HashMap::new();
+    let mut hit: FastHashMap<Addr, u64> = FastHashMap::default();
+    let mut total: FastHashMap<Addr, u64> = FastHashMap::default();
     for access in trace.iter() {
         let result = cache.lookup(&access.pw);
         let uops = u64::from(access.pw.uops);
@@ -47,10 +47,10 @@ pub fn lru_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> HashMap<Addr, 
 /// lookups count as hits. This is the profile a straight port of Thermometer
 /// (a BTB policy) uses — it is blind to micro-op costs and partial hits,
 /// one of the gaps FURBYS closes.
-pub fn lru_pw_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> HashMap<Addr, f64> {
+pub fn lru_pw_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> FastHashMap<Addr, f64> {
     let mut cache = UopCache::new(cfg, Box::new(LruPolicy::new()));
-    let mut hit: HashMap<Addr, u64> = HashMap::new();
-    let mut total: HashMap<Addr, u64> = HashMap::new();
+    let mut hit: FastHashMap<Addr, u64> = FastHashMap::default();
+    let mut total: FastHashMap<Addr, u64> = FastHashMap::default();
     for access in trace.iter() {
         let result = cache.lookup(&access.pw);
         *total.entry(access.pw.start).or_insert(0) += 1;
@@ -71,12 +71,12 @@ pub fn lru_pw_hit_rates(trace: &LookupTrace, cfg: UopCacheConfig) -> HashMap<Add
 
 /// Converts per-access hit observations into per-start hit rates.
 /// Generic building block for policies fed by other oracles.
-pub fn hit_rates_from_observations<I>(observations: I) -> HashMap<Addr, f64>
+pub fn hit_rates_from_observations<I>(observations: I) -> FastHashMap<Addr, f64>
 where
     I: IntoIterator<Item = (Addr, u32, u32)>, // (start, hit_uops, total_uops)
 {
-    let mut hit: HashMap<Addr, u64> = HashMap::new();
-    let mut total: HashMap<Addr, u64> = HashMap::new();
+    let mut hit: FastHashMap<Addr, u64> = FastHashMap::default();
+    let mut total: FastHashMap<Addr, u64> = FastHashMap::default();
     for (a, h, t) in observations {
         *hit.entry(a).or_insert(0) += u64::from(h);
         *total.entry(a).or_insert(0) += u64::from(t);

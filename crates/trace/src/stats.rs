@@ -1,6 +1,6 @@
 //! Descriptive statistics of a lookup trace, for calibration and reporting.
 
-use std::collections::HashMap;
+use uopcache_model::hash::FastHashMap;
 use uopcache_model::json_struct;
 use uopcache_model::{Addr, LookupTrace};
 
@@ -61,7 +61,7 @@ impl TraceStats {
         let mut stack: Vec<Addr> = Vec::with_capacity(CAP + 1);
         let mut reaccesses = 0u64;
         let mut far = 0u64;
-        let mut seen: HashMap<Addr, ()> = HashMap::new();
+        let mut seen: FastHashMap<Addr, ()> = FastHashMap::default();
         for a in trace.iter() {
             let start = a.pw.start;
             if let Some(pos) = stack.iter().position(|&s| s == start) {

@@ -55,7 +55,7 @@ fn policies_under_test(trace: &LookupTrace, ways: u32) -> Vec<Box<dyn PwReplacem
     let mut hints = HintMap::new(3);
     hints.set(Addr::new(0x1000), 7);
     hints.set(Addr::new(0x1040), 3);
-    let rates = std::collections::HashMap::from([
+    let rates = uopcache::model::hash::FastHashMap::from_iter([
         (Addr::new(0x1000), 0.9),
         (Addr::new(0x1080), 0.4),
         (Addr::new(0x10c0), 0.05),
