@@ -11,8 +11,9 @@ use uopcache_core::{FurbysPolicy, HintMap};
 use uopcache_model::rng::{Prng, Rng};
 use uopcache_model::{Addr, LookupTrace, PwAccess, PwDesc, PwTermination, UopCacheConfig};
 use uopcache_policies::{
-    run_trace, FifoPolicy, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy,
-    SrripPolicy, ThermometerPolicy,
+    run_trace, ArcPolicy, CarPolicy, ClockPolicy, FifoPolicy, GhrpPolicy, LfuPolicy,
+    MockingjayPolicy, MruPolicy, RandomPolicy, SetDuelingPolicy, ShipPlusPlusPolicy, SlruPolicy,
+    SrripPolicy, ThermometerPolicy, TwoQPolicy,
 };
 
 /// Outcome of one policy's conformance run.
@@ -24,7 +25,8 @@ pub struct ConformanceResult {
     pub outcome: Result<u64, String>,
 }
 
-/// The nine online policies, freshly constructed with deterministic inputs.
+/// Every online policy — the paper's roster, the classic zoo, and the
+/// set-dueling meta-policy — freshly constructed with deterministic inputs.
 fn online_policies() -> Vec<Box<dyn PwReplacementPolicy>> {
     let mut hints = HintMap::new(3);
     let mut rates = uopcache_model::hash::FastHashMap::default();
@@ -48,6 +50,14 @@ fn online_policies() -> Vec<Box<dyn PwReplacementPolicy>> {
         Box::new(MockingjayPolicy::new()),
         Box::new(ThermometerPolicy::from_hit_rates(&rates)),
         Box::new(FurbysPolicy::new(hints)),
+        Box::new(MruPolicy::new()),
+        Box::new(LfuPolicy::new()),
+        Box::new(ClockPolicy::new()),
+        Box::new(SlruPolicy::new()),
+        Box::new(TwoQPolicy::new()),
+        Box::new(ArcPolicy::new()),
+        Box::new(CarPolicy::new()),
+        Box::new(SetDuelingPolicy::default_zoo()),
     ]
 }
 
@@ -133,9 +143,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_nine_online_policies_conform() {
+    fn every_online_policy_conforms() {
         let results = run_conformance(4, 400);
-        assert_eq!(results.len(), 9);
+        assert_eq!(results.len(), 17);
         for r in &results {
             match &r.outcome {
                 Ok(hooks) => assert!(*hooks > 0, "{}: no hooks checked", r.policy),
@@ -145,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn policy_names_are_the_canonical_nine() {
+    fn policy_names_are_the_canonical_roster() {
         let names: Vec<_> = run_conformance(1, 10).iter().map(|r| r.policy).collect();
         assert_eq!(
             names,
@@ -158,7 +168,15 @@ mod tests {
                 "GHRP",
                 "Mockingjay",
                 "Thermometer",
-                "FURBYS"
+                "FURBYS",
+                "MRU",
+                "LFU",
+                "CLOCK",
+                "SLRU",
+                "2Q",
+                "ARC",
+                "CAR",
+                "set-dueling"
             ]
         );
     }

@@ -44,7 +44,9 @@ use uopcache_model::hash::{FastHashMap, FastHashSet};
 /// The replacement-policy trait whose per-access hooks are hot-path roots.
 const POLICY_TRAIT: &str = "PwReplacementPolicy";
 
-/// Per-access hooks of [`POLICY_TRAIT`] (everything but `name`/`prepare`).
+/// Per-access hooks of [`POLICY_TRAIT`] — everything but `name`/`prepare`
+/// (construction-time) and `introspect` (a diagnostics accessor, only
+/// consulted by reporting surfaces after a run).
 const HOT_HOOKS: [&str; 8] = [
     "on_lookup",
     "on_hit",

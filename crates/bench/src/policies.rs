@@ -12,8 +12,9 @@ use uopcache_core::{FurbysPipeline, Profile};
 use uopcache_model::hash::FastHashMap;
 use uopcache_model::{Addr, FrontendConfig, LookupTrace};
 use uopcache_policies::{
-    profile::lru_pw_hit_rates, GhrpPolicy, MockingjayPolicy, RandomPolicy, ShipPlusPlusPolicy,
-    SrripPolicy, ThermometerPolicy,
+    profile::lru_pw_hit_rates, ArcPolicy, CarPolicy, ClockPolicy, FifoPolicy, GhrpPolicy,
+    LfuPolicy, MockingjayPolicy, MruPolicy, RandomPolicy, SetDuelingPolicy, ShipPlusPlusPolicy,
+    SlruPolicy, SrripPolicy, ThermometerPolicy, TwoQPolicy,
 };
 
 /// The identity of one replacement policy under evaluation.
@@ -39,6 +40,24 @@ pub enum PolicyId {
     Furbys,
     /// Uniform-random victim selection (seeded per task).
     Random,
+    /// First-in-first-out (insertion-order) victim selection.
+    Fifo,
+    /// Most-recently-used victim selection (anti-recency extreme).
+    Mru,
+    /// In-cache least-frequently-used (hit-count) victim selection.
+    Lfu,
+    /// Second-chance clock sweep over per-way reference bits.
+    Clock,
+    /// Segmented LRU: probation/protected segments within each set.
+    Slru,
+    /// 2Q: A1in/Am queues with an A1out ghost list.
+    TwoQ,
+    /// Adaptive replacement cache: T1/T2 lists balanced by B1/B2 ghost hits.
+    Arc,
+    /// Clock with adaptive replacement: CLOCK sweeps over ARC's lists.
+    Car,
+    /// Set-dueling dynamic selection over the zoo candidates.
+    SetDueling,
 }
 
 impl PolicyId {
@@ -54,9 +73,23 @@ impl PolicyId {
         PolicyId::Furbys,
     ];
 
-    /// Every constructible policy: [`ONLINE`](Self::ONLINE) plus the seeded
-    /// `Random` control.
-    pub const ALL: [PolicyId; 8] = [
+    /// The classic zoo the set-dueling work selects over, plus the dueling
+    /// meta-policy itself (listed last).
+    pub const ZOO: [PolicyId; 9] = [
+        PolicyId::Fifo,
+        PolicyId::Mru,
+        PolicyId::Lfu,
+        PolicyId::Clock,
+        PolicyId::Slru,
+        PolicyId::TwoQ,
+        PolicyId::Arc,
+        PolicyId::Car,
+        PolicyId::SetDueling,
+    ];
+
+    /// Every constructible policy: [`ONLINE`](Self::ONLINE), the seeded
+    /// `Random` control, then the [`ZOO`](Self::ZOO).
+    pub const ALL: [PolicyId; 17] = [
         PolicyId::Lru,
         PolicyId::Srrip,
         PolicyId::ShipPlusPlus,
@@ -65,6 +98,15 @@ impl PolicyId {
         PolicyId::Thermometer,
         PolicyId::Furbys,
         PolicyId::Random,
+        PolicyId::Fifo,
+        PolicyId::Mru,
+        PolicyId::Lfu,
+        PolicyId::Clock,
+        PolicyId::Slru,
+        PolicyId::TwoQ,
+        PolicyId::Arc,
+        PolicyId::Car,
+        PolicyId::SetDueling,
     ];
 
     /// The canonical label, exactly as the figures and JSON reports spell
@@ -79,6 +121,15 @@ impl PolicyId {
             PolicyId::Thermometer => "Thermometer",
             PolicyId::Furbys => "FURBYS",
             PolicyId::Random => "Random",
+            PolicyId::Fifo => "FIFO",
+            PolicyId::Mru => "MRU",
+            PolicyId::Lfu => "LFU",
+            PolicyId::Clock => "CLOCK",
+            PolicyId::Slru => "SLRU",
+            PolicyId::TwoQ => "2Q",
+            PolicyId::Arc => "ARC",
+            PolicyId::Car => "CAR",
+            PolicyId::SetDueling => "set-dueling",
         }
     }
 
@@ -112,6 +163,15 @@ impl PolicyId {
                 Box::new(pipeline.policy(&profiles.furbys))
             }
             PolicyId::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyId::Fifo => Box::new(FifoPolicy::new()),
+            PolicyId::Mru => Box::new(MruPolicy::new()),
+            PolicyId::Lfu => Box::new(LfuPolicy::new()),
+            PolicyId::Clock => Box::new(ClockPolicy::new()),
+            PolicyId::Slru => Box::new(SlruPolicy::new()),
+            PolicyId::TwoQ => Box::new(TwoQPolicy::new()),
+            PolicyId::Arc => Box::new(ArcPolicy::new()),
+            PolicyId::Car => Box::new(CarPolicy::new()),
+            PolicyId::SetDueling => Box::new(SetDuelingPolicy::default_zoo()),
         }
     }
 }
@@ -260,13 +320,32 @@ mod tests {
     }
 
     #[test]
-    fn online_roster_is_all_minus_random() {
-        assert_eq!(PolicyId::ONLINE.len() + 1, PolicyId::ALL.len());
+    fn online_roster_is_all_minus_random_and_zoo() {
+        assert_eq!(
+            PolicyId::ONLINE.len() + 1 + PolicyId::ZOO.len(),
+            PolicyId::ALL.len()
+        );
         assert!(!PolicyId::ONLINE.contains(&PolicyId::Random));
         for id in PolicyId::ONLINE {
+            assert!(PolicyId::ALL.contains(&id));
+            assert!(!PolicyId::ZOO.contains(&id));
+            assert!(!id.is_seeded());
+        }
+        for id in PolicyId::ZOO {
             assert!(PolicyId::ALL.contains(&id));
             assert!(!id.is_seeded());
         }
         assert!(PolicyId::Random.is_seeded());
+    }
+
+    #[test]
+    fn zoo_names_are_unique_and_cli_safe() {
+        let mut names: Vec<&str> = PolicyId::ALL.iter().map(|id| id.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PolicyId::ALL.len(), "duplicate policy label");
+        // The dueling meta-policy resolves under its canonical CLI spelling.
+        assert_eq!("set-dueling".parse::<PolicyId>(), Ok(PolicyId::SetDueling));
+        assert_eq!("Set-Dueling".parse::<PolicyId>(), Ok(PolicyId::SetDueling));
     }
 }

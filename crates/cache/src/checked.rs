@@ -320,6 +320,10 @@ impl<P: PwReplacementPolicy> PwReplacementPolicy for CheckedPolicy<P> {
     fn last_selection_was_fallback(&self) -> bool {
         self.inner.last_selection_was_fallback()
     }
+
+    fn introspect(&self) -> Option<uopcache_model::json::Json> {
+        self.inner.introspect()
+    }
 }
 
 impl<P: PwReplacementPolicy> std::fmt::Debug for CheckedPolicy<P> {

@@ -73,6 +73,15 @@ pub trait PwReplacementPolicy {
     fn last_selection_was_fallback(&self) -> bool {
         false
     }
+
+    /// Optional structured self-description of internal policy state, for
+    /// diagnostics surfaces (`uopcache inspect`). Meta-policies with
+    /// interesting internals — set-dueling's per-candidate PSEL counters and
+    /// phase winners — return a JSON object; plain policies return `None`.
+    /// Never consulted on the simulation hot path.
+    fn introspect(&self) -> Option<uopcache_model::json::Json> {
+        None
+    }
 }
 
 impl PwReplacementPolicy for Box<dyn PwReplacementPolicy> {
@@ -121,6 +130,10 @@ impl PwReplacementPolicy for Box<dyn PwReplacementPolicy> {
 
     fn last_selection_was_fallback(&self) -> bool {
         (**self).last_selection_was_fallback()
+    }
+
+    fn introspect(&self) -> Option<uopcache_model::json::Json> {
+        (**self).introspect()
     }
 }
 

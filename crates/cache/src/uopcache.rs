@@ -244,6 +244,13 @@ impl UopCache {
         self.policy.name()
     }
 
+    /// The installed replacement policy (for post-run introspection —
+    /// diagnostics surfaces read [`PwReplacementPolicy::introspect`] through
+    /// this).
+    pub fn policy(&self) -> &dyn PwReplacementPolicy {
+        self.policy.as_ref()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &UopCacheStats {
         &self.stats

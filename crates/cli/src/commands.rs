@@ -10,7 +10,7 @@ use uopcache_core::{Flack, FurbysPipeline, OracleKind};
 use uopcache_exec::TaskKey;
 use uopcache_model::json::Json;
 use uopcache_model::{FrontendConfig, LookupTrace};
-use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder};
+use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder, StreamDigest};
 use uopcache_power::EnergyModel;
 use uopcache_serve::{Client, Server, ServerConfig};
 use uopcache_sim::Frontend;
@@ -42,6 +42,14 @@ commands:
                                     replay one sweep cell with full
                                     observability: decision events, counters
                                     and histograms (ASCII tables or JSON)
+  identify   --app A [--variant N] [--len N] [--config zen3|zen4] [--entries N]
+             [--ways N] [--digest HEX] [--json FILE]
+                                    replay one probe trace through every
+                                    registered policy and print each
+                                    decision-stream digest; with --digest,
+                                    name the policy that produced the
+                                    captured stream (ambiguity is reported,
+                                    never guessed away)
   bench-hotpath [--quick] [--config zen3|zen4] [--entries N] [--ways N]
              [--apps A,B] [--policies P,Q] [--variant N] [--len N]
              [--warmup N] [--passes N] [--json FILE] [--baseline FILE]
@@ -76,7 +84,9 @@ commands:
                                     queue gauges, latency histograms)
   shutdown   --addr H:P             ask a daemon to drain and exit
 
-policies: lru srrip ship++ mockingjay ghrp thermometer furbys";
+policies: lru srrip ship++ mockingjay ghrp thermometer furbys  (online roster)
+          fifo mru lfu clock slru 2q arc car set-dueling random (zoo + controls,
+                                    sweep/inspect/identify only)";
 
 /// Runs the command line. Returns an error message for the user on failure.
 ///
@@ -100,6 +110,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("compare") => cmd_compare(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("inspect") => cmd_inspect(&args),
+        Some("identify") => cmd_identify(&args),
         Some("bench-hotpath") => cmd_bench_hotpath(&args),
         Some("experiment") => cmd_experiment(&args),
         Some("list-experiments") => cmd_list_experiments(),
@@ -385,6 +396,67 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         ]);
     }
     t.print();
+
+    // When the set-dueling meta-policy is in the roster, summarise where it
+    // lands per app: against the worst and best static policy in this sweep
+    // and against the FLACK offline bound. FLACK replays synchronously
+    // (insert-on-miss), so its bound is indicative rather than cycle-exact
+    // against the timed cells. Plaintext only — the canonical JSON report is
+    // unchanged.
+    let duel_name = PolicyId::SetDueling.name();
+    if spec.policies.iter().any(|p| p == duel_name) {
+        let mut d = Table::new(
+            "set-dueling placement (uop hit rate; FLACK is the offline bound)",
+            &[
+                "app",
+                "set-dueling",
+                "worst static",
+                "best static",
+                "FLACK",
+                "gap to FLACK",
+            ],
+        );
+        for app in &spec.apps {
+            let Some(duel) = report
+                .cells
+                .iter()
+                .find(|c| c.app == *app && c.policy == duel_name)
+            else {
+                continue;
+            };
+            let statics: Vec<f64> = report
+                .cells
+                .iter()
+                .filter(|c| c.app == *app && c.policy != duel_name)
+                .map(|c| c.hit_rate())
+                .collect();
+            let worst = statics.iter().copied().fold(f64::INFINITY, f64::min);
+            let best = statics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let trace = build_trace(*app, InputVariant::new(spec.variant), spec.len);
+            let flack = Flack::new().run(&trace, &spec.cfg.uop_cache).stats;
+            let flack_hit = 1.0 - flack.uop_miss_rate();
+            let duel_hit = duel.hit_rate();
+            let pct = |r: f64| format!("{:.2}%", r * 100.0);
+            d.row(&[
+                app.name().to_string(),
+                pct(duel_hit),
+                if statics.is_empty() {
+                    "-".into()
+                } else {
+                    pct(worst)
+                },
+                if statics.is_empty() {
+                    "-".into()
+                } else {
+                    pct(best)
+                },
+                pct(flack_hit),
+                format!("{:+.2}pp", (flack_hit - duel_hit) * 100.0),
+            ]);
+        }
+        d.print();
+    }
+
     for f in &report.failures {
         eprintln!("{f}");
     }
@@ -517,6 +589,7 @@ fn cmd_inspect(args: &Args) -> Result<(), Box<dyn Error>> {
         ))))
         .build();
     let result = frontend.run(&trace);
+    let policy_state = frontend.uop_cache().policy().introspect();
     let recorder = frontend
         .take_recorder()
         .expect("inspect installs a recorder");
@@ -562,6 +635,10 @@ fn cmd_inspect(args: &Args) -> Result<(), Box<dyn Error>> {
                 Json::Arr(events.iter().map(Event::to_json).collect()),
             ),
             ("metrics".to_string(), metrics.to_json()),
+            (
+                "policy_state".to_string(),
+                policy_state.clone().unwrap_or(Json::Null),
+            ),
         ]);
         std::fs::write(path, json.to_string())?;
         println!("wrote inspect JSON to {path}");
@@ -625,6 +702,83 @@ fn cmd_inspect(args: &Args) -> Result<(), Box<dyn Error>> {
         ]);
     }
     e.print();
+
+    if let Some(state) = policy_state {
+        println!("policy state ({}):", id.name());
+        println!("{state}");
+    }
+    Ok(())
+}
+
+/// Replays one probe trace through every registered policy, digesting each
+/// full decision stream (victim sequence included), and — when `--digest`
+/// supplies a captured fingerprint — names the policy that produced it.
+/// Collisions are reported as ambiguous rather than resolved by guesswork;
+/// streams matching no registered policy come back unknown. Seeded policies
+/// (Random) are digested under seed 0, so only runs captured under that
+/// convention can match them.
+fn cmd_identify(args: &Args) -> Result<(), Box<dyn Error>> {
+    use uopcache_offline::identify::{digest_table, identify};
+
+    let app = parse_app(args.require("app")?)?;
+    let cfg = parse_config(args)?;
+    let variant = args.get_parse("variant", 0u32)?;
+    let len = args.get_parse("len", 4_000usize)?;
+    let trace = build_trace(app, InputVariant::new(variant), len);
+    let profiles = ProfileInputs::build(&cfg, &trace);
+    let candidates: Vec<(String, Box<dyn uopcache_cache::PwReplacementPolicy>)> =
+        PolicyRegistry::all()
+            .ids()
+            .iter()
+            .map(|id| (id.name().to_string(), id.build(&cfg, &profiles, 0)))
+            .collect();
+    let table = digest_table(cfg.uop_cache, candidates, &trace);
+
+    if let Some(hex) = args.get("digest") {
+        let target: StreamDigest = hex.parse().map_err(ArgError)?;
+        let verdict = identify(target, &table);
+        println!("{verdict}");
+        return Ok(());
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = Json::Obj(vec![
+            ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
+            ("kind".to_string(), Json::Str("identify".to_string())),
+            ("app".to_string(), Json::Str(app.name().to_string())),
+            ("variant".to_string(), Json::U64(u64::from(variant))),
+            ("len".to_string(), Json::U64(len as u64)),
+            (
+                "digests".to_string(),
+                Json::Arr(
+                    table
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("policy".to_string(), Json::Str(c.name.clone())),
+                                ("digest".to_string(), Json::Str(c.digest.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, json.to_string())?;
+        println!("wrote identify JSON to {path}");
+        return Ok(());
+    }
+
+    let mut t = Table::new(
+        &format!(
+            "decision-stream digests: {} variant {variant}, {len} accesses",
+            app.name()
+        ),
+        &["policy", "digest"],
+    );
+    for c in &table {
+        t.row(&[c.name.clone(), c.digest.to_string()]);
+    }
+    t.print();
     Ok(())
 }
 
@@ -909,6 +1063,40 @@ mod tests {
             online.resolve("random").is_err(),
             "the seeded control is sweep/inspect-only"
         );
+    }
+
+    #[test]
+    fn identify_digests_every_registered_policy() {
+        let json = std::env::temp_dir().join("uopcache_cli_identify.json");
+        run(&format!(
+            "identify --app kafka --len 1200 --json {}",
+            json.display()
+        ))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"kind\":\"identify\""), "{body}");
+        for id in PolicyId::ALL {
+            assert!(
+                body.contains(&format!("\"policy\":\"{}\"", id.name())),
+                "missing {} in {body}",
+                id.name()
+            );
+        }
+        let _ = std::fs::remove_file(json);
+        // A digest that matches nothing comes back unknown (still success —
+        // the question was answered); malformed digests are rejected.
+        run(&format!(
+            "identify --app kafka --len 1200 --digest {}",
+            "0".repeat(32)
+        ))
+        .unwrap();
+        assert!(run("identify --app kafka --len 1200 --digest nothex").is_err());
+        assert!(run("identify --len 1000").is_err(), "--app required");
+    }
+
+    #[test]
+    fn sweep_with_set_dueling_prints_placement_summary() {
+        run("sweep --apps kafka --policies lru,srrip,set-dueling --len 1500 --jobs 2").unwrap();
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Decision-stream digests: a compact, order-sensitive fingerprint of a
+//! cache run's full event sequence.
+//!
+//! The digest is two FNV-1a hashes over a canonical allocation-free binary
+//! encoding of each event (fixed field order, little-endian integers,
+//! static label bytes for the enums): one over *every* event, and one over
+//! eviction/invalidation events only. The second component pins the actual
+//! victims, so two policies whose verdict sequences happen to coincide
+//! still cannot collide unless they evicted the same windows in the same
+//! order. The differential test wall commits these digests under
+//! `tests/golden/`, and the offline `identify` pass matches captured
+//! digests against every registered policy. Folding allocates nothing, so
+//! a [`DigestRecorder`] can sit on the zero-allocation hot path.
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Folds one event into `h`: fixed field order, little-endian integers,
+/// the enums' static labels, and an explicit presence byte for `slot` —
+/// canonical and injective per event, with no heap traffic.
+fn fold_event(h: &mut u64, ev: &Event) {
+    fnv1a(h, &ev.cycle.to_le_bytes());
+    fnv1a(h, ev.kind.as_str().as_bytes());
+    fnv1a(h, &ev.set.to_le_bytes());
+    match ev.slot {
+        Some(s) => fnv1a(h, &[1, s]),
+        None => fnv1a(h, &[0, 0]),
+    }
+    fnv1a(h, &ev.start.to_le_bytes());
+    fnv1a(h, &ev.uops.to_le_bytes());
+    fnv1a(h, &ev.entries.to_le_bytes());
+    fnv1a(h, ev.verdict.as_str().as_bytes());
+}
+
+/// A two-component fingerprint of a decision stream.
+///
+/// Rendered as 32 hex characters (`events` then `victims`); parses back
+/// losslessly, so digests survive a trip through JSON reports and CLI flags.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_obs::digest::StreamDigest;
+///
+/// let d = StreamDigest::from_events(&[]);
+/// let back: StreamDigest = d.to_string().parse().expect("round-trips");
+/// assert_eq!(d, back);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct StreamDigest {
+    /// FNV-1a over the canonical encoding of every event, in stream order.
+    pub events: u64,
+    /// FNV-1a over eviction and invalidation events only — the victim
+    /// sequence, immune to verdict-only collisions.
+    pub victims: u64,
+}
+
+impl StreamDigest {
+    /// Digests a complete event slice.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut d = DigestRecorder::new();
+        for ev in events {
+            d.record(ev);
+        }
+        d.digest()
+    }
+}
+
+impl std::fmt::Display for StreamDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.events, self.victims)
+    }
+}
+
+impl std::str::FromStr for StreamDigest {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "digest must be 32 hex characters, got {:?} ({} chars)",
+                s,
+                s.len()
+            ));
+        }
+        let parse = |hex: &str| u64::from_str_radix(hex, 16).map_err(|e| e.to_string());
+        Ok(StreamDigest {
+            events: parse(&s[..16])?,
+            victims: parse(&s[16..])?,
+        })
+    }
+}
+
+/// A [`Recorder`] that folds the stream into a [`StreamDigest`] on the fly,
+/// retaining no events — constant memory however long the run.
+#[derive(Clone, Debug)]
+pub struct DigestRecorder {
+    events: u64,
+    victims: u64,
+    offered: u64,
+}
+
+impl Default for DigestRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestRecorder {
+    /// A fresh digest (the FNV offset basis for both components).
+    pub fn new() -> Self {
+        DigestRecorder {
+            events: FNV_OFFSET,
+            victims: FNV_OFFSET,
+            offered: 0,
+        }
+    }
+
+    /// The digest of everything recorded so far.
+    pub fn digest(&self) -> StreamDigest {
+        StreamDigest {
+            events: self.events,
+            victims: self.victims,
+        }
+    }
+}
+
+impl Recorder for DigestRecorder {
+    fn record(&mut self, ev: &Event) {
+        self.offered += 1;
+        fold_event(&mut self.events, ev);
+        if matches!(ev.kind, EventKind::Evict | EventKind::Invalidate) {
+            fold_event(&mut self.victims, ev);
+        }
+    }
+
+    fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Verdict;
+
+    fn ev(kind: EventKind, start: u64) -> Event {
+        Event {
+            cycle: 7,
+            kind,
+            set: 3,
+            slot: Some(1),
+            start,
+            uops: 4,
+            entries: 1,
+            verdict: Verdict::None,
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let stream = [
+            ev(EventKind::Miss, 0x100),
+            ev(EventKind::Insert, 0x100),
+            ev(EventKind::Evict, 0x140),
+        ];
+        let mut rec = DigestRecorder::new();
+        for e in &stream {
+            rec.record(e);
+        }
+        assert_eq!(rec.digest(), StreamDigest::from_events(&stream));
+        assert_eq!(rec.offered(), 3);
+    }
+
+    #[test]
+    fn victim_component_ignores_non_evictions() {
+        let evict = ev(EventKind::Evict, 0x140);
+        let a = StreamDigest::from_events(&[ev(EventKind::Miss, 0x100), evict]);
+        let b = StreamDigest::from_events(&[ev(EventKind::Hit, 0x200), evict]);
+        assert_ne!(a.events, b.events);
+        assert_eq!(a.victims, b.victims);
+    }
+
+    #[test]
+    fn different_victims_split_equal_verdict_streams() {
+        let a = StreamDigest::from_events(&[ev(EventKind::Evict, 0x140)]);
+        let b = StreamDigest::from_events(&[ev(EventKind::Evict, 0x180)]);
+        assert_ne!(a.victims, b.victims);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let d = StreamDigest::from_events(&[ev(EventKind::Evict, 0x140)]);
+        let s = d.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.parse::<StreamDigest>(), Ok(d));
+        assert!("xyz".parse::<StreamDigest>().is_err());
+        assert!("g".repeat(32).parse::<StreamDigest>().is_err());
+    }
+}

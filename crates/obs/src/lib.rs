@@ -58,10 +58,14 @@
 //! assert_eq!(kept[0].cycle, 3);
 //! ```
 
+pub mod digest;
+pub mod duel;
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 
+pub use digest::{DigestRecorder, StreamDigest};
+pub use duel::{CandidateDuel, DuelStats};
 pub use event::{Event, EventKind, Verdict};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{MetricsRecorder, NullRecorder, Recorder, RingRecorder, SamplingRecorder};

@@ -35,6 +35,17 @@ pub trait Recorder: Send {
     fn metrics(&self) -> Option<&MetricsRegistry> {
         None
     }
+
+    /// A downcast hook for callers that installed a concrete sink behind
+    /// `Box<dyn Recorder>` and need it back out (the offline `identify`
+    /// pass retrieves its [`DigestRecorder`](crate::digest::DigestRecorder)
+    /// this way). Sinks whose state is fully captured by [`events`] may keep
+    /// the `None` default.
+    ///
+    /// [`events`]: Recorder::events
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Retains nothing. The default sink; the cache's emit path short-circuits

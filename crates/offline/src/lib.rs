@@ -15,6 +15,10 @@
 //! * [`replay`] — replays a FOO/FLACK decision sequence through the real
 //!   set-associative [`uopcache_cache::UopCache`], with either eager or lazy
 //!   (insertion-time) eviction.
+//! * [`identify`] — the inverse problem: given the digest of a captured
+//!   decision stream, replay the probe trace through every registered
+//!   policy and name the one that reproduces it (explicitly reporting
+//!   ambiguity when the trace does not separate the candidates).
 //!
 //! # Examples
 //!
@@ -32,12 +36,14 @@
 
 pub mod belady;
 pub mod foo;
+pub mod identify;
 pub mod occurrences;
 pub mod optimal;
 pub mod replay;
 
 pub use belady::BeladyPolicy;
 pub use foo::{FooConfig, FooSolution, IntervalMode, Objective};
+pub use identify::{CandidateDigest, IdentifyVerdict};
 pub use occurrences::OccurrenceIndex;
 pub use optimal::{optimal_missed_uops, OptimalCost};
 pub use replay::EvictionTiming;

@@ -10,6 +10,17 @@
 //! * [`ThermometerPolicy`] — profile-guided hot/warm/cold classification.
 //! * [`RandomPolicy`] / [`FifoPolicy`] — sanity baselines for tests.
 //!
+//! Plus the classic policy zoo the dynamic-selection work duels over:
+//!
+//! * [`ClockPolicy`] / [`CarPolicy`] — second-chance sweeps, plain and
+//!   ARC-adaptive.
+//! * [`ArcPolicy`] / [`TwoQPolicy`] — ghost-list history (B1/B2, A1out).
+//! * [`SlruPolicy`] — segmented probation/protected LRU.
+//! * [`LfuPolicy`] / [`MruPolicy`] — frequency-based and anti-recency
+//!   extremes.
+//! * [`SetDuelingPolicy`] — the meta-policy: K leader sets per candidate,
+//!   saturating PSEL counters, followers switch to the phase winner.
+//!
 //! (LRU, the paper's baseline, lives in `uopcache-cache` as
 //! [`uopcache_cache::LruPolicy`]; FURBYS, the paper's contribution, lives in
 //! `uopcache-core`.)
@@ -32,23 +43,41 @@
 //! assert!(stats.uops_hit > 0);
 //! ```
 
+pub mod arc;
+pub mod car;
+pub mod clock;
+pub mod dueling;
 pub mod fifo;
+pub mod ghost;
 pub mod ghrp;
+pub mod lfu;
 pub mod mockingjay;
+pub mod mru;
 pub mod profile;
 pub mod random;
 pub mod runner;
 pub mod ship;
 pub mod slots;
+pub mod slru;
 pub mod srrip;
 pub mod thermometer;
+pub mod twoq;
 
+pub use arc::ArcPolicy;
+pub use car::CarPolicy;
+pub use clock::ClockPolicy;
+pub use dueling::SetDuelingPolicy;
 pub use fifo::FifoPolicy;
+pub use ghost::GhostRing;
 pub use ghrp::GhrpPolicy;
+pub use lfu::LfuPolicy;
 pub use mockingjay::MockingjayPolicy;
+pub use mru::MruPolicy;
 pub use random::RandomPolicy;
 pub use runner::{run_trace, run_trace_observed};
 pub use ship::ShipPlusPlusPolicy;
-pub use slots::SlotTable;
+pub use slots::{SetTable, SlotTable};
+pub use slru::SlruPolicy;
 pub use srrip::SrripPolicy;
 pub use thermometer::{HotClass, ThermometerPolicy};
+pub use twoq::TwoQPolicy;

@@ -17,6 +17,11 @@ const DEFAULT_RD: u64 = 64;
 const SAMPLE_MOD: usize = 1;
 /// Bound on the sampler map (oldest entries are dropped wholesale).
 const SAMPLER_CAP: usize = 1 << 14;
+/// Bound on the reuse-distance predictor itself. Like the sampler it is
+/// dropped wholesale at the cap, and both maps reserve this capacity at
+/// `prepare` time so the steady-state hook path never touches the
+/// allocator (the alloc-budget wall pins this at zero).
+const RDP_CAP: usize = 1 << 14;
 
 /// Mockingjay adapted to the micro-op cache: a reuse-distance predictor
 /// (RDP) learns per-start-address reuse distances from sampled sets; every
@@ -78,6 +83,9 @@ impl MockingjayPolicy {
         if self.sampler.len() > SAMPLER_CAP {
             self.sampler.clear();
         }
+        if self.rdp.len() > RDP_CAP {
+            self.rdp.clear();
+        }
     }
 }
 
@@ -88,6 +96,10 @@ impl PwReplacementPolicy for MockingjayPolicy {
 
     fn prepare(&mut self, sets: usize, ways: u32) {
         self.eta.reserve(sets, ways);
+        // Both maps stay under their caps (checked after every insert), so
+        // reserving cap + 1 up front removes rehashing from the hot path.
+        self.sampler.reserve(SAMPLER_CAP + 1);
+        self.rdp.reserve(RDP_CAP + 1);
     }
 
     fn on_hit(&mut self, set: usize, meta: &PwMeta) {

@@ -67,9 +67,74 @@ impl<T: Default + Clone> SlotTable<T> {
     }
 }
 
+/// A 1-D table of per-set policy state, growing on demand — the per-set
+/// companion of [`SlotTable`] for scalars like a CLOCK hand, an ARC
+/// adaptation target, or a set-dueling PSEL counter.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_policies::SetTable;
+///
+/// let mut t: SetTable<u16> = SetTable::new();
+/// *t.get_mut(5) = 300;
+/// assert_eq!(*t.get(5), 300);
+/// assert_eq!(*t.get(0), 0); // untouched cells read as default
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SetTable<T: Default + Clone> {
+    cells: Vec<T>,
+    default: T,
+}
+
+impl<T: Default + Clone> SetTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SetTable {
+            cells: Vec::new(),
+            default: T::default(),
+        }
+    }
+
+    /// Grows the table to cover `sets` cells up front (all reading as
+    /// default), so subsequent `get_mut` calls never allocate. Policies call
+    /// this from [`prepare`] with the cache geometry.
+    ///
+    /// [`prepare`]: uopcache_cache::PwReplacementPolicy::prepare
+    pub fn reserve(&mut self, sets: usize) {
+        if self.cells.len() < sets {
+            self.cells.resize_with(sets, T::default);
+        }
+    }
+
+    /// Mutable access to the cell, growing the table as needed.
+    pub fn get_mut(&mut self, set: usize) -> &mut T {
+        if self.cells.len() <= set {
+            self.cells.resize_with(set + 1, T::default); // audit:allow(hot-path-alloc) — lazy growth to the geometry; warmed tables never regrow
+        }
+        &mut self.cells[set]
+    }
+
+    /// Read access; returns the default for untouched cells.
+    pub fn get(&self, set: usize) -> &T {
+        self.cells.get(set).unwrap_or(&self.default)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_table_grows_and_reads_default() {
+        let mut t: SetTable<u32> = SetTable::new();
+        *t.get_mut(9) = 7;
+        assert_eq!(*t.get(9), 7);
+        assert_eq!(*t.get(8), 0);
+        assert_eq!(*t.get(1000), 0);
+        t.reserve(16);
+        assert_eq!(*t.get(15), 0);
+    }
 
     #[test]
     fn grows_independently_per_row() {

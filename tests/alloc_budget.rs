@@ -3,30 +3,35 @@
 //! The kernel is designed so that once a cache has been constructed and
 //! warmed, driving a trace through it performs **zero heap allocations**:
 //! set storage is a preallocated structure-of-arrays arena, victim and
-//! resident scratch live in reusable buffers, and the stateless policies
-//! (LRU) and table-based policies with [`prepare`]-time reservation (SRRIP)
-//! never touch the allocator on the lookup/insert path.
+//! resident scratch live in reusable buffers, and every registered policy
+//! reserves its side tables at [`prepare`] time — the figure roster, the
+//! classic zoo (ghost rings included) and the set-dueling meta-policy all
+//! stay off the allocator on the lookup/insert path.
 //!
 //! This test wires the bench harness's [`CountingAllocator`] in as the
 //! test binary's global allocator and pins the budget at exactly zero for
-//! a steady-state pass. Everything is measured inside one `#[test]` so no
-//! concurrently running test can pollute the global counters.
+//! a steady-state pass over **every policy in [`PolicyId::ALL`]**.
+//! Everything is measured inside one `#[test]` so no concurrently running
+//! test can pollute the global counters.
 //!
 //! [`prepare`]: uopcache::cache::PwReplacementPolicy::prepare
 //! [`CountingAllocator`]: uopcache_bench::hotpath::CountingAllocator
 
-use uopcache::cache::{LruPolicy, PwReplacementPolicy, UopCache};
-use uopcache::model::UopCacheConfig;
-use uopcache::policies::{run_trace, SrripPolicy};
+use uopcache::cache::UopCache;
+use uopcache::model::FrontendConfig;
+use uopcache::policies::run_trace;
 use uopcache::trace::{build_trace, AppId, InputVariant};
 use uopcache_bench::hotpath::CountingAllocator;
+use uopcache_bench::policies::{PolicyId, ProfileInputs};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
 
 const LEN: usize = 8_000;
 
-type PolicyCtor = fn() -> Box<dyn PwReplacementPolicy>;
+/// Seed for the one seeded policy (Random); any fixed value works, the
+/// budget is about allocations, not decisions.
+const SEED: u64 = 7;
 
 /// Runs `trace` once more over a warmed cache and returns how many heap
 /// allocations the pass performed.
@@ -41,7 +46,7 @@ fn steady_state_allocs(cache: &mut UopCache, trace: &uopcache::model::LookupTrac
 }
 
 #[test]
-fn steady_state_lookup_path_does_not_allocate() {
+fn steady_state_lookup_path_does_not_allocate_for_any_registered_policy() {
     // The counter must actually be live in this binary, or the zero
     // assertions below would be vacuous.
     assert!(
@@ -49,23 +54,24 @@ fn steady_state_lookup_path_does_not_allocate() {
         "CountingAllocator is not installed as the global allocator"
     );
 
-    let policies: [(&str, PolicyCtor); 2] = [
-        ("LRU", || Box::new(LruPolicy::new())),
-        ("SRRIP", || Box::new(SrripPolicy::new())),
-    ];
-    for (name, make_policy) in policies {
-        for app in [AppId::Kafka, AppId::Postgres] {
-            let trace = build_trace(app, InputVariant(0), LEN);
-            let mut cache = UopCache::new(UopCacheConfig::zen3(), make_policy());
-            // Warmup: fill the sets and let lazily grown side tables reach
-            // their steady shape.
+    let cfg = FrontendConfig::zen3();
+    for app in [AppId::Kafka, AppId::Postgres] {
+        let trace = build_trace(app, InputVariant(0), LEN);
+        // Profile construction allocates freely; it happens once per app,
+        // outside the measured window, like any offline training pass.
+        let profiles = ProfileInputs::build(&cfg, &trace);
+        for id in PolicyId::ALL {
+            let mut cache = UopCache::new(cfg.uop_cache, id.build(&cfg, &profiles, SEED));
+            // Warmup: fill the sets, let ghost rings and side tables reach
+            // their steady shape, and cross at least one duel phase.
             run_trace(&mut cache, &trace);
 
             let (calls, bytes) = steady_state_allocs(&mut cache, &trace);
             assert_eq!(
                 (calls, bytes),
                 (0, 0),
-                "{name}/{}: steady-state pass allocated {calls} times ({bytes} bytes)",
+                "{}/{}: steady-state pass allocated {calls} times ({bytes} bytes)",
+                id.name(),
                 app.name(),
             );
         }

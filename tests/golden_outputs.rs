@@ -62,10 +62,26 @@ fn apps() -> Vec<AppId> {
 }
 
 fn policies() -> Vec<String> {
-    ["LRU", "Thermometer", "FURBYS", "Random"]
-        .iter()
-        .map(|p| (*p).to_string())
-        .collect()
+    // A cross-section of the registry: the paper roster's extremes, the
+    // seeded control, one representative per zoo family (recency, frequency,
+    // clock, segmented, ghost-adaptive) and the set-dueling meta-policy.
+    [
+        "LRU",
+        "Thermometer",
+        "FURBYS",
+        "Random",
+        "MRU",
+        "LFU",
+        "CLOCK",
+        "SLRU",
+        "2Q",
+        "ARC",
+        "CAR",
+        "set-dueling",
+    ]
+    .iter()
+    .map(|p| (*p).to_string())
+    .collect()
 }
 
 #[test]

@@ -5,11 +5,15 @@
 //! every hit, miss, insertion, eviction, bypass and verdict, in order, with
 //! set and slot indices.
 //!
-//! The stream is folded into a digest that is pinned under `tests/golden/`.
-//! Any rewrite of the cache kernel (set storage layout, victim-loop
-//! structure, slot assignment) must reproduce these sequences byte-for-byte:
-//! a single reordered hook, a different slot choice, or a changed verdict
-//! moves the digest.
+//! The stream is folded into a two-component [`StreamDigest`] that is pinned
+//! under `tests/golden/`. The first component hashes every event; the second
+//! hashes only evictions and invalidations — the victim sequence — so two
+//! policies whose verdict streams happen to coincide still cannot collide
+//! unless they evicted the same windows in the same order. Any rewrite of
+//! the cache kernel (set storage layout, victim-loop structure, slot
+//! assignment) must reproduce these sequences byte-for-byte: a single
+//! reordered hook, a different slot choice, or a changed verdict moves the
+//! digest.
 //!
 //! To regenerate after an *intentional* behavioural change:
 //!
@@ -21,8 +25,8 @@ use std::path::PathBuf;
 use uopcache::cache::{CheckedPolicy, PwReplacementPolicy, UopCache};
 use uopcache::model::json::Json;
 use uopcache::model::FrontendConfig;
-use uopcache::obs::RingRecorder;
-use uopcache::policies::{run_trace, FifoPolicy};
+use uopcache::obs::{RingRecorder, StreamDigest};
+use uopcache::policies::run_trace;
 use uopcache::trace::AppId;
 use uopcache_bench::apps::trace_for;
 use uopcache_bench::policies::{PolicyId, ProfileInputs};
@@ -40,19 +44,6 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/policy_differential.json")
 }
 
-/// FNV-1a over the canonical JSON rendering of each event — a byte-for-byte
-/// fingerprint of the full decision sequence.
-fn digest_events(events: &[uopcache::obs::Event]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for ev in events {
-        for b in ev.to_json().to_string().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
-}
-
 /// A quarter-capacity Zen3 frontend: 8 ways x 16 sets. Small enough that
 /// every policy's eviction logic runs hot, large enough that hits dominate
 /// nowhere trivially.
@@ -62,12 +53,10 @@ fn wall_config() -> FrontendConfig {
     cfg
 }
 
-/// The nine online policies under the wall: the eight `PolicyId` roster
-/// entries plus FIFO (kept as a sanity baseline outside the figure roster).
+/// Every registered policy is under the wall: the figure roster, the seeded
+/// Random control, the classic zoo and the set-dueling meta-policy.
 fn policy_names() -> Vec<&'static str> {
-    let mut names: Vec<&'static str> = PolicyId::ALL.iter().map(|id| id.name()).collect();
-    names.push("FIFO");
-    names
+    PolicyId::ALL.iter().map(|id| id.name()).collect()
 }
 
 fn build_policy(
@@ -75,9 +64,6 @@ fn build_policy(
     cfg: &FrontendConfig,
     profiles: &ProfileInputs,
 ) -> Box<dyn PwReplacementPolicy> {
-    if name == "FIFO" {
-        return Box::new(FifoPolicy::new());
-    }
     let id: PolicyId = name.parse().expect("roster name parses");
     id.build(cfg, profiles, RANDOM_SEED)
 }
@@ -110,7 +96,7 @@ fn run_cell(app: AppId, name: &str, cfg: &FrontendConfig, profiles: &ProfileInpu
         ("events".to_string(), Json::U64(recorder.offered())),
         (
             "digest".to_string(),
-            Json::Str(format!("{:016x}", digest_events(&events))),
+            Json::Str(StreamDigest::from_events(&events).to_string()),
         ),
         ("evictions".to_string(), Json::U64(stats.evicted_pws)),
         ("uops_hit".to_string(), Json::U64(stats.uops_hit)),
