@@ -20,7 +20,8 @@
 //! `sort*`) means byte-identical output depends on hash order — exactly
 //! the bug class the golden files pin at runtime.
 //!
-//! # Concurrency (`lock-order`, `lock-across-channel`, `unaccounted-spawn`)
+//! # Concurrency (`lock-order`, `lock-across-channel`,
+//! `blocking-under-lock`, `unaccounted-spawn`)
 //!
 //! Token-level guard tracking over `crates/serve` and `crates/exec` only:
 //! guards from `lock_clean(..)`/`.lock(..)` are *binding* guards (live to
@@ -29,9 +30,13 @@
 //! which is precisely how the worker-pool steal loop stays deadlock-free.
 //! While a guard is live: acquiring the same lock again is a self-deadlock,
 //! globally inconsistent acquisition orders are reported at every site,
-//! and blocking channel operations (`send`/`recv`/...) under a guard are
-//! reported. Thread spawns outside functions marked `// audit:spawn-site`
-//! are flagged so every thread stays accounted to a shutdown path.
+//! blocking channel operations (`send`/`recv`/...) under a guard are
+//! reported, and so are `sleep`/`join` pauses (`Condvar::wait_timeout` is
+//! the accounted way to pause while locked — it atomically releases the
+//! guard it consumes). Thread spawns outside functions marked
+//! `// audit:spawn-site` are flagged so every thread — the daemon's
+//! per-shard executors, the router's forwarders and health prober, the
+//! event-loop acceptors — stays accounted to a join/shutdown path.
 //!
 //! [`PwReplacementPolicy`]: uopcache_cache::PwReplacementPolicy
 
@@ -217,6 +222,13 @@ struct Guard {
 /// Channel operations that block (or publish) while a guard is held.
 const CHANNEL_OPS: [&str; 5] = ["send", "recv", "recv_timeout", "try_recv", "try_send"];
 
+/// Blocking calls that stall every other waiter while a guard is held:
+/// `thread::sleep` freezes the lock for the whole pause, and `join`ing a
+/// thread that needs the same lock is a deadlock. `Condvar::wait_timeout`
+/// is the accounted way to pause while locked (it atomically releases the
+/// guard it consumes), so it is deliberately absent here.
+const BLOCKING_OPS: [&str; 2] = ["sleep", "join"];
+
 fn concurrency(g: &CallGraph, files: &[FileView], diags: &mut Vec<Diagnostic>) {
     // (first, second) lock-name pair → acquisition sites.
     let mut pairs: FastHashMap<(String, String), Vec<(usize, u32)>> = FastHashMap::default();
@@ -389,6 +401,24 @@ fn scan_fn(
                     message: format!(
                         "channel `.{name}(..)` while holding the `{}` guard from \
                          line {}; release the lock before touching the channel",
+                        gu.lock, gu.line
+                    ),
+                });
+            }
+        }
+        // Sleep or join under a guard? The event loop and the router's
+        // health thread pace themselves with sleeps; none of those pauses
+        // may pin a lock other threads need to make progress.
+        if BLOCKING_OPS.contains(&name) {
+            if let Some(gu) = guards.first() {
+                diags.push(Diagnostic {
+                    file: f.path.to_path_buf(),
+                    line: t.line,
+                    rule: "blocking-under-lock",
+                    message: format!(
+                        "blocking `{name}(..)` while holding the `{}` guard from \
+                         line {}; release the lock first (pausing with a lock held \
+                         is only accounted through `Condvar::wait_timeout`)",
                         gu.lock, gu.line
                     ),
                 });

@@ -27,7 +27,8 @@ pub struct Diagnostic {
     /// `no-narrowing-cast`, `no-unbounded-queue`, `unique-policy-names`,
     /// `no-std-hashmap`, `no-ambient-time`), graph rules
     /// (`hot-path-alloc`, `unordered-emission`, `lock-order`,
-    /// `lock-across-channel`, `unaccounted-spawn`), and the allowlist's own
+    /// `lock-across-channel`, `blocking-under-lock`, `unaccounted-spawn`),
+    /// and the allowlist's own
     /// hygiene rule (`stale-allowlist`).
     pub rule: &'static str,
     /// Human-readable explanation.

@@ -12,7 +12,7 @@ use uopcache_model::json::Json;
 use uopcache_model::{FrontendConfig, LookupTrace};
 use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder, StreamDigest};
 use uopcache_power::EnergyModel;
-use uopcache_serve::{Client, Server, ServerConfig};
+use uopcache_serve::{Client, Router, RouterConfig, Server, ServerConfig};
 use uopcache_sim::Frontend;
 use uopcache_trace::{build_trace, io as trace_io, AppId, InputVariant, TraceStats};
 
@@ -70,12 +70,19 @@ commands:
                                     and the policy-conformance checks;
                                     --json emits canonical diagnostics,
                                     --graph dumps the call graph
-  serve      [--addr H:P] [--queue N] [--jobs N] [--job-timeout-ms N]
-             [--retention N]
-                                    run the simulation daemon: bounded job
-                                    queue with 429-style backpressure, panic
-                                    isolation, graceful drain on shutdown;
+  serve      [--addr H:P] [--queue N] [--shards N] [--jobs N]
+             [--job-timeout-ms N] [--retention N]
+                                    run the simulation daemon: a nonblocking
+                                    event loop in front of N worker shards
+                                    (bounded queues, 429-style backpressure,
+                                    panic isolation, graceful drain);
                                     results are byte-identical to `sweep`
+  route      --backends H:P,H:P[,..] [--addr H:P] [--queue N] [--replicas N]
+             [--health-interval-ms N] [--retry-rounds N] [--retention N]
+                                    run a consistent-hash router in front of
+                                    several daemons: same client protocol,
+                                    health-checked backends, busy-aware
+                                    spillover and drain-aware failover
   submit     --addr H:P [sweep flags] [--id ID] [--timeout-ms N] [--no-wait]
              [--json FILE]          submit a sweep job to a daemon; waits and
                                     writes the canonical report by default
@@ -116,6 +123,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("list-experiments") => cmd_list_experiments(),
         Some("audit") => cmd_audit(&args),
         Some("serve") => cmd_serve(&args),
+        Some("route") => cmd_route(&args),
         Some("submit") => cmd_submit(&args),
         Some("status") => cmd_status(&args),
         Some("shutdown") => cmd_shutdown(&args),
@@ -882,26 +890,72 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// Resolves one `host:port` flag value to a socket address.
+fn resolve_addr(flag: &str, value: &str) -> Result<std::net::SocketAddr, ArgError> {
+    use std::net::ToSocketAddrs;
+    value
+        .to_socket_addrs()
+        .map_err(|e| ArgError(format!("--{flag} {value:?} does not resolve: {e}")))?
+        .next()
+        .ok_or_else(|| ArgError(format!("--{flag} {value:?} resolves to no address")))
+}
+
 /// Runs the simulation daemon until a client sends `shutdown` and the drain
 /// completes. Prints the bound address first (an ephemeral `--addr :0` bind
 /// is resolved), so scripts can read the port from the first stdout line.
 fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
-    let cfg = ServerConfig {
-        addr: args.get("addr").unwrap_or("127.0.0.1:7743").to_string(),
-        queue_capacity: args.get_parse("queue", 16usize)?,
-        jobs: args.get_parse("jobs", 0usize)?,
-        job_timeout: match args.get("job-timeout-ms") {
-            None => None,
-            Some(_) => Some(std::time::Duration::from_millis(
-                args.get_parse("job-timeout-ms", 0u64)?,
-            )),
-        },
-        job_retention: args.get_parse("retention", uopcache_serve::DEFAULT_JOB_RETENTION)?,
-        ..ServerConfig::default()
+    let job_timeout = match args.get("job-timeout-ms") {
+        None => None,
+        Some(_) => Some(std::time::Duration::from_millis(
+            args.get_parse("job-timeout-ms", 0u64)?,
+        )),
     };
+    let cfg = ServerConfig::builder()
+        .addr(resolve_addr(
+            "addr",
+            args.get("addr").unwrap_or("127.0.0.1:7743"),
+        )?)
+        .queue_capacity(args.get_parse("queue", 16usize)?)
+        .shards(args.get_parse("shards", 1usize)?)
+        .jobs(args.get_parse("jobs", 0usize)?)
+        .job_timeout(job_timeout)
+        .job_retention(args.get_parse("retention", uopcache_serve::DEFAULT_JOB_RETENTION)?)
+        .build();
     let server = Server::bind(cfg)?;
     println!("serving on {}", server.local_addr()?);
     server.run()?;
+    println!("drained; exiting");
+    Ok(())
+}
+
+/// Runs a consistent-hash router across several daemons until a client sends
+/// `shutdown` and the drain completes. Speaks the same protocol as `serve`,
+/// so `submit`/`status`/`stats`/`shutdown` all work against it unchanged.
+fn cmd_route(args: &Args) -> Result<(), Box<dyn Error>> {
+    let backends = args
+        .require("backends")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| resolve_addr("backends", s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let cfg = RouterConfig::builder()
+        .addr(resolve_addr(
+            "addr",
+            args.get("addr").unwrap_or("127.0.0.1:7744"),
+        )?)
+        .backends(backends)
+        .queue_capacity(args.get_parse("queue", 16usize)?)
+        .replicas(args.get_parse("replicas", 64usize)?)
+        .health_interval(std::time::Duration::from_millis(
+            args.get_parse("health-interval-ms", 2_000u64)?,
+        ))
+        .retry_rounds(args.get_parse("retry-rounds", 3usize)?)
+        .job_retention(args.get_parse("retention", uopcache_serve::DEFAULT_JOB_RETENTION)?)
+        .build();
+    let router = Router::bind(cfg)?;
+    let n = router.backend_count();
+    println!("routing on {} across {n} backend(s)", router.local_addr()?);
+    router.run()?;
     println!("drained; exiting");
     Ok(())
 }

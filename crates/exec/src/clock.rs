@@ -9,15 +9,55 @@
 //! * [`WallClock`] — nanoseconds since construction, for real profiling.
 //! * [`CountingClock`] — a monotonically increasing counter, for tests that
 //!   need non-zero but reproducible orderings.
+//! * [`ManualClock`] — a clock the test advances by hand, for timeout logic
+//!   (the serving layer's idle/stall deadlines run on this seam).
+//!
+//! The serving layer reuses the same seam for its connection timeouts: a
+//! [`Deadline`] is a tick threshold derived from a `Clock`, so an event loop
+//! can be driven by a [`ManualClock`] in tests (deterministic idle/stall
+//! expiry) and a [`WallClock`] in production.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A monotonic tick source. Ticks are opaque `u64`s; only differences
 /// between them are meaningful, and the unit is the implementation's choice.
+/// [`Deadline`] assumes the [`WallClock`] convention of one tick per
+/// nanosecond; deterministic clocks just need to advance consistently.
 pub trait Clock: Send + Sync {
     /// The current tick.
     fn now(&self) -> u64;
+}
+
+/// A tick threshold on some [`Clock`]: "this much time past that reading".
+///
+/// Deadlines saturate instead of wrapping, so `Duration::MAX`-style "no
+/// deadline" values behave as never-expiring rather than instantly expired.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Deadline {
+    at: u64,
+}
+
+impl Deadline {
+    /// A deadline `after` past the clock's current reading, using the
+    /// one-tick-per-nanosecond convention of [`WallClock`].
+    pub fn after(clock: &dyn Clock, after: Duration) -> Deadline {
+        Deadline {
+            at: clock
+                .now()
+                .saturating_add(u64::try_from(after.as_nanos()).unwrap_or(u64::MAX)),
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn never() -> Deadline {
+        Deadline { at: u64::MAX }
+    }
+
+    /// Whether the clock has reached this deadline.
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        clock.now() >= self.at
+    }
 }
 
 /// The deterministic default: every reading is 0, so every derived duration
@@ -82,6 +122,43 @@ impl Clock for CountingClock {
     }
 }
 
+/// A clock that only moves when told to: `now()` returns the last value set
+/// or advanced to. Tests drive timeout logic through it deterministically —
+/// nothing expires until the test says so.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock reading 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d` (one tick per nanosecond, saturating).
+    pub fn advance(&self, d: Duration) {
+        let ticks = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let mut cur = self.ticks.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(ticks);
+            match self
+                .ticks
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +184,33 @@ mod tests {
         let a = c.now();
         let b = c.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_command() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 0);
+        c.advance(Duration::from_nanos(7));
+        assert_eq!(c.now(), 7);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), 1_000_000_007);
+    }
+
+    #[test]
+    fn deadlines_expire_and_saturate() {
+        let c = ManualClock::new();
+        let d = Deadline::after(&c, Duration::from_nanos(10));
+        assert!(!d.expired(&c));
+        c.advance(Duration::from_nanos(9));
+        assert!(!d.expired(&c));
+        c.advance(Duration::from_nanos(1));
+        assert!(d.expired(&c));
+        let never = Deadline::never();
+        c.advance(Duration::from_secs(1_000_000));
+        assert!(!never.expired(&c));
+        // Saturation: a huge offset never wraps into the past.
+        let far = Deadline::after(&c, Duration::MAX);
+        assert!(!far.expired(&c));
     }
 }

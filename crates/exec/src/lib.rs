@@ -38,6 +38,6 @@ pub mod clock;
 pub mod pool;
 pub mod seed;
 
-pub use clock::{Clock, CountingClock, NullClock, WallClock};
+pub use clock::{Clock, CountingClock, Deadline, ManualClock, NullClock, WallClock};
 pub use pool::{Engine, ProgressEvent, SweepOutcome, TaskFailure, TaskOutcome, TaskProfile};
 pub use seed::TaskKey;

@@ -127,6 +127,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, u64>,
 }
 
 impl MetricsRegistry {
@@ -148,6 +149,22 @@ impl MetricsRegistry {
     /// The value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a named gauge to an instantaneous level (queue depth, live
+    /// connections). Unlike counters, gauges overwrite rather than add.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The level of a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Registers a histogram under `name` if absent, then returns it for
@@ -208,30 +225,50 @@ impl MetricsRegistry {
                 }
             }
         }
+        // Gauges merge by maximum: "the highest level either side saw" is
+        // the only instantaneous combination that stays associative and
+        // commutative, which the parallel engine's merge-order freedom needs.
+        for (name, &v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(v);
+        }
     }
 
-    /// Canonical JSON: counters then histograms, each sorted by name.
+    /// Canonical JSON: counters, then gauges (only when any were set — a
+    /// gauge-free registry keeps its historical two-key shape byte-for-byte),
+    /// then histograms, each section sorted by name.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            (
-                "counters".to_string(),
+        let mut obj = Vec::with_capacity(3);
+        obj.push((
+            "counters".to_string(),
+            Json::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::U64(v)))
+                    .collect(),
+            ),
+        ));
+        if !self.gauges.is_empty() {
+            obj.push((
+                "gauges".to_string(),
                 Json::Obj(
-                    self.counters
+                    self.gauges
                         .iter()
                         .map(|(k, &v)| (k.clone(), Json::U64(v)))
                         .collect(),
                 ),
+            ));
+        }
+        obj.push((
+            "histograms".to_string(),
+            Json::Obj(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_json()))
+                    .collect(),
             ),
-            (
-                "histograms".to_string(),
-                Json::Obj(
-                    self.histograms
-                        .iter()
-                        .map(|(k, h)| (k.clone(), h.to_json()))
-                        .collect(),
-                ),
-            ),
-        ])
+        ));
+        Json::Obj(obj)
     }
 }
 
@@ -304,5 +341,30 @@ mod tests {
     fn mean_handles_empty() {
         let h = Histogram::log2(3);
         assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn gauges_merge_by_max_and_serialise_only_when_set() {
+        // A gauge-free registry keeps the historical two-key JSON shape.
+        let mut plain = MetricsRegistry::new();
+        plain.inc("n");
+        assert!(!plain.to_json().to_string().contains("gauges"));
+
+        let mut a = MetricsRegistry::new();
+        a.set_gauge("depth", 3);
+        a.set_gauge("depth", 1); // overwrites, not adds
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("depth", 7);
+        b.set_gauge("conns", 2);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "gauge merge must be commutative");
+        assert_eq!(ab.gauge("depth"), 7, "merge keeps the high-water mark");
+        assert_eq!(ab.gauge("conns"), 2);
+        assert_eq!(ab.gauge("never_set"), 0);
+        let s = ab.to_json().to_string();
+        assert!(s.contains("\"gauges\":{\"conns\":2,\"depth\":7}"), "{s}");
     }
 }

@@ -1,0 +1,618 @@
+//! The nonblocking event loop shared by the daemon and the router.
+//!
+//! One thread multiplexes every client connection: the listener and each
+//! accepted stream run with `set_nonblocking(true)`, and the loop polls them
+//! round-robin — read what's there, decode complete frames through the
+//! incremental [`FrameDecoder`], dispatch, buffer replies, write what fits.
+//! Thousands of connections cost a few kilobytes each instead of a thread
+//! each.
+//!
+//! What the loop serves is abstracted behind [`Service`]: the daemon answers
+//! `submit` by enqueueing onto a worker shard, the router by enqueueing onto
+//! a backend forwarder — everything else (ping/status/wait/stats/shutdown
+//! framing, idle and stall policing, drain sequencing) is identical and
+//! lives here once.
+//!
+//! ## Waiting without blocking
+//!
+//! A `wait` (or `submit` with `"wait": true`) used to block its connection
+//! thread on the job table's condvar. Here the connection instead *parks*:
+//! it records the job id and a wait deadline, and the loop polls the table's
+//! change counter — a parked connection costs nothing until a job actually
+//! changes state. Frames that arrive while parked are buffered and served
+//! after the wait resolves, preserving the strict request→reply ordering of
+//! the blocking implementation.
+//!
+//! ## Bounded by construction
+//!
+//! Per-connection memory is bounded end to end: the decoder allocates only
+//! after validating a length prefix against [`MAX_FRAME_BYTES`], buffered
+//! requests are capped (`MAX_PIPELINED` — beyond it the loop simply stops
+//! reading that socket and TCP backpressure does the rest), and the reply
+//! buffer is capped the same way before more requests are consumed.
+//!
+//! [`MAX_FRAME_BYTES`]: crate::protocol::MAX_FRAME_BYTES
+
+use crate::config::ConnTuning;
+use crate::job::{JobState, JobTable};
+use crate::protocol::{encode_frame, frame, frame_type, FrameDecoder};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use uopcache_exec::{Clock, Deadline};
+use uopcache_model::json::Json;
+use uopcache_obs::{Histogram, MetricsRegistry};
+
+/// Requests buffered per connection while a wait is parked; past this the
+/// loop stops reading the socket until the backlog drains.
+const MAX_PIPELINED: usize = 64;
+
+/// Reply bytes buffered per connection before the loop stops consuming more
+/// of its requests (a slow reader cannot balloon the daemon).
+const MAX_OUTBUF_BYTES: usize = 4 << 20;
+
+/// State both services share: the job table, the metrics registry and the
+/// drain/connection gauges the event loop maintains.
+pub(crate) struct ServiceCore {
+    /// Every known job, bounded by retention.
+    pub(crate) table: JobTable,
+    /// Counters and latency histograms surfaced by the `stats` frame.
+    pub(crate) metrics: Mutex<MetricsRegistry>,
+    /// Set by a `shutdown` frame: stop accepting connections and work.
+    pub(crate) draining: AtomicBool,
+    /// Connections currently multiplexed (maintained by the event loop).
+    pub(crate) active_conns: AtomicUsize,
+}
+
+impl ServiceCore {
+    pub(crate) fn new(retention: usize) -> Self {
+        ServiceCore {
+            table: JobTable::with_retention(retention),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn count(&self, name: &str) {
+        lock_clean(&self.metrics).inc(name);
+    }
+
+    pub(crate) fn set_gauge(&self, name: &str, value: u64) {
+        lock_clean(&self.metrics).set_gauge(name, value);
+    }
+
+    pub(crate) fn observe_ms(&self, name: &str, elapsed: Duration) {
+        let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        lock_clean(&self.metrics)
+            .histogram_with(name, || Histogram::log2(14))
+            .observe(ms);
+    }
+
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// The dispatch outcome of a `submit` frame.
+pub(crate) struct SubmitAction {
+    /// The immediate reply (`accepted`, `busy` or `error`).
+    pub(crate) reply: Json,
+    /// When set, the connection parks until this job id is terminal (the
+    /// `"wait": true` path), with this server-side wait budget.
+    pub(crate) wait_for: Option<(String, Duration)>,
+}
+
+/// What the event loop asks of the daemon or the router: everything
+/// service-specific about a request. The generic halves of the protocol —
+/// framing, ping, status/wait mechanics, idle policing, drain sequencing —
+/// live in the loop itself.
+pub(crate) trait Service: Send + Sync {
+    /// The shared table/metrics/drain state.
+    fn core(&self) -> &ServiceCore;
+    /// Handles one `submit` frame end to end (parse, dedupe, enqueue).
+    fn submit(&self, req: &Json) -> SubmitAction;
+    /// Renders the `stats` frame.
+    fn stats_frame(&self) -> Json;
+    /// Begins the drain (closes queues, flips the flag); returns the
+    /// `shutdown_ack` frame.
+    fn begin_shutdown(&self) -> Json;
+    /// Whether every executor/forwarder has finished after a drain began —
+    /// parked waits resolve to snapshots once true.
+    fn drained(&self) -> bool;
+}
+
+/// The observed state of one polled job.
+pub(crate) enum JobPoll {
+    /// Not in the table (never submitted, evicted, or refused).
+    Unknown,
+    /// Still live; the wire label of its state.
+    Pending(&'static str),
+    /// Terminal; the final frame to send (`result` or `error`).
+    Terminal(Json),
+}
+
+/// Polls a job without blocking, rendering terminal states to their final
+/// wire frame exactly as the blocking `wait` path did.
+pub(crate) fn poll_job(core: &ServiceCore, id: &str) -> JobPoll {
+    match core.table.get(id) {
+        None => JobPoll::Unknown,
+        Some(entry) => match entry.state {
+            JobState::Done(report) => match Json::parse(&report) {
+                Ok(body) => JobPoll::Terminal(frame(
+                    "result",
+                    vec![
+                        ("job_id".to_string(), Json::Str(id.to_string())),
+                        ("result".to_string(), body),
+                    ],
+                )),
+                Err(e) => JobPoll::Terminal(error_frame(
+                    Some(id),
+                    &format!("stored report unparsable: {e}"),
+                )),
+            },
+            JobState::Failed(message) => JobPoll::Terminal(error_frame(Some(id), &message)),
+            state => JobPoll::Pending(state.label()),
+        },
+    }
+}
+
+pub(crate) fn status_frame(id: &str, state: &'static str) -> Json {
+    frame(
+        "status",
+        vec![
+            ("job_id".to_string(), Json::Str(id.to_string())),
+            ("state".to_string(), Json::Str(state.to_string())),
+        ],
+    )
+}
+
+pub(crate) fn error_frame(id: Option<&str>, message: &str) -> Json {
+    let mut fields = Vec::with_capacity(2);
+    if let Some(id) = id {
+        fields.push(("job_id".to_string(), Json::Str(id.to_string())));
+    }
+    fields.push(("message".to_string(), Json::Str(message.to_string())));
+    frame("error", fields)
+}
+
+/// A `busy` rejection for one job: code 429, the reason, and the queue
+/// gauges the client can base its backoff on.
+pub(crate) fn busy_frame(id: &str, reason: &str, depth: usize, capacity: usize) -> Json {
+    frame(
+        "busy",
+        vec![
+            ("job_id".to_string(), Json::Str(id.to_string())),
+            ("code".to_string(), Json::U64(429)),
+            ("reason".to_string(), Json::Str(reason.to_string())),
+            ("queue_depth".to_string(), Json::U64(depth as u64)),
+            ("queue_capacity".to_string(), Json::U64(capacity as u64)),
+        ],
+    )
+}
+
+pub(crate) fn req_job_id(req: &Json) -> Result<&str, String> {
+    req.field("job_id")
+        .map_err(|e| e.to_string())?
+        .as_str()
+        .ok_or_else(|| "\"job_id\" must be a string".to_string())
+}
+
+pub(crate) fn req_u64(req: &Json, field: &str) -> Option<u64> {
+    req.field(field).ok().and_then(Json::as_u64)
+}
+
+/// Locks a mutex, tolerating poisoning (job panics are caught before they
+/// can unwind through a held lock; see the exec pool for the same policy).
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Stringifies a panic payload (mirrors the exec pool's helper).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// A parked `wait`: the connection sends nothing for this job until it is
+/// terminal, the deadline passes, or the service drains.
+struct ParkedWait {
+    id: String,
+    deadline: Deadline,
+}
+
+/// One multiplexed connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Decoded-but-undispatched requests (pipelining while parked).
+    inbox: Vec<Json>,
+    /// Next inbox entry to dispatch (drained entries are cleared in bulk).
+    inbox_pos: usize,
+    /// Reply bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    wait: Option<ParkedWait>,
+    idle_deadline: Deadline,
+    /// Set while the decoder is mid-frame: when the frame's bytes stall past
+    /// it, the connection is cut with an error frame.
+    stall_deadline: Option<Deadline>,
+    /// Flush what's buffered, then close (protocol error or peer EOF).
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, clock: &dyn Clock, tuning: &ConnTuning) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            inbox: Vec::with_capacity(4),
+            inbox_pos: 0,
+            outbuf: Vec::with_capacity(256),
+            out_pos: 0,
+            wait: None,
+            idle_deadline: Deadline::after(clock, tuning.idle_timeout),
+            stall_deadline: None,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    fn pending_requests(&self) -> usize {
+        self.inbox.len() - self.inbox_pos
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.outbuf.len()
+    }
+
+    /// Buffers one reply frame for writing.
+    fn push_frame(&mut self, body: &Json) {
+        match encode_frame(body) {
+            Ok(wire) => self.outbuf.extend_from_slice(&wire),
+            // An unencodable reply (oversized rendering) cannot be answered
+            // in-protocol; cut the connection.
+            Err(_) => self.close_after_flush = true,
+        }
+    }
+
+    /// Reads whatever the socket has, decoding complete frames into the
+    /// inbox. Stops early under backlog so a flooding client is throttled by
+    /// its own unread socket buffer.
+    fn read_some(&mut self, buf: &mut [u8], clock: &dyn Clock, tuning: &ConnTuning) -> bool {
+        let mut progressed = false;
+        loop {
+            if self.close_after_flush
+                || self.pending_requests() >= MAX_PIPELINED
+                || self.outbuf.len() - self.out_pos >= MAX_OUTBUF_BYTES
+            {
+                return progressed;
+            }
+            match self.stream.read(buf) {
+                Ok(0) => {
+                    // Peer EOF: serve what was already pipelined, then close.
+                    self.close_after_flush = true;
+                    return true;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    let before = self.inbox.len();
+                    if let Err(e) = self.decoder.feed(&buf[..n], &mut self.inbox) {
+                        self.push_frame(&error_frame(None, &e.to_string()));
+                        self.close_after_flush = true;
+                        return true;
+                    }
+                    if self.inbox.len() > before {
+                        self.idle_deadline = Deadline::after(clock, tuning.idle_timeout);
+                    }
+                    // Frame-stall policing: the deadline arms when a frame
+                    // starts and disarms at each boundary.
+                    self.stall_deadline =
+                        if self.decoder.mid_frame() {
+                            Some(self.stall_deadline.unwrap_or_else(|| {
+                                Deadline::after(clock, tuning.frame_stall_limit)
+                            }))
+                        } else {
+                            None
+                        };
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progressed,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Resolves a parked wait if its job finished, its deadline passed, or
+    /// the service drained (then the last observed state is snapshotted,
+    /// exactly as the blocking wait did on stop).
+    fn poll_wait(&mut self, service: &dyn Service, clock: &dyn Clock, table_changed: bool) {
+        let Some(w) = &self.wait else { return };
+        let expired = w.deadline.expired(clock);
+        let drained = service.drained();
+        if !(table_changed || expired || drained) {
+            return;
+        }
+        let reply = match poll_job(service.core(), &w.id) {
+            JobPoll::Terminal(body) => body,
+            JobPoll::Unknown => error_frame(Some(&w.id), &format!("unknown job {:?}", w.id)),
+            JobPoll::Pending(state) => {
+                if !(expired || drained) {
+                    return; // still live, still waiting
+                }
+                status_frame(&w.id, state)
+            }
+        };
+        self.push_frame(&reply);
+        self.wait = None;
+    }
+
+    /// Dispatches buffered requests until one parks a wait, the reply buffer
+    /// fills, or the inbox drains.
+    fn dispatch(&mut self, service: &dyn Service, clock: &dyn Clock) -> bool {
+        let mut progressed = false;
+        while self.wait.is_none()
+            && !self.close_after_flush
+            && self.inbox_pos < self.inbox.len()
+            && self.outbuf.len() - self.out_pos < MAX_OUTBUF_BYTES
+        {
+            let req = std::mem::replace(&mut self.inbox[self.inbox_pos], Json::Null);
+            self.inbox_pos += 1;
+            progressed = true;
+            service.core().count("frames_handled");
+            self.handle_frame(service, clock, &req);
+        }
+        if self.inbox_pos >= self.inbox.len() {
+            self.inbox.clear();
+            self.inbox_pos = 0;
+        }
+        progressed
+    }
+
+    /// One request frame → buffered reply (and possibly a parked wait).
+    fn handle_frame(&mut self, service: &dyn Service, clock: &dyn Clock, req: &Json) {
+        let ty = match frame_type(req) {
+            Ok(ty) => ty,
+            Err(e) => {
+                // Protocol error: answer, then close (the blocking loop did
+                // exactly this).
+                self.push_frame(&error_frame(None, &e.to_string()));
+                self.close_after_flush = true;
+                return;
+            }
+        };
+        match ty {
+            "ping" => self.push_frame(&frame("pong", Vec::with_capacity(0))),
+            "submit" => {
+                let action = service.submit(req);
+                self.push_frame(&action.reply);
+                if let Some((id, budget)) = action.wait_for {
+                    self.park(service, clock, id, budget);
+                }
+            }
+            "status" => match req_job_id(req) {
+                Err(message) => self.push_frame(&error_frame(None, &message)),
+                Ok(id) => {
+                    let reply = match poll_job(service.core(), id) {
+                        JobPoll::Unknown => error_frame(Some(id), &format!("unknown job {id:?}")),
+                        JobPoll::Pending(state) => status_frame(id, state),
+                        JobPoll::Terminal(_) => {
+                            // `status` never carries the result; report the
+                            // terminal label only.
+                            let state = service
+                                .core()
+                                .table
+                                .get(id)
+                                .map_or("done", |e| e.state.label());
+                            status_frame(id, state)
+                        }
+                    };
+                    self.push_frame(&reply);
+                }
+            },
+            "wait" | "result" => match req_job_id(req) {
+                Err(message) => self.push_frame(&error_frame(None, &message)),
+                Ok(id) => {
+                    let budget = if ty == "result" {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_millis(req_u64(req, "timeout_ms").unwrap_or(60_000))
+                    };
+                    let id = id.to_string();
+                    self.park(service, clock, id, budget);
+                }
+            },
+            "stats" => self.push_frame(&service.stats_frame()),
+            "shutdown" => {
+                let ack = service.begin_shutdown();
+                self.push_frame(&ack);
+            }
+            other => {
+                self.push_frame(&error_frame(None, &format!("unknown frame type {other:?}")));
+            }
+        }
+    }
+
+    /// Parks a wait on `id`, resolving immediately when already possible
+    /// (terminal job, unknown id, zero budget, drained service).
+    fn park(&mut self, service: &dyn Service, clock: &dyn Clock, id: String, budget: Duration) {
+        self.wait = Some(ParkedWait {
+            deadline: Deadline::after(clock, budget),
+            id,
+        });
+        // A zero budget (the `result` frame) must answer from the current
+        // state; a terminal/unknown job answers instantly either way.
+        self.poll_wait(service, clock, true);
+    }
+
+    /// Writes as much of the reply buffer as the socket accepts.
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+        if self.flushed() {
+            self.outbuf.clear();
+            self.out_pos = 0;
+            if self.close_after_flush {
+                self.dead = true;
+            }
+        }
+        progressed
+    }
+
+    /// Cuts connections that idle past the limit or stall mid-frame.
+    fn police_deadlines(&mut self, clock: &dyn Clock) {
+        if self.dead || self.close_after_flush {
+            return;
+        }
+        if let Some(stall) = self.stall_deadline {
+            if stall.expired(clock) {
+                self.push_frame(&error_frame(
+                    None,
+                    "malformed frame: frame stalled past the read deadline",
+                ));
+                self.close_after_flush = true;
+                return;
+            }
+        }
+        if self.wait.is_none()
+            && self.pending_requests() == 0
+            && !self.decoder.mid_frame()
+            && self.flushed()
+            && self.idle_deadline.expired(clock)
+        {
+            self.dead = true;
+        }
+    }
+}
+
+/// Answers an over-limit connect on the (still blocking) accepted socket and
+/// drops it.
+fn reject_connection(mut stream: TcpStream, reason: &str) {
+    let busy = frame(
+        "busy",
+        vec![
+            ("code".to_string(), Json::U64(429)),
+            ("reason".to_string(), Json::Str(reason.to_string())),
+        ],
+    );
+    if let Ok(wire) = encode_frame(&busy) {
+        let _ = stream.write_all(&wire);
+    }
+}
+
+/// Runs the event loop until a drain completes: accepts (until draining),
+/// multiplexes every connection, resolves parked waits, and exits once the
+/// service reports drained and the final frames are flushed (bounded by
+/// `drain_grace`).
+///
+/// # Errors
+///
+/// Any listener failure other than the nonblocking-poll `WouldBlock`.
+pub(crate) fn run_event_loop(
+    listener: &TcpListener,
+    service: &dyn Service,
+    tuning: &ConnTuning,
+) -> io::Result<()> {
+    let clock: &dyn Clock = &*tuning.clock;
+    let core = service.core();
+    let mut conns: Vec<Conn> = Vec::with_capacity(64);
+    let mut buf = vec![0u8; 64 << 10];
+    let mut last_table_version = core.table.version();
+    let mut drain_flush: Option<Deadline> = None;
+    loop {
+        let mut progressed = false;
+        let draining = core.draining();
+
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        if conns.len() >= tuning.max_connections {
+                            core.count("connections_rejected");
+                            reject_connection(stream, "connection limit reached");
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            core.count("connections_rejected");
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        core.count("connections_accepted");
+                        conns.push(Conn::new(stream, clock, tuning));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Parked waits re-poll only when a job actually changed state (the
+        // table bumps a version counter), a deadline passed, or the drain
+        // finished — a thousand parked connections cost no lock traffic
+        // while jobs run.
+        let table_version = core.table.version();
+        let table_changed = table_version != last_table_version;
+        last_table_version = table_version;
+
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            progressed |= conn.read_some(&mut buf, clock, tuning);
+            conn.poll_wait(service, clock, table_changed);
+            progressed |= conn.dispatch(service, clock);
+            progressed |= conn.flush();
+            conn.police_deadlines(clock);
+        }
+        conns.retain(|c| !c.dead);
+        core.active_conns.store(conns.len(), Ordering::SeqCst);
+
+        if draining && service.drained() {
+            // Drained: every parked wait has resolved to a snapshot above;
+            // flush the remaining bytes (grace-bounded) and exit.
+            let all_flushed = conns.iter().all(|c| c.wait.is_none() && c.flushed());
+            let grace =
+                *drain_flush.get_or_insert_with(|| Deadline::after(clock, tuning.drain_grace));
+            if all_flushed || grace.expired(clock) {
+                break;
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(tuning.poll_interval);
+        }
+    }
+    core.active_conns.store(0, Ordering::SeqCst);
+    Ok(())
+}

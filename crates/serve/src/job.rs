@@ -11,21 +11,39 @@
 //! a long-running daemon's memory does not grow with submission count.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use uopcache_bench::sweep::SweepSpec;
+
+/// FNV-1a 64: the repo's standard content hash (same constants as the exec
+/// crate's task seeding). Job ids, shard keying and the router's hash ring
+/// all run on it, so "where a job lands" is a pure function of its bytes.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Derives the default job id: an FNV-1a 64 hash of the spec's canonical
 /// JSON, rendered as 16 hex digits. Content-derived ids make blind client
 /// retries idempotent — resubmitting the same work maps to the same job.
 pub fn job_id_for(spec: &SweepSpec) -> String {
-    let canonical = spec.to_json().to_string();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in canonical.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let h = fnv1a64(spec.to_json().to_string().as_bytes());
     format!("{h:016x}")
+}
+
+/// Maps a job id onto one of `shards` worker shards by FNV-1a. Identical
+/// submissions share an id and therefore a shard, so dedupe stays
+/// shard-local; distinct jobs spread uniformly.
+pub fn shard_for(id: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    usize::try_from(fnv1a64(id.as_bytes()) % (shards as u64)).unwrap_or(0)
 }
 
 /// The lifecycle state of one job.
@@ -91,6 +109,9 @@ pub struct JobTable {
     inner: Mutex<TableInner>,
     changed: Condvar,
     retention: usize,
+    /// Bumped on every state change/removal; the event loop re-polls parked
+    /// waits only when this moves, instead of locking the table per tick.
+    version: AtomicU64,
 }
 
 impl Default for JobTable {
@@ -116,7 +137,14 @@ impl JobTable {
             }),
             changed: Condvar::new(),
             retention,
+            version: AtomicU64::new(0),
         }
+    }
+
+    /// A counter that moves on every state change or removal — cheap to poll
+    /// without taking the table lock.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
     }
 
     /// Registers a new job as queued.
@@ -178,6 +206,7 @@ impl JobTable {
             }
         }
         drop(inner);
+        self.version.fetch_add(1, Ordering::SeqCst);
         self.changed.notify_all();
     }
 
@@ -189,6 +218,7 @@ impl JobTable {
         let mut inner = lock_clean(&self.inner);
         inner.entries.remove(id);
         drop(inner);
+        self.version.fetch_add(1, Ordering::SeqCst);
         self.changed.notify_all();
     }
 
@@ -308,12 +338,23 @@ impl BoundedQueue {
     /// [`QueueError::Full`] at capacity, [`QueueError::Closed`] after
     /// [`close`](Self::close).
     pub fn push(&self, job: QueuedJob) -> Result<usize, QueueError> {
+        self.try_push(job).map_err(|(e, _job)| e)
+    }
+
+    /// Like [`push`](Self::push), but hands the job back alongside the error
+    /// (boxed, to keep the `Err` variant small) so the caller can spill it to
+    /// another queue (the router's busy-aware admission path).
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push), with the refused job attached.
+    pub fn try_push(&self, job: QueuedJob) -> Result<usize, (QueueError, Box<QueuedJob>)> {
         let mut inner = lock_clean(&self.inner);
         if inner.closed {
-            return Err(QueueError::Closed);
+            return Err((QueueError::Closed, Box::new(job)));
         }
         if inner.items.len() >= self.capacity {
-            return Err(QueueError::Full);
+            return Err((QueueError::Full, Box::new(job)));
         }
         inner.items.push_back(job);
         let depth = inner.items.len();
@@ -401,6 +442,35 @@ mod tests {
         assert_eq!(a, job_id_for(&spec(100)), "same work, same id");
         assert_ne!(a, job_id_for(&spec(200)), "different work, different id");
         assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn shard_keying_is_stable_and_in_range() {
+        let id = job_id_for(&spec(100));
+        for shards in [1usize, 2, 3, 8] {
+            let s = shard_for(&id, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_for(&id, shards), "same id, same shard");
+        }
+        assert_eq!(shard_for(&id, 0), 0, "degenerate shard counts pin to 0");
+        // Distinct ids actually spread: over many ids every shard is hit.
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[shard_for(&format!("job{i}"), 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "{hit:?}");
+    }
+
+    #[test]
+    fn table_version_moves_on_state_changes_and_removals() {
+        let t = JobTable::new();
+        let v0 = t.version();
+        t.register("j1", "{spec}").expect("fresh id");
+        t.set_state("j1", JobState::Running);
+        let v1 = t.version();
+        assert_ne!(v0, v1, "set_state bumps the version");
+        t.remove("j1");
+        assert_ne!(v1, t.version(), "remove bumps the version");
     }
 
     #[test]

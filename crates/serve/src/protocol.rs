@@ -92,6 +92,23 @@ pub fn frame_type(j: &Json) -> Result<&str, FrameError> {
         .ok_or_else(|| FrameError::Malformed("\"type\" must be a string".to_string()))
 }
 
+/// Serialises one frame to its wire form: length prefix + JSON bytes.
+///
+/// # Errors
+///
+/// Returns [`FrameError::TooLarge`] if the rendering exceeds the cap.
+pub fn encode_frame(body: &Json) -> Result<Vec<u8>, FrameError> {
+    let text = body.to_string();
+    if text.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(text.len()));
+    }
+    let len = u32::try_from(text.len()).map_err(|_| FrameError::TooLarge(text.len()))?;
+    let mut wire = Vec::with_capacity(4 + text.len());
+    wire.extend_from_slice(&len.to_le_bytes());
+    wire.extend_from_slice(text.as_bytes());
+    Ok(wire)
+}
+
 /// Writes one frame: length prefix, then the serialised JSON.
 ///
 /// # Errors
@@ -99,15 +116,99 @@ pub fn frame_type(j: &Json) -> Result<&str, FrameError> {
 /// Returns [`FrameError::TooLarge`] if the rendering exceeds the cap, or any
 /// socket error.
 pub fn write_frame<W: Write>(mut w: W, body: &Json) -> Result<(), FrameError> {
-    let text = body.to_string();
-    if text.len() > MAX_FRAME_BYTES {
-        return Err(FrameError::TooLarge(text.len()));
-    }
-    let len = u32::try_from(text.len()).map_err(|_| FrameError::TooLarge(text.len()))?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(text.as_bytes())?;
+    let wire = encode_frame(body)?;
+    w.write_all(&wire)?;
     w.flush()?;
     Ok(())
+}
+
+/// Parses and validates one frame body (UTF-8, JSON object, schema version).
+fn decode_body(body: &[u8]) -> Result<Json, FrameError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| FrameError::Malformed("frame body is not UTF-8".to_string()))?;
+    let json = Json::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    let version = json
+        .field("schema_version")
+        .map_err(|e| FrameError::Malformed(e.to_string()))?
+        .as_u64()
+        .ok_or_else(|| {
+            FrameError::Malformed("\"schema_version\" must be an integer".to_string())
+        })?;
+    if version != SCHEMA_VERSION {
+        return Err(FrameError::SchemaMismatch(version));
+    }
+    Ok(json)
+}
+
+/// An incremental frame parser for nonblocking sockets: bytes go in as they
+/// arrive, complete frames come out. Memory is bounded by construction — the
+/// body buffer is only allocated once a length prefix has been validated
+/// against [`MAX_FRAME_BYTES`], so a hostile prefix can never trigger an
+/// oversized allocation, exactly as in the blocking [`read_frame`] path.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    header: [u8; 4],
+    header_len: usize,
+    body: Vec<u8>,
+    body_want: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder {
+            header: [0u8; 4],
+            header_len: 0,
+            body: Vec::with_capacity(0),
+            body_want: 0,
+        }
+    }
+
+    /// Whether a frame has started but not yet completed (stall detection:
+    /// a decoder stuck mid-frame past a deadline means a broken peer).
+    pub fn mid_frame(&self) -> bool {
+        self.header_len > 0
+    }
+
+    /// Consumes `bytes`, appending every completed frame to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on an oversized length prefix, malformed JSON,
+    /// or a schema mismatch. The decoder is poisoned after an error — the
+    /// caller must drop the connection (the stream can no longer be framed).
+    pub fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<Json>) -> Result<(), FrameError> {
+        while !bytes.is_empty() {
+            if self.header_len < 4 {
+                let take = (4 - self.header_len).min(bytes.len());
+                self.header[self.header_len..self.header_len + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_len += take;
+                bytes = &bytes[take..];
+                if self.header_len < 4 {
+                    return Ok(());
+                }
+                let len = u32::from_le_bytes(self.header) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(FrameError::TooLarge(len));
+                }
+                self.body_want = len;
+                self.body.clear();
+                self.body.reserve(len);
+            }
+            let take = (self.body_want - self.body.len()).min(bytes.len());
+            self.body.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.body.len() == self.body_want {
+                let frame = decode_body(&self.body)?;
+                out.push(frame);
+                self.header_len = 0;
+                self.body_want = 0;
+                self.body.clear();
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Whether an I/O error is a read-timeout (both POSIX and Windows spellings).
@@ -185,20 +286,7 @@ pub fn read_frame<R: Read>(mut r: R, stall_limit: Duration) -> Result<Option<Jso
             ));
         }
     }
-    let text = std::str::from_utf8(&body)
-        .map_err(|_| FrameError::Malformed("frame body is not UTF-8".to_string()))?;
-    let json = Json::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))?;
-    let version = json
-        .field("schema_version")
-        .map_err(|e| FrameError::Malformed(e.to_string()))?
-        .as_u64()
-        .ok_or_else(|| {
-            FrameError::Malformed("\"schema_version\" must be an integer".to_string())
-        })?;
-    if version != SCHEMA_VERSION {
-        return Err(FrameError::SchemaMismatch(version));
-    }
-    Ok(Some(json))
+    Ok(Some(decode_body(&body)?))
 }
 
 #[cfg(test)]
@@ -249,6 +337,52 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let err = read_frame(wire.as_slice(), Duration::from_secs(1)).expect_err("truncated");
         assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_from_arbitrary_splits() {
+        let frames = [
+            frame("ping", Vec::with_capacity(0)),
+            frame(
+                "status",
+                vec![("job_id".to_string(), Json::Str("ab".to_string()))],
+            ),
+            frame("pong", Vec::with_capacity(0)),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f).expect("encodes"));
+        }
+        // Every chunk size, from byte-at-a-time to one gulp, yields the same
+        // frame sequence.
+        for chunk in [1usize, 2, 3, 5, 7, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece, &mut got).expect("clean stream");
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+            assert!(!dec.mid_frame(), "chunk size {chunk} ends at a boundary");
+        }
+    }
+
+    #[test]
+    fn decoder_reports_mid_frame_and_rejects_oversized_prefixes() {
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let wire = encode_frame(&frame("ping", Vec::with_capacity(0))).expect("encodes");
+        dec.feed(&wire[..3], &mut got).expect("partial header");
+        assert!(dec.mid_frame());
+        assert!(got.is_empty());
+        dec.feed(&wire[3..], &mut got).expect("completes");
+        assert_eq!(got.len(), 1);
+        assert!(!dec.mid_frame());
+
+        let mut dec = FrameDecoder::new();
+        let err = dec
+            .feed(&u32::MAX.to_le_bytes(), &mut got)
+            .expect_err("oversized prefix");
+        assert!(matches!(err, FrameError::TooLarge(_)), "{err}");
     }
 
     #[test]

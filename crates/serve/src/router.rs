@@ -1,0 +1,729 @@
+//! The multi-node router: consistent-hash job placement across backends.
+//!
+//! `uopcache route` runs the same nonblocking event loop and speaks the same
+//! wire protocol as `uopcache serve` — clients cannot tell them apart — but
+//! owns no engine. Each accepted job is placed on a consistent-hash ring of
+//! backend daemons keyed by the job's content-derived FNV-1a id, then
+//! forwarded through the typed [`Client`] and its report stored in the
+//! router's own job table. Because backends produce byte-identical reports
+//! for a spec regardless of worker count, *which* backend runs a job never
+//! shows in the bytes — placement is purely a load/locality decision.
+//!
+//! ## The ring
+//!
+//! Every backend contributes `replicas` virtual nodes (FNV-1a of
+//! `"{addr}#{replica}"`). A job maps to the first virtual node clockwise
+//! from its id hash; the walk continues to the next *distinct* backend for
+//! failover order. Identical jobs therefore dedupe twice — once at the
+//! router's table, and again shard-locally at the owning backend, which sees
+//! the same id.
+//!
+//! ## Health, spillover, failover
+//!
+//! * A health thread probes every backend each `health_interval` with a
+//!   `stats` frame: unreachable → unhealthy (evicted from placement until it
+//!   answers again); `"draining": true` → drain-aware eviction (the backend
+//!   finishes its in-flight jobs, gets no new work).
+//! * **Busy spillover**: a `busy` backend (or a full forward queue) spills
+//!   the job to the next distinct backend on the ring.
+//! * **Failover**: a forward that dies mid-flight (connect refused, socket
+//!   error, timeout) marks the backend unhealthy and retries the job on the
+//!   ring successors — up to `retry_rounds` full passes — producing the same
+//!   bytes wherever it lands. A job the backend *ran* and failed
+//!   (panic/queue-timeout) is not retried: deterministic failures would fail
+//!   everywhere.
+
+use crate::client::{Client, ClientError};
+use crate::config::RouterConfig;
+use crate::event::{
+    busy_frame, error_frame, lock_clean, panic_message, req_u64, run_event_loop, Service,
+    ServiceCore, SubmitAction,
+};
+use crate::job::{fnv1a64, job_id_for, BoundedQueue, JobState, QueueError, QueuedJob};
+use crate::protocol::frame;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uopcache_bench::sweep::SweepSpec;
+use uopcache_model::json::Json;
+
+/// The consistent-hash ring: sorted virtual nodes mapping hash points to
+/// backend indices. The backend set is fixed at startup; health flags decide
+/// *eligibility* at placement time, so the ring itself never changes and the
+/// owner of a job id is stable across the router's lifetime.
+struct Ring {
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl Ring {
+    fn new(addrs: &[SocketAddr], replicas: usize) -> Ring {
+        let mut points = Vec::with_capacity(addrs.len() * replicas);
+        for (idx, addr) in addrs.iter().enumerate() {
+            for replica in 0..replicas {
+                points.push((fnv1a64(format!("{addr}#{replica}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            backends: addrs.len(),
+        }
+    }
+
+    /// Every backend in ring order starting at the owner of `key`: the first
+    /// entry is the preferred placement, the rest the spillover/failover
+    /// order. Each backend appears once.
+    fn order_for(&self, key: u64) -> Vec<usize> {
+        let start = self
+            .points
+            .partition_point(|&(h, _)| h < key)
+            .checked_rem(self.points.len())
+            .unwrap_or(0);
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for offset in 0..self.points.len() {
+            let (_, idx) = self.points[(start + offset) % self.points.len()];
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+            }
+            if order.len() == self.backends {
+                break;
+            }
+        }
+        order
+    }
+}
+
+/// One backend daemon as the router sees it.
+struct Backend {
+    addr: SocketAddr,
+    /// Pending forwards bound for this backend.
+    queue: BoundedQueue,
+    /// Cleared when a probe or forward fails, set again when one succeeds.
+    healthy: AtomicBool,
+    /// Set when the backend reports `"draining": true` (or answers a submit
+    /// with a draining `busy`): it finishes in-flight work, gets no new jobs.
+    draining: AtomicBool,
+    /// Set by the forwarder as it exits (queue closed and fully drained).
+    done: AtomicBool,
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    core: ServiceCore,
+    backends: Vec<Backend>,
+    ring: Ring,
+    /// Tells the health thread to exit after the drain.
+    stop_health: AtomicBool,
+}
+
+impl RouterShared {
+    fn total_depth(&self) -> usize {
+        self.backends.iter().map(|b| b.queue.depth()).sum()
+    }
+
+    fn total_capacity(&self) -> usize {
+        self.backends.iter().map(|b| b.queue.capacity()).sum()
+    }
+
+    fn close_queues(&self) {
+        for backend in &self.backends {
+            backend.queue.close();
+        }
+    }
+
+    /// Whether a backend may receive *new* work right now.
+    fn placeable(&self, idx: usize) -> bool {
+        let b = &self.backends[idx];
+        b.healthy.load(Ordering::SeqCst) && !b.draining.load(Ordering::SeqCst)
+    }
+}
+
+impl Service for RouterShared {
+    fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+
+    fn submit(&self, req: &Json) -> SubmitAction {
+        let reject = |reply: Json| SubmitAction {
+            reply,
+            wait_for: None,
+        };
+        let spec = match req
+            .field("job")
+            .map_err(|e| e.to_string())
+            .and_then(SweepSpec::from_json)
+        {
+            Ok(spec) => spec,
+            Err(message) => {
+                self.core.count("jobs_rejected_invalid");
+                return reject(error_frame(None, &format!("invalid job: {message}")));
+            }
+        };
+        let spec_json = spec.to_json().to_string();
+        let id = match req.field("id") {
+            Ok(v) => match v.as_str() {
+                Some(s) if !s.is_empty() => s.to_string(),
+                _ => {
+                    self.core.count("jobs_rejected_invalid");
+                    return reject(error_frame(
+                        None,
+                        "invalid job: \"id\" must be a non-empty string",
+                    ));
+                }
+            },
+            Err(_) => job_id_for(&spec),
+        };
+        let wait = req
+            .field("wait")
+            .ok()
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let wait_timeout = Duration::from_millis(req_u64(req, "timeout_ms").unwrap_or(600_000));
+
+        let mut deduped = false;
+        match self.core.table.register(&id, &spec_json) {
+            Ok(()) => {
+                // Same contract as the daemon: a refused submission is
+                // forgotten entirely so the busy-frame retry re-enqueues.
+                if self.core.draining() {
+                    self.core.count("jobs_rejected_busy");
+                    self.core.table.remove(&id);
+                    return reject(self.busy(&id, "draining"));
+                }
+                let queue_timeout = req_u64(req, "queue_timeout_ms")
+                    .map(Duration::from_millis)
+                    .or(self.cfg.job_timeout);
+                let now = Instant::now();
+                let mut pending = Some(QueuedJob {
+                    id: id.clone(),
+                    spec,
+                    enqueued: now,
+                    start_deadline: queue_timeout.map(|t| now + t),
+                });
+                // Busy-aware spillover at admission: walk the ring from the
+                // owner, skipping unhealthy/draining backends and spilling
+                // past full queues.
+                let order = self.ring.order_for(fnv1a64(id.as_bytes()));
+                let mut any_placeable = false;
+                let mut closed = false;
+                for idx in order {
+                    if !self.placeable(idx) {
+                        continue;
+                    }
+                    any_placeable = true;
+                    let Some(job) = pending.take() else { break };
+                    match self.backends[idx].queue.try_push(job) {
+                        Ok(_depth) => {
+                            self.core.count("jobs_accepted");
+                            self.core.count(&format!("backend{idx}_routed"));
+                            break;
+                        }
+                        Err((QueueError::Full, back)) => pending = Some(*back),
+                        Err((QueueError::Closed, back)) => {
+                            pending = Some(*back);
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                if closed {
+                    self.core.count("jobs_rejected_busy");
+                    self.core.table.remove(&id);
+                    return reject(self.busy(&id, "draining"));
+                }
+                if pending.is_some() {
+                    self.core.count("jobs_rejected_busy");
+                    self.core.table.remove(&id);
+                    let reason = if any_placeable {
+                        "queue full"
+                    } else {
+                        "no healthy backend"
+                    };
+                    return reject(self.busy(&id, reason));
+                }
+            }
+            Err(Ok(_existing)) => {
+                self.core.count("jobs_deduped");
+                deduped = true;
+            }
+            Err(Err(message)) => {
+                self.core.count("jobs_rejected_invalid");
+                return reject(error_frame(Some(&id), &message));
+            }
+        }
+
+        let accepted = frame(
+            "accepted",
+            vec![
+                ("job_id".to_string(), Json::Str(id.clone())),
+                ("deduped".to_string(), Json::Bool(deduped)),
+                (
+                    "queue_depth".to_string(),
+                    Json::U64(self.total_depth() as u64),
+                ),
+            ],
+        );
+        SubmitAction {
+            reply: accepted,
+            wait_for: wait.then_some((id, wait_timeout)),
+        }
+    }
+
+    fn stats_frame(&self) -> Json {
+        // Refresh the instantaneous levels before rendering, so the embedded
+        // metrics carry per-backend gauges alongside the routing counters.
+        self.core.set_gauge(
+            "active_connections",
+            self.core.active_conns.load(Ordering::SeqCst) as u64,
+        );
+        for (idx, backend) in self.backends.iter().enumerate() {
+            self.core.set_gauge(
+                &format!("backend{idx}_queue_depth"),
+                backend.queue.depth() as u64,
+            );
+            self.core.set_gauge(
+                &format!("backend{idx}_healthy"),
+                u64::from(backend.healthy.load(Ordering::SeqCst)),
+            );
+        }
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("addr".to_string(), Json::Str(b.addr.to_string())),
+                    (
+                        "healthy".to_string(),
+                        Json::Bool(b.healthy.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "draining".to_string(),
+                        Json::Bool(b.draining.load(Ordering::SeqCst)),
+                    ),
+                    ("queue_depth".to_string(), Json::U64(b.queue.depth() as u64)),
+                ])
+            })
+            .collect();
+        frame(
+            "stats",
+            vec![
+                (
+                    "queue_depth".to_string(),
+                    Json::U64(self.total_depth() as u64),
+                ),
+                (
+                    "queue_capacity".to_string(),
+                    Json::U64(self.total_capacity() as u64),
+                ),
+                ("draining".to_string(), Json::Bool(self.core.draining())),
+                (
+                    "active_connections".to_string(),
+                    Json::U64(self.core.active_conns.load(Ordering::SeqCst) as u64),
+                ),
+                ("backends".to_string(), Json::Arr(backends)),
+                (
+                    "metrics".to_string(),
+                    lock_clean(&self.core.metrics).to_json(),
+                ),
+            ],
+        )
+    }
+
+    fn begin_shutdown(&self) -> Json {
+        self.close_queues();
+        self.core.draining.store(true, Ordering::SeqCst);
+        frame(
+            "shutdown_ack",
+            vec![("queued".to_string(), Json::U64(self.total_depth() as u64))],
+        )
+    }
+
+    fn drained(&self) -> bool {
+        self.backends.iter().all(|b| b.done.load(Ordering::SeqCst))
+    }
+}
+
+impl RouterShared {
+    fn busy(&self, id: &str, reason: &str) -> Json {
+        busy_frame(id, reason, self.total_depth(), self.total_capacity())
+    }
+}
+
+/// The bound router; [`run`](Self::run) serves until drained.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Binds the router's listener and wires up the backend ring.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when no backends were configured, otherwise any socket
+    /// bind failure.
+    pub fn bind(cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let ring = Ring::new(&cfg.backends, cfg.replicas);
+        let mut backends = Vec::with_capacity(cfg.backends.len());
+        for &addr in &cfg.backends {
+            backends.push(Backend {
+                addr,
+                queue: BoundedQueue::new(cfg.queue_capacity),
+                // Optimistic until the first probe or forward says otherwise.
+                healthy: AtomicBool::new(true),
+                draining: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+            });
+        }
+        let core = ServiceCore::new(cfg.job_retention);
+        Ok(Router {
+            listener,
+            shared: Arc::new(RouterShared {
+                cfg,
+                core,
+                backends,
+                ring,
+                stop_health: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` bind).
+    ///
+    /// # Errors
+    ///
+    /// Any socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// How many backends the router was configured with.
+    pub fn backend_count(&self) -> usize {
+        self.shared.backends.len()
+    }
+
+    /// Serves until a `shutdown` frame arrives and the drain completes:
+    /// every pending forward finishes on some backend, waiting clients get
+    /// their final frames, and buffered replies flush.
+    ///
+    /// # Errors
+    ///
+    /// Any listener failure other than the nonblocking-poll `WouldBlock`.
+    // audit:spawn-site — health thread + one forwarder per backend; all joined after the event loop drains
+    pub fn run(self) -> io::Result<()> {
+        let health = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("uopcache-route-health".to_string())
+                .spawn(move || health_loop(&shared))?
+        };
+        let mut forwarders = Vec::with_capacity(self.shared.backends.len());
+        for idx in 0..self.shared.backends.len() {
+            let shared = Arc::clone(&self.shared);
+            forwarders.push(
+                std::thread::Builder::new()
+                    .name(format!("uopcache-route-fwd{idx}"))
+                    .spawn(move || forwarder_loop(&shared, idx))?,
+            );
+        }
+        let result = run_event_loop(
+            &self.listener,
+            self.shared.as_ref(),
+            &self.shared.cfg.tuning,
+        );
+        self.shared.close_queues();
+        for handle in forwarders {
+            let _ = handle.join();
+        }
+        self.shared.stop_health.store(true, Ordering::SeqCst);
+        let _ = health.join();
+        result
+    }
+
+    /// Runs the router on a background thread, returning a handle with the
+    /// bound address — the in-process harness the e2e tests drive.
+    ///
+    /// # Errors
+    ///
+    /// Any socket introspection or thread-spawn failure.
+    // audit:spawn-site — event-loop thread, joined by RouterHandle::join_within after shutdown
+    pub fn spawn(self) -> io::Result<RouterHandle> {
+        let addr = self.local_addr()?;
+        let thread = std::thread::Builder::new()
+            .name("uopcache-route-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(RouterHandle { addr, thread })
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("backends", &self.shared.backends.len())
+            .finish()
+    }
+}
+
+/// A running in-process router (see [`Router::spawn`]).
+#[derive(Debug)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits up to `timeout` for the router thread to exit (it exits after a
+    /// completed drain). Returns `None` if it is still running.
+    pub fn join_within(self, timeout: Duration) -> Option<io::Result<()>> {
+        let deadline = Instant::now() + timeout;
+        while !self.thread.is_finished() {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Some(self.thread.join().unwrap_or_else(|p| {
+            Err(io::Error::other(format!(
+                "router thread panicked: {}",
+                panic_message(p.as_ref())
+            )))
+        }))
+    }
+}
+
+/// One backend's forwarder: pops pending jobs and forwards each through the
+/// typed [`Client`], failing over along the ring when the backend refuses or
+/// dies. One forward at a time per backend mirrors the daemon's
+/// one-executor-per-shard model.
+fn forwarder_loop(shared: &RouterShared, idx: usize) {
+    let backend = &shared.backends[idx];
+    loop {
+        let Some(job) = backend.queue.pop(Duration::from_millis(100)) else {
+            if backend.queue.is_closed() {
+                break;
+            }
+            continue;
+        };
+        let waited = job.enqueued.elapsed();
+        shared.core.observe_ms("queue_wait_ms", waited);
+        if job
+            .start_deadline
+            .is_some_and(|deadline| Instant::now() > deadline)
+        {
+            shared.core.count("jobs_timed_out");
+            shared.core.count("jobs_failed");
+            shared.core.table.set_state(
+                &job.id,
+                JobState::Failed(format!(
+                    "timed out after {}ms in the queue",
+                    waited.as_millis()
+                )),
+            );
+            continue;
+        }
+        shared.core.table.set_state(&job.id, JobState::Running);
+        let started = Instant::now();
+        let outcome = forward_job(shared, idx, &job);
+        shared.core.observe_ms("forward_ms", started.elapsed());
+        match outcome {
+            Ok(report) => {
+                shared.core.count("jobs_completed");
+                shared
+                    .core
+                    .table
+                    .set_state(&job.id, JobState::Done(Arc::new(report)));
+            }
+            Err(message) => {
+                shared.core.count("jobs_failed");
+                shared
+                    .core
+                    .table
+                    .set_state(&job.id, JobState::Failed(message));
+            }
+        }
+    }
+    backend.done.store(true, Ordering::SeqCst);
+}
+
+/// Forwards one job, retrying along the ring: the queued owner first, then
+/// each distinct successor, for up to `retry_rounds` passes. Transport
+/// failures mark a backend unhealthy and move on; a backend-side job failure
+/// is final (deterministic — it would fail identically everywhere).
+fn forward_job(shared: &RouterShared, owner: usize, job: &QueuedJob) -> Result<String, String> {
+    let ring_order = shared.ring.order_for(fnv1a64(job.id.as_bytes()));
+    // The queued owner leads (admission may already have spilled the job off
+    // its ring owner), then the ring order minus the owner.
+    let mut order = Vec::with_capacity(ring_order.len());
+    order.push(owner);
+    order.extend(ring_order.into_iter().filter(|&b| b != owner));
+
+    let mut last_failure = "no backend attempted".to_string();
+    for round in 0..shared.cfg.retry_rounds {
+        for &idx in &order {
+            let backend = &shared.backends[idx];
+            if backend.draining.load(Ordering::SeqCst) {
+                continue; // drain-aware: no new work to a draining backend
+            }
+            // On the first pass trust the health flags; later passes probe
+            // even "unhealthy" backends in case the flags are stale.
+            if round == 0 && !backend.healthy.load(Ordering::SeqCst) && order.len() > 1 {
+                continue;
+            }
+            match forward_once(shared, idx, job) {
+                Ok(report) => {
+                    backend.healthy.store(true, Ordering::SeqCst);
+                    shared.core.count(&format!("backend{idx}_forwarded"));
+                    return Ok(report);
+                }
+                Err(ForwardError::Busy { draining }) => {
+                    if draining {
+                        backend.draining.store(true, Ordering::SeqCst);
+                    }
+                    shared.core.count(&format!("backend{idx}_spilled"));
+                    last_failure = format!("backend {} busy", backend.addr);
+                }
+                Err(ForwardError::Transport(message)) => {
+                    backend.healthy.store(false, Ordering::SeqCst);
+                    shared.core.count(&format!("backend{idx}_errors"));
+                    last_failure = format!("backend {}: {message}", backend.addr);
+                }
+                Err(ForwardError::JobFailed(message)) => return Err(message),
+            }
+        }
+        if round + 1 < shared.cfg.retry_rounds {
+            std::thread::sleep(shared.cfg.retry_backoff);
+        }
+    }
+    Err(format!(
+        "no backend could run the job after {} passes (last: {last_failure})",
+        shared.cfg.retry_rounds
+    ))
+}
+
+enum ForwardError {
+    /// The backend refused admission (full queue or draining): spill over.
+    Busy { draining: bool },
+    /// The backend was unreachable or died mid-flight: fail over.
+    Transport(String),
+    /// The backend ran the job and it failed: final.
+    JobFailed(String),
+}
+
+/// One forward attempt against one backend, reusing the job's id so the
+/// backend's dedupe makes repeated attempts idempotent.
+fn forward_once(
+    shared: &RouterShared,
+    idx: usize,
+    job: &QueuedJob,
+) -> Result<String, ForwardError> {
+    let backend = &shared.backends[idx];
+    let mut client = Client::connect(backend.addr, shared.cfg.probe_timeout)
+        .map_err(|e| ForwardError::Transport(e.to_string()))?;
+    match client.submit_and_wait(&job.spec, Some(&job.id), shared.cfg.forward_timeout) {
+        Ok(result) => Ok(result.report.to_string()),
+        Err(ClientError::Busy { reason }) => Err(ForwardError::Busy {
+            draining: reason.contains("draining"),
+        }),
+        Err(ClientError::Server(message)) => Err(ForwardError::JobFailed(message)),
+        Err(e) => Err(ForwardError::Transport(e.to_string())),
+    }
+}
+
+/// The health thread: probes every backend each `health_interval` with a
+/// `stats` frame, updating the healthy/draining flags placement reads.
+fn health_loop(shared: &RouterShared) {
+    loop {
+        if shared.stop_health.load(Ordering::SeqCst) {
+            break;
+        }
+        for backend in &shared.backends {
+            match probe(backend.addr, shared.cfg.probe_timeout) {
+                Ok(draining) => {
+                    backend.healthy.store(true, Ordering::SeqCst);
+                    backend.draining.store(draining, Ordering::SeqCst);
+                }
+                Err(_) => backend.healthy.store(false, Ordering::SeqCst),
+            }
+        }
+        shared.core.count("health_probes");
+        // Sleep in short slices so the post-drain stop is noticed promptly.
+        let mut remaining = shared.cfg.health_interval;
+        while remaining > Duration::ZERO && !shared.stop_health.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// One health probe: fetch the backend's stats frame and read its
+/// `draining` flag.
+fn probe(addr: SocketAddr, timeout: Duration) -> Result<bool, ClientError> {
+    let mut client = Client::connect(addr, timeout)?;
+    let stats = client.stats(timeout)?;
+    Ok(stats
+        .field("draining")
+        .ok()
+        .and_then(Json::as_bool)
+        .unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| {
+                format!("127.0.0.1:{}", 7000 + i)
+                    .parse()
+                    .expect("addr parses")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_order_is_stable_and_covers_every_backend() {
+        let ring = Ring::new(&addrs(3), 16);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let order = ring.order_for(key);
+            assert_eq!(order.len(), 3, "every backend appears once");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(order, ring.order_for(key), "placement is deterministic");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_backends() {
+        let ring = Ring::new(&addrs(4), 64);
+        let mut hit = [0usize; 4];
+        for i in 0..256u32 {
+            hit[ring.order_for(fnv1a64(&i.to_le_bytes()))[0]] += 1;
+        }
+        assert!(
+            hit.iter().all(|&h| h > 0),
+            "every backend owns some keys: {hit:?}"
+        );
+    }
+}

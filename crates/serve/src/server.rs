@@ -1,50 +1,60 @@
-//! The daemon: accept loop, connection handlers, and the job executor.
+//! The daemon: a nonblocking event loop in front of sharded job executors.
+//!
+//! ## Architecture
+//!
+//! One acceptor thread runs the [`event`](crate::event) loop, multiplexing
+//! every client connection (`set_nonblocking` + readiness polling — no
+//! thread per connection). Accepted jobs are keyed by their content-derived
+//! FNV-1a id onto one of `shards` worker shards, each a bounded queue plus
+//! one executor thread; identical submissions share an id and therefore a
+//! shard, so dedupe is shard-local by construction.
 //!
 //! ## Robustness model
 //!
-//! * **Backpressure** — jobs land in a [`BoundedQueue`]; a full queue answers
-//!   with a `busy` frame (`"code": 429`) instead of buffering. A rejected
-//!   submission leaves no job-table entry, so the retry the busy frame asks
-//!   for re-enqueues instead of deduping onto a dead rejection. The table
-//!   itself retains at most `job_retention` finished jobs (oldest evicted),
-//!   so memory use is bounded by `queue_capacity` + `job_retention`
-//!   regardless of client behaviour or uptime.
-//! * **Panic isolation** — the executor wraps every job in `catch_unwind`;
+//! * **Backpressure** — jobs land in per-shard [`BoundedQueue`]s; a full
+//!   shard answers with a `busy` frame (`"code": 429`) instead of buffering.
+//!   A rejected submission leaves no job-table entry, so the retry the busy
+//!   frame asks for re-enqueues instead of deduping onto a dead rejection.
+//!   The table itself retains at most `job_retention` finished jobs (oldest
+//!   evicted), so memory use is bounded by `queue_capacity` +
+//!   `job_retention` regardless of client behaviour or uptime.
+//! * **Panic isolation** — each executor wraps every job in `catch_unwind`;
 //!   a panicking job becomes a `failed` state surfaced as an `error` frame
 //!   while the daemon keeps serving. (Per-cell panics inside a job never even
 //!   reach that: the exec pool turns them into structured failure rows of the
 //!   report, exactly as the offline `sweep` does.)
-//! * **Timeouts** — connections poll their socket with a short read timeout
-//!   (so shutdown is noticed promptly), close after `idle_timeout` without a
-//!   frame, and abort frames that stall mid-body. Jobs that wait in the
-//!   queue past their start deadline fail with a timeout message instead of
-//!   running stale.
-//! * **Graceful drain** — a `shutdown` frame closes the queue and stops the
-//!   accept loop; queued and running jobs finish, waiting clients receive
-//!   their results, and only then does [`Server::run`] return.
+//! * **Timeouts** — the event loop polices per-connection idle and
+//!   frame-stall deadlines on the exec crate's clock seam; jobs that wait in
+//!   the queue past their start deadline fail with a timeout message instead
+//!   of running stale.
+//! * **Graceful drain** — a `shutdown` frame closes every shard queue and
+//!   stops accepting; queued and running jobs finish, waiting clients
+//!   receive their results, and only then does [`Server::run`] return.
 //!
 //! ## Determinism
 //!
 //! Job results are produced by [`run_sweep`] with task keys derived purely
 //! from the spec (config, variant, length, app, policy) — never from the
-//! worker count, queue order or wall clock — so a served result is
-//! byte-identical to the same spec run through the offline `uopcache sweep`
-//! CLI at any `--jobs` value.
+//! worker count, shard index, queue order or wall clock — so a served result
+//! is byte-identical to the same spec run through the offline
+//! `uopcache sweep` CLI at any `--jobs` value and any shard count.
 
-use crate::job::{
-    job_id_for, BoundedQueue, JobState, JobTable, QueueError, QueuedJob, DEFAULT_JOB_RETENTION,
+use crate::config::ServerConfig;
+use crate::event::{
+    busy_frame, error_frame, lock_clean, panic_message, req_u64, run_event_loop, Service,
+    ServiceCore, SubmitAction,
 };
-use crate::protocol::{frame, frame_type, read_frame, write_frame, FrameError};
+use crate::job::{job_id_for, shard_for, BoundedQueue, JobState, QueuedJob};
+use crate::protocol::frame;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uopcache_bench::sweep::{run_sweep, SweepSpec};
 use uopcache_exec::Engine;
 use uopcache_model::json::Json;
-use uopcache_obs::{Histogram, MetricsRegistry};
 
 /// The signature of the job execution hook: spec in, canonical report JSON
 /// out. The default runner is [`run_sweep`] + `to_json`; tests inject
@@ -52,82 +62,215 @@ use uopcache_obs::{Histogram, MetricsRegistry};
 /// deterministically.
 pub type Runner = dyn Fn(&SweepSpec, &Engine) -> String + Send + Sync;
 
-/// Server tuning knobs. `Default` is sized for loopback serving and tests.
-#[derive(Clone, Debug)]
-pub struct ServerConfig {
-    /// Bind address, e.g. `127.0.0.1:7743` (`:0` picks an ephemeral port).
-    pub addr: String,
-    /// Bounded queue capacity; pushes beyond it get `busy` frames.
-    pub queue_capacity: usize,
-    /// Engine worker count per job (`0` = the machine's parallelism).
-    pub jobs: usize,
-    /// Default per-job start deadline measured from acceptance; a job still
-    /// queued past it fails instead of running. `None` = no deadline.
-    pub job_timeout: Option<Duration>,
-    /// Socket read-poll slice; also bounds how fast drain is noticed.
-    pub read_timeout: Duration,
-    /// Close a connection after this long without a complete frame.
-    pub idle_timeout: Duration,
-    /// Abort a frame whose bytes stall longer than this mid-body.
-    pub frame_stall_limit: Duration,
-    /// Maximum concurrent connections; excess connects get a `busy` frame.
-    pub max_connections: usize,
-    /// Terminal jobs retained in the table for late `status`/`result`
-    /// fetches; past this the oldest finished entries are evicted, bounding
-    /// daemon memory over a long uptime.
-    pub job_retention: usize,
-    /// After the drain finishes, wait at most this long for connections to
-    /// notice and close before `run` returns anyway.
-    pub drain_grace: Duration,
+/// One worker shard: a bounded queue drained by one executor thread.
+struct Shard {
+    queue: BoundedQueue,
+    /// Set by the executor as it exits (queue closed and fully drained).
+    done: AtomicBool,
 }
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            queue_capacity: 16,
-            jobs: 0,
-            job_timeout: None,
-            read_timeout: Duration::from_millis(100),
-            idle_timeout: Duration::from_secs(120),
-            frame_stall_limit: Duration::from_secs(10),
-            max_connections: 64,
-            job_retention: DEFAULT_JOB_RETENTION,
-            drain_grace: Duration::from_secs(5),
+struct ServerShared {
+    cfg: ServerConfig,
+    core: ServiceCore,
+    shards: Vec<Shard>,
+    runner: Box<Runner>,
+}
+
+impl ServerShared {
+    fn total_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.depth()).sum()
+    }
+
+    fn total_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.capacity()).sum()
+    }
+
+    fn close_queues(&self) {
+        for shard in &self.shards {
+            shard.queue.close();
         }
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    queue: BoundedQueue,
-    table: JobTable,
-    metrics: Mutex<MetricsRegistry>,
-    /// Set by a `shutdown` frame: stop accepting work, drain, exit.
-    draining: AtomicBool,
-    /// Set once the executor has drained: connections close at next poll.
-    stopped: AtomicBool,
-    active_conns: AtomicUsize,
-    runner: Box<Runner>,
-}
-
-impl Shared {
-    fn count(&self, name: &str) {
-        lock_clean(&self.metrics).inc(name);
+impl Service for ServerShared {
+    fn core(&self) -> &ServiceCore {
+        &self.core
     }
 
-    fn observe_ms(&self, name: &str, elapsed: Duration) {
-        let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
-        lock_clean(&self.metrics)
-            .histogram_with(name, || Histogram::log2(14))
-            .observe(ms);
+    fn submit(&self, req: &Json) -> SubmitAction {
+        let reject = |reply: Json| SubmitAction {
+            reply,
+            wait_for: None,
+        };
+        let spec = match req
+            .field("job")
+            .map_err(|e| e.to_string())
+            .and_then(SweepSpec::from_json)
+        {
+            Ok(spec) => spec,
+            Err(message) => {
+                self.core.count("jobs_rejected_invalid");
+                return reject(error_frame(None, &format!("invalid job: {message}")));
+            }
+        };
+        let spec_json = spec.to_json().to_string();
+        let id = match req.field("id") {
+            Ok(v) => match v.as_str() {
+                Some(s) if !s.is_empty() => s.to_string(),
+                _ => {
+                    self.core.count("jobs_rejected_invalid");
+                    return reject(error_frame(
+                        None,
+                        "invalid job: \"id\" must be a non-empty string",
+                    ));
+                }
+            },
+            Err(_) => job_id_for(&spec),
+        };
+        let wait = req
+            .field("wait")
+            .ok()
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let wait_timeout = Duration::from_millis(req_u64(req, "timeout_ms").unwrap_or(600_000));
+
+        let mut deduped = false;
+        match self.core.table.register(&id, &spec_json) {
+            Ok(()) => {
+                let queue_timeout = req_u64(req, "queue_timeout_ms")
+                    .map(Duration::from_millis)
+                    .or(self.cfg.job_timeout);
+                let now = Instant::now();
+                let job = QueuedJob {
+                    id: id.clone(),
+                    spec,
+                    enqueued: now,
+                    start_deadline: queue_timeout.map(|t| now + t),
+                };
+                // A refused submission is forgotten entirely: a `busy` frame
+                // tells the client to retry later, so its id must stay free
+                // for that retry to re-enqueue — a terminal entry here would
+                // turn every retry into a dedupe onto a job that never ran.
+                if self.core.draining() {
+                    self.core.count("jobs_rejected_busy");
+                    self.core.table.remove(&id);
+                    return reject(self.busy(&id, "draining"));
+                }
+                let shard = &self.shards[shard_for(&id, self.shards.len())];
+                match shard.queue.push(job) {
+                    Ok(_depth) => self.core.count("jobs_accepted"),
+                    Err(crate::job::QueueError::Full) => {
+                        self.core.count("jobs_rejected_busy");
+                        self.core.table.remove(&id);
+                        return reject(self.busy(&id, "queue full"));
+                    }
+                    Err(crate::job::QueueError::Closed) => {
+                        self.core.count("jobs_rejected_busy");
+                        self.core.table.remove(&id);
+                        return reject(self.busy(&id, "draining"));
+                    }
+                }
+            }
+            Err(Ok(_existing)) => {
+                // Idempotent retry: same id, same spec — adopt the original.
+                self.core.count("jobs_deduped");
+                deduped = true;
+            }
+            Err(Err(message)) => {
+                self.core.count("jobs_rejected_invalid");
+                return reject(error_frame(Some(&id), &message));
+            }
+        }
+
+        let accepted = frame(
+            "accepted",
+            vec![
+                ("job_id".to_string(), Json::Str(id.clone())),
+                ("deduped".to_string(), Json::Bool(deduped)),
+                (
+                    "queue_depth".to_string(),
+                    Json::U64(self.total_depth() as u64),
+                ),
+            ],
+        );
+        SubmitAction {
+            reply: accepted,
+            wait_for: wait.then_some((id, wait_timeout)),
+        }
+    }
+
+    fn stats_frame(&self) -> Json {
+        // Refresh the instantaneous levels in the registry before rendering,
+        // so the embedded metrics carry per-shard gauges alongside counters.
+        self.core.set_gauge(
+            "active_connections",
+            self.core.active_conns.load(Ordering::SeqCst) as u64,
+        );
+        for (idx, shard) in self.shards.iter().enumerate() {
+            self.core.set_gauge(
+                &format!("shard{idx}_queue_depth"),
+                shard.queue.depth() as u64,
+            );
+        }
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("depth".to_string(), Json::U64(s.queue.depth() as u64)),
+                    ("capacity".to_string(), Json::U64(s.queue.capacity() as u64)),
+                ])
+            })
+            .collect();
+        frame(
+            "stats",
+            vec![
+                (
+                    "queue_depth".to_string(),
+                    Json::U64(self.total_depth() as u64),
+                ),
+                (
+                    "queue_capacity".to_string(),
+                    Json::U64(self.total_capacity() as u64),
+                ),
+                ("draining".to_string(), Json::Bool(self.core.draining())),
+                (
+                    "active_connections".to_string(),
+                    Json::U64(self.core.active_conns.load(Ordering::SeqCst) as u64),
+                ),
+                ("shards".to_string(), Json::Arr(shards)),
+                (
+                    "metrics".to_string(),
+                    lock_clean(&self.core.metrics).to_json(),
+                ),
+            ],
+        )
+    }
+
+    fn begin_shutdown(&self) -> Json {
+        self.close_queues();
+        self.core.draining.store(true, Ordering::SeqCst);
+        frame(
+            "shutdown_ack",
+            vec![("queued".to_string(), Json::U64(self.total_depth() as u64))],
+        )
+    }
+
+    fn drained(&self) -> bool {
+        self.shards.iter().all(|s| s.done.load(Ordering::SeqCst))
+    }
+}
+
+impl ServerShared {
+    fn busy(&self, id: &str, reason: &str) -> Json {
+        busy_frame(id, reason, self.total_depth(), self.total_capacity())
     }
 }
 
 /// The bound daemon; [`run`](Self::run) serves until drained.
 pub struct Server {
     listener: TcpListener,
-    shared: Arc<Shared>,
+    shared: Arc<ServerShared>,
 }
 
 impl Server {
@@ -150,20 +293,25 @@ impl Server {
     ///
     /// Any socket bind failure.
     pub fn bind_with_runner(cfg: ServerConfig, runner: Box<Runner>) -> io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = TcpListener::bind(cfg.addr)?;
         listener.set_nonblocking(true)?;
-        let queue = BoundedQueue::new(cfg.queue_capacity);
-        let table = JobTable::with_retention(cfg.job_retention);
+        // The total queue bound splits evenly across shards (each clamped to
+        // at least one slot); capacity gauges report the effective sum.
+        let per_shard = (cfg.queue_capacity / cfg.shards).max(1);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            shards.push(Shard {
+                queue: BoundedQueue::new(per_shard),
+                done: AtomicBool::new(false),
+            });
+        }
+        let core = ServiceCore::new(cfg.job_retention);
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
+            shared: Arc::new(ServerShared {
                 cfg,
-                queue,
-                table,
-                metrics: Mutex::new(MetricsRegistry::new()),
-                draining: AtomicBool::new(false),
-                stopped: AtomicBool::new(false),
-                active_conns: AtomicUsize::new(0),
+                core,
+                shards,
                 runner,
             }),
         })
@@ -179,93 +327,36 @@ impl Server {
     }
 
     /// Serves until a `shutdown` frame arrives and the drain completes:
-    /// the queue empties, the running job finishes, waiting clients get
-    /// their final frames, and connections close (bounded by `drain_grace`).
+    /// every shard queue empties, running jobs finish, waiting clients get
+    /// their final frames, and buffered replies flush (bounded by
+    /// `drain_grace`).
     ///
     /// # Errors
     ///
     /// Any listener failure other than the nonblocking-poll `WouldBlock`.
-    // audit:spawn-site — executor + per-connection threads; all joined (or grace-bounded) by the drain sequence below
+    // audit:spawn-site — one executor thread per shard; all joined after the event loop drains
     pub fn run(self) -> io::Result<()> {
-        let shared = Arc::clone(&self.shared);
-        let executor = std::thread::Builder::new()
-            .name("uopcache-serve-exec".to_string())
-            .spawn({
-                let shared = Arc::clone(&self.shared);
-                move || executor_loop(&shared)
-            })?;
-
-        loop {
-            if shared.draining.load(Ordering::SeqCst) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let active = shared.active_conns.load(Ordering::SeqCst);
-                    if active >= shared.cfg.max_connections {
-                        shared.count("connections_rejected");
-                        let busy = frame(
-                            "busy",
-                            vec![
-                                ("code".to_string(), Json::U64(429)),
-                                (
-                                    "reason".to_string(),
-                                    Json::Str("connection limit reached".to_string()),
-                                ),
-                            ],
-                        );
-                        let _ = write_frame(&stream, &busy);
-                        continue;
-                    }
-                    shared.count("connections_accepted");
-                    shared.active_conns.fetch_add(1, Ordering::SeqCst);
-                    let conn_shared = Arc::clone(&shared);
-                    // Spawn the handler on a clone of the stream so a failed
-                    // spawn (transient thread exhaustion) still owns a socket
-                    // to apologise on — the server keeps accepting; only
-                    // returning from `run` may abandon in-flight jobs.
-                    let spawned = stream.try_clone().and_then(|conn| {
-                        std::thread::Builder::new()
-                            .name("uopcache-serve-conn".to_string())
-                            .spawn(move || {
-                                handle_connection(&conn_shared, conn);
-                                conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                            })
-                    });
-                    if let Err(e) = spawned {
-                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                        shared.count("connections_rejected");
-                        let busy = frame(
-                            "busy",
-                            vec![
-                                ("code".to_string(), Json::U64(429)),
-                                (
-                                    "reason".to_string(),
-                                    Json::Str(format!("connection thread unavailable: {e}")),
-                                ),
-                            ],
-                        );
-                        let _ = write_frame(&stream, &busy);
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
+        let mut executors = Vec::with_capacity(self.shared.shards.len());
+        for idx in 0..self.shared.shards.len() {
+            let shared = Arc::clone(&self.shared);
+            executors.push(
+                std::thread::Builder::new()
+                    .name(format!("uopcache-serve-exec{idx}"))
+                    .spawn(move || executor_loop(&shared, idx))?,
+            );
         }
-
-        // Drain: the queue is already closed (the shutdown handler does it);
-        // wait for the executor to finish every accepted job.
-        self.shared.queue.close();
-        let _ = executor.join();
-        self.shared.stopped.store(true, Ordering::SeqCst);
-        let deadline = Instant::now() + self.shared.cfg.drain_grace;
-        while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
+        let result = run_event_loop(
+            &self.listener,
+            self.shared.as_ref(),
+            &self.shared.cfg.tuning,
+        );
+        // On a clean exit the queues are already closed (the shutdown frame
+        // did it); after a listener error, close them so executors exit too.
+        self.shared.close_queues();
+        for handle in executors {
+            let _ = handle.join();
         }
-        Ok(())
+        result
     }
 
     /// Runs the server on a background thread, returning a handle with the
@@ -274,7 +365,7 @@ impl Server {
     /// # Errors
     ///
     /// Any socket introspection or thread-spawn failure.
-    // audit:spawn-site — accept-loop thread, joined by ServerHandle::join after shutdown
+    // audit:spawn-site — event-loop thread, joined by ServerHandle::join_within after shutdown
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let thread = std::thread::Builder::new()
@@ -288,7 +379,8 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.listener.local_addr().ok())
-            .field("queue_capacity", &self.shared.queue.capacity())
+            .field("shards", &self.shared.shards.len())
+            .field("queue_capacity", &self.shared.total_capacity())
             .finish()
     }
 }
@@ -325,33 +417,34 @@ impl ServerHandle {
     }
 }
 
-/// The single-consumer executor: one job at a time, each internally parallel
-/// through the exec engine. Serialising jobs keeps one engine's worth of
-/// threads regardless of queue depth, and determinism needs nothing more —
-/// results never depend on which job ran first.
-fn executor_loop(shared: &Shared) {
+/// One shard's executor: one job at a time, each internally parallel through
+/// the exec engine. Serialising jobs per shard keeps thread count
+/// proportional to shards (not queue depth), and determinism needs nothing
+/// more — results never depend on which job or shard ran first.
+fn executor_loop(shared: &ServerShared, idx: usize) {
     let jobs = if shared.cfg.jobs == 0 {
         Engine::default_parallelism()
     } else {
         shared.cfg.jobs
     };
     let engine = Engine::new(jobs);
+    let shard = &shared.shards[idx];
     loop {
-        let Some(job) = shared.queue.pop(Duration::from_millis(100)) else {
-            if shared.queue.is_closed() {
-                break; // closed and empty: drain complete
+        let Some(job) = shard.queue.pop(Duration::from_millis(100)) else {
+            if shard.queue.is_closed() {
+                break; // closed and empty: this shard's drain is complete
             }
             continue;
         };
         let waited = job.enqueued.elapsed();
-        shared.observe_ms("queue_wait_ms", waited);
+        shared.core.observe_ms("queue_wait_ms", waited);
         if job
             .start_deadline
             .is_some_and(|deadline| Instant::now() > deadline)
         {
-            shared.count("jobs_timed_out");
-            shared.count("jobs_failed");
-            shared.table.set_state(
+            shared.core.count("jobs_timed_out");
+            shared.core.count("jobs_failed");
+            shared.core.table.set_state(
                 &job.id,
                 JobState::Failed(format!(
                     "timed out after {}ms in the queue",
@@ -360,324 +453,28 @@ fn executor_loop(shared: &Shared) {
             );
             continue;
         }
-        shared.table.set_state(&job.id, JobState::Running);
+        shared.core.table.set_state(&job.id, JobState::Running);
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| (shared.runner)(&job.spec, &engine)));
-        shared.observe_ms("run_ms", started.elapsed());
+        shared.core.observe_ms("run_ms", started.elapsed());
         match outcome {
             Ok(report) => {
-                shared.count("jobs_completed");
+                shared.core.count("jobs_completed");
+                shared.core.count(&format!("shard{idx}_jobs_completed"));
                 shared
+                    .core
                     .table
                     .set_state(&job.id, JobState::Done(Arc::new(report)));
             }
             Err(payload) => {
-                shared.count("jobs_failed");
+                shared.core.count("jobs_failed");
+                shared.core.count(&format!("shard{idx}_jobs_failed"));
                 shared
+                    .core
                     .table
                     .set_state(&job.id, JobState::Failed(panic_message(payload.as_ref())));
             }
         }
     }
-}
-
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut last_activity = Instant::now();
-    loop {
-        match read_frame(&stream, shared.cfg.frame_stall_limit) {
-            Ok(None) => {
-                if shared.stopped.load(Ordering::SeqCst)
-                    || last_activity.elapsed() > shared.cfg.idle_timeout
-                {
-                    break;
-                }
-            }
-            Ok(Some(req)) => {
-                last_activity = Instant::now();
-                shared.count("frames_handled");
-                if !handle_request(shared, &stream, &req) {
-                    break;
-                }
-            }
-            Err(FrameError::Closed) => break,
-            Err(e) => {
-                let report = frame(
-                    "error",
-                    vec![("message".to_string(), Json::Str(e.to_string()))],
-                );
-                let _ = write_frame(&stream, &report);
-                break;
-            }
-        }
-    }
-}
-
-/// Handles one request frame; returns `false` when the connection should
-/// close (protocol error — every recognised request keeps it open).
-fn handle_request(shared: &Shared, stream: &TcpStream, req: &Json) -> bool {
-    let reply = |body: &Json| write_frame(stream, body).is_ok();
-    let ty = match frame_type(req) {
-        Ok(ty) => ty,
-        Err(e) => {
-            let report = frame(
-                "error",
-                vec![("message".to_string(), Json::Str(e.to_string()))],
-            );
-            reply(&report);
-            return false;
-        }
-    };
-    match ty {
-        "ping" => reply(&frame("pong", Vec::with_capacity(0))),
-        "submit" => handle_submit(shared, stream, req),
-        "status" => match req_job_id(req) {
-            Err(message) => reply(&error_frame(None, &message)),
-            Ok(id) => match shared.table.get(id) {
-                None => reply(&error_frame(Some(id), &format!("unknown job {id:?}"))),
-                Some(entry) => reply(&status_frame(id, &entry.state)),
-            },
-        },
-        "wait" | "result" => match req_job_id(req) {
-            Err(message) => reply(&error_frame(None, &message)),
-            Ok(id) => {
-                let timeout = if ty == "result" {
-                    Duration::ZERO
-                } else {
-                    Duration::from_millis(req_u64(req, "timeout_ms").unwrap_or(60_000))
-                };
-                reply(&wait_reply(shared, id, timeout))
-            }
-        },
-        "stats" => reply(&stats_frame(shared)),
-        "shutdown" => {
-            shared.queue.close();
-            shared.draining.store(true, Ordering::SeqCst);
-            reply(&frame(
-                "shutdown_ack",
-                vec![("queued".to_string(), Json::U64(shared.queue.depth() as u64))],
-            ))
-        }
-        other => {
-            reply(&error_frame(None, &format!("unknown frame type {other:?}")));
-            true
-        }
-    }
-}
-
-fn handle_submit(shared: &Shared, stream: &TcpStream, req: &Json) -> bool {
-    let reply = |body: &Json| write_frame(stream, body).is_ok();
-    let spec = match req
-        .field("job")
-        .map_err(|e| e.to_string())
-        .and_then(SweepSpec::from_json)
-    {
-        Ok(spec) => spec,
-        Err(message) => {
-            shared.count("jobs_rejected_invalid");
-            return reply(&error_frame(None, &format!("invalid job: {message}")));
-        }
-    };
-    let spec_json = spec.to_json().to_string();
-    let id = match req.field("id") {
-        Ok(v) => match v.as_str() {
-            Some(s) if !s.is_empty() => s.to_string(),
-            _ => {
-                shared.count("jobs_rejected_invalid");
-                return reply(&error_frame(
-                    None,
-                    "invalid job: \"id\" must be a non-empty string",
-                ));
-            }
-        },
-        Err(_) => job_id_for(&spec),
-    };
-    let wait = req
-        .field("wait")
-        .ok()
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
-    let wait_timeout = Duration::from_millis(req_u64(req, "timeout_ms").unwrap_or(600_000));
-
-    let mut deduped = false;
-    match shared.table.register(&id, &spec_json) {
-        Ok(()) => {
-            let queue_timeout = req_u64(req, "queue_timeout_ms")
-                .map(Duration::from_millis)
-                .or(shared.cfg.job_timeout);
-            let now = Instant::now();
-            let job = QueuedJob {
-                id: id.clone(),
-                spec,
-                enqueued: now,
-                start_deadline: queue_timeout.map(|t| now + t),
-            };
-            // A refused submission is forgotten entirely: a `busy` frame
-            // tells the client to retry later, so its id must stay free for
-            // that retry to re-enqueue — a terminal entry here would turn
-            // every retry into a dedupe onto a job that never ran.
-            if shared.draining.load(Ordering::SeqCst) {
-                shared.count("jobs_rejected_busy");
-                shared.table.remove(&id);
-                return reply(&busy_frame(shared, &id, "draining"));
-            }
-            match shared.queue.push(job) {
-                Ok(_depth) => shared.count("jobs_accepted"),
-                Err(QueueError::Full) => {
-                    shared.count("jobs_rejected_busy");
-                    shared.table.remove(&id);
-                    return reply(&busy_frame(shared, &id, "queue full"));
-                }
-                Err(QueueError::Closed) => {
-                    shared.count("jobs_rejected_busy");
-                    shared.table.remove(&id);
-                    return reply(&busy_frame(shared, &id, "draining"));
-                }
-            }
-        }
-        Err(Ok(_existing)) => {
-            // Idempotent retry: same id, same spec — adopt the original job.
-            shared.count("jobs_deduped");
-            deduped = true;
-        }
-        Err(Err(message)) => {
-            shared.count("jobs_rejected_invalid");
-            return reply(&error_frame(Some(&id), &message));
-        }
-    }
-
-    let accepted = frame(
-        "accepted",
-        vec![
-            ("job_id".to_string(), Json::Str(id.clone())),
-            ("deduped".to_string(), Json::Bool(deduped)),
-            (
-                "queue_depth".to_string(),
-                Json::U64(shared.queue.depth() as u64),
-            ),
-        ],
-    );
-    if !reply(&accepted) {
-        return false;
-    }
-    if wait {
-        return reply(&wait_reply(shared, &id, wait_timeout));
-    }
-    true
-}
-
-/// The final frame for a `wait`/`result` request: `result` when done,
-/// `error` when failed, `status` when the wait timed out first.
-fn wait_reply(shared: &Shared, id: &str, timeout: Duration) -> Json {
-    let stopped = || !shared.stopped.load(Ordering::SeqCst);
-    match shared.table.wait_terminal(id, timeout, stopped) {
-        None => error_frame(Some(id), &format!("unknown job {id:?}")),
-        Some(entry) => match entry.state {
-            JobState::Done(report) => match Json::parse(&report) {
-                Ok(body) => frame(
-                    "result",
-                    vec![
-                        ("job_id".to_string(), Json::Str(id.to_string())),
-                        ("result".to_string(), body),
-                    ],
-                ),
-                Err(e) => error_frame(Some(id), &format!("stored report unparsable: {e}")),
-            },
-            JobState::Failed(message) => error_frame(Some(id), &message),
-            state => status_frame(id, &state),
-        },
-    }
-}
-
-fn req_job_id(req: &Json) -> Result<&str, String> {
-    req.field("job_id")
-        .map_err(|e| e.to_string())?
-        .as_str()
-        .ok_or_else(|| "\"job_id\" must be a string".to_string())
-}
-
-fn req_u64(req: &Json, field: &str) -> Option<u64> {
-    req.field(field).ok().and_then(Json::as_u64)
-}
-
-fn status_frame(id: &str, state: &JobState) -> Json {
-    frame(
-        "status",
-        vec![
-            ("job_id".to_string(), Json::Str(id.to_string())),
-            ("state".to_string(), Json::Str(state.label().to_string())),
-        ],
-    )
-}
-
-fn error_frame(id: Option<&str>, message: &str) -> Json {
-    let mut fields = Vec::with_capacity(2);
-    if let Some(id) = id {
-        fields.push(("job_id".to_string(), Json::Str(id.to_string())));
-    }
-    fields.push(("message".to_string(), Json::Str(message.to_string())));
-    frame("error", fields)
-}
-
-fn busy_frame(shared: &Shared, id: &str, reason: &str) -> Json {
-    frame(
-        "busy",
-        vec![
-            ("job_id".to_string(), Json::Str(id.to_string())),
-            ("code".to_string(), Json::U64(429)),
-            ("reason".to_string(), Json::Str(reason.to_string())),
-            (
-                "queue_depth".to_string(),
-                Json::U64(shared.queue.depth() as u64),
-            ),
-            (
-                "queue_capacity".to_string(),
-                Json::U64(shared.queue.capacity() as u64),
-            ),
-        ],
-    )
-}
-
-fn stats_frame(shared: &Shared) -> Json {
-    frame(
-        "stats",
-        vec![
-            (
-                "queue_depth".to_string(),
-                Json::U64(shared.queue.depth() as u64),
-            ),
-            (
-                "queue_capacity".to_string(),
-                Json::U64(shared.queue.capacity() as u64),
-            ),
-            (
-                "draining".to_string(),
-                Json::Bool(shared.draining.load(Ordering::SeqCst)),
-            ),
-            (
-                "active_connections".to_string(),
-                Json::U64(shared.active_conns.load(Ordering::SeqCst) as u64),
-            ),
-            ("metrics".to_string(), lock_clean(&shared.metrics).to_json()),
-        ],
-    )
-}
-
-/// Locks a mutex, tolerating poisoning (job panics are caught before they
-/// can unwind through a held lock; see the exec pool for the same policy).
-fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// Stringifies a panic payload (mirrors the exec pool's helper).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-        .unwrap_or_else(|| "non-string panic payload".to_string())
+    shard.done.store(true, Ordering::SeqCst);
 }

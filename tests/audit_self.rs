@@ -408,6 +408,48 @@ fn publish(jobs: &M, tx: &Sender) {
 }
 
 #[test]
+fn sleeps_and_joins_under_a_guard_are_reported() {
+    let paused = r#"
+fn tick(state: &M) {
+    let g = lock_clean(state);
+    std::thread::sleep(POLL);
+    drop(g);
+}
+fn reap(state: &M, handle: H) {
+    let g = lock_clean(state);
+    handle.join();
+    drop(g);
+}
+"#;
+    let diags = lint_fixture("crates/serve/src/fixture.rs", paused);
+    let hits = rules_of(&diags, "blocking-under-lock");
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    assert!(hits.iter().any(|d| d.message.contains("`sleep(..)`")));
+    assert!(hits.iter().any(|d| d.message.contains("`join(..)`")));
+
+    // Released first — and the Condvar idiom, which consumes its guard
+    // atomically — are both fine.
+    let released = r#"
+fn tick(state: &M) {
+    let g = lock_clean(state);
+    drop(g);
+    std::thread::sleep(POLL);
+}
+fn park(state: &M, cv: &Condvar) {
+    let mut g = lock_clean(state);
+    let (guard, _timed_out) = cv.wait_timeout(g, POLL).unwrap_or_else(|p| p.into_inner());
+    g = guard;
+    drop(g);
+}
+"#;
+    let diags = lint_fixture("crates/serve/src/fixture.rs", released);
+    assert!(
+        rules_of(&diags, "blocking-under-lock").is_empty(),
+        "released or Condvar-parked pauses must not be flagged: {diags:?}"
+    );
+}
+
+#[test]
 fn unmarked_spawns_are_flagged_and_spawn_site_marker_accounts_them() {
     let diags = lint_fixture(
         "crates/serve/src/fixture.rs",

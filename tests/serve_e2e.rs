@@ -97,13 +97,11 @@ fn served_result_is_byte_identical_to_offline_sweep_at_any_worker_count() {
     // count than either server below.
     let offline = run_sweep(&want, &Engine::new(3)).to_json();
 
-    for jobs in [1usize, 4] {
-        let server = server_with(ServerConfig {
-            jobs,
-            ..ServerConfig::default()
-        })
-        .spawn()
-        .expect("spawn");
+    // Worker count and shard count both vary; neither may change a byte.
+    for (jobs, shards) in [(1usize, 1usize), (4, 3)] {
+        let server = server_with(ServerConfig::builder().jobs(jobs).shards(shards).build())
+            .spawn()
+            .expect("spawn");
         let mut client = connect(&server);
         let outcome = client
             .submit_and_wait(&want, None, Duration::from_secs(120))
@@ -111,7 +109,7 @@ fn served_result_is_byte_identical_to_offline_sweep_at_any_worker_count() {
         assert_eq!(
             outcome.report.to_string(),
             offline,
-            "served bytes must match offline sweep at jobs={jobs}"
+            "served bytes must match offline sweep at jobs={jobs} shards={shards}"
         );
 
         // Idempotent retry: resubmitting the identical spec dedupes onto the
@@ -136,10 +134,7 @@ fn full_queue_answers_with_a_structured_busy_frame() {
     let gate = Arc::new(Gate::default());
     let runner_gate = Arc::clone(&gate);
     let server = Server::bind_with_runner(
-        ServerConfig {
-            queue_capacity: 1,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().queue_capacity(1).build(),
         Box::new(move |_spec, _engine| {
             runner_gate.hold();
             "{\"schema_version\":1}".to_string()
@@ -214,10 +209,7 @@ fn busy_rejected_job_can_be_retried_once_the_queue_frees() {
     let gate = Arc::new(Gate::default());
     let runner_gate = Arc::clone(&gate);
     let server = Server::bind_with_runner(
-        ServerConfig {
-            queue_capacity: 1,
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder().queue_capacity(1).build(),
         Box::new(move |_spec, _engine| {
             runner_gate.hold();
             "{\"schema_version\":1}".to_string()
