@@ -1,7 +1,7 @@
 //! The standard application set and trace construction.
 
 use uopcache_model::LookupTrace;
-use uopcache_trace::{build_trace, AppId, InputVariant};
+use uopcache_trace::{build_trace, build_trace_scaled, AppId, InputVariant};
 
 /// Default trace length per application. Large enough that the cache warms
 /// up and phase behaviour is exercised (several phase rotations), small
@@ -17,6 +17,13 @@ pub fn standard_apps() -> [AppId; 11] {
 /// Deterministic; callers cache as needed.
 pub fn trace_for(app: AppId, variant: u32, len: usize) -> LookupTrace {
     build_trace(app, InputVariant::new(variant), len)
+}
+
+/// As [`trace_for`], stretched to `len × scale` accesses by the generator's
+/// epoch mechanism (phase-structured repetition with drift). `scale == 1`
+/// is byte-identical to [`trace_for`].
+pub fn trace_for_scaled(app: AppId, variant: u32, len: usize, scale: u64) -> LookupTrace {
+    build_trace_scaled(app, InputVariant::new(variant), len, scale)
 }
 
 #[cfg(test)]

@@ -10,15 +10,18 @@
 //! derived metrics rounded to six decimals. The JSON is therefore
 //! byte-identical for every `--jobs` value.
 
-use crate::apps::trace_for;
+use crate::apps::trace_for_scaled;
 use crate::policies::{PolicyId, ProfileInputs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use uopcache_exec::{Engine, TaskFailure, TaskKey, TaskProfile};
 use uopcache_model::json::Json;
-use uopcache_model::{FrontendConfig, LookupTrace, SimResult};
+use uopcache_model::{
+    CacheStats, EventCounts, FrontendConfig, LookupTrace, SimResult, UopCacheStats,
+};
 use uopcache_obs::{Event, MetricsRecorder, MetricsRegistry, SamplingRecorder};
+use uopcache_sample::{simulate_interval, SampleConfig, SamplePlan};
 use uopcache_sim::{Frontend, SimOptions};
 use uopcache_trace::AppId;
 
@@ -113,6 +116,16 @@ pub struct SweepSpec {
     /// (and the report gains merged totals and per-task profiles). Still
     /// byte-identical for every worker count.
     pub metrics: bool,
+    /// Representative-interval sampling: when set, cut each trace into
+    /// intervals of this many micro-ops, simulate only cluster
+    /// representatives (plus dispersion probes) and reconstruct whole-trace
+    /// metrics by cluster weight. Cells gain a `sampled` JSON object with
+    /// the cluster count, interval count, weights and the reported error
+    /// bound. `--metrics` recorders are not attached in sampled mode.
+    pub sample: Option<u64>,
+    /// Trace-length multiplier (epochs of phase-structured repetition with
+    /// drift). `1` — the default — generates exactly the unscaled trace.
+    pub scale: u64,
 }
 
 impl SweepSpec {
@@ -122,33 +135,41 @@ impl SweepSpec {
     /// worker count), so the rendering doubles as the spec's identity: two
     /// specs with equal JSON produce byte-identical [`SweepReport`]s.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("config".to_string(), Json::Str(self.config_name.clone())),
-            (
-                "entries".to_string(),
-                Json::U64(u64::from(self.cfg.uop_cache.entries)),
-            ),
-            (
-                "ways".to_string(),
-                Json::U64(u64::from(self.cfg.uop_cache.ways)),
-            ),
-            (
-                "apps".to_string(),
-                Json::Arr(
-                    self.apps
-                        .iter()
-                        .map(|a| Json::Str(a.name().to_string()))
-                        .collect(),
+        Json::Obj(
+            vec![
+                ("config".to_string(), Json::Str(self.config_name.clone())),
+                (
+                    "entries".to_string(),
+                    Json::U64(u64::from(self.cfg.uop_cache.entries)),
                 ),
-            ),
-            (
-                "policies".to_string(),
-                Json::Arr(self.policies.iter().map(|p| Json::Str(p.clone())).collect()),
-            ),
-            ("variant".to_string(), Json::U64(u64::from(self.variant))),
-            ("len".to_string(), Json::U64(self.len as u64)),
-            ("metrics".to_string(), Json::Bool(self.metrics)),
-        ])
+                (
+                    "ways".to_string(),
+                    Json::U64(u64::from(self.cfg.uop_cache.ways)),
+                ),
+                (
+                    "apps".to_string(),
+                    Json::Arr(
+                        self.apps
+                            .iter()
+                            .map(|a| Json::Str(a.name().to_string()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "policies".to_string(),
+                    Json::Arr(self.policies.iter().map(|p| Json::Str(p.clone())).collect()),
+                ),
+                ("variant".to_string(), Json::U64(u64::from(self.variant))),
+                ("len".to_string(), Json::U64(self.len as u64)),
+                ("metrics".to_string(), Json::Bool(self.metrics)),
+            ]
+            .into_iter()
+            // Default-valued sampling fields are omitted so pre-sampling wire
+            // forms (and their job ids) are byte-identical to before.
+            .chain((self.scale > 1).then(|| ("scale".to_string(), Json::U64(self.scale))))
+            .chain(self.sample.map(|s| ("sample".to_string(), Json::U64(s))))
+            .collect(),
+        )
     }
 
     /// Reconstructs a spec from the wire form produced by
@@ -241,6 +262,22 @@ impl SweepSpec {
                 .as_bool()
                 .ok_or_else(|| "field \"metrics\" must be a bool".to_string())?,
         };
+        let scale = uint("scale", 1)?;
+        if scale == 0 {
+            return Err("field \"scale\" must be at least 1".to_string());
+        }
+        let sample = match j.field("sample") {
+            Err(_) => None,
+            Ok(v) => {
+                let s = v
+                    .as_u64()
+                    .ok_or_else(|| "field \"sample\" must be an unsigned integer".to_string())?;
+                if s == 0 {
+                    return Err("field \"sample\" must be a positive interval size".to_string());
+                }
+                Some(s)
+            }
+        };
         Ok(SweepSpec {
             cfg,
             config_name,
@@ -249,7 +286,20 @@ impl SweepSpec {
             variant,
             len,
             metrics,
+            sample,
+            scale,
         })
+    }
+
+    /// The key segment naming the trace length, e.g. `len100000` — or
+    /// `len100000x100` for a scaled trace, so scaled sweeps never collide
+    /// with (or perturb the seeds of) existing unscaled ones.
+    fn len_segment(&self) -> String {
+        if self.scale > 1 {
+            format!("len{}x{}", self.len, self.scale)
+        } else {
+            format!("len{}", self.len)
+        }
     }
 
     /// The key naming one `(app, policy)` simulation task of this sweep.
@@ -257,7 +307,7 @@ impl SweepSpec {
         TaskKey::new([
             self.config_name.as_str(),
             &format!("v{}", self.variant),
-            &format!("len{}", self.len),
+            &self.len_segment(),
             app.name(),
             policy,
         ])
@@ -268,7 +318,7 @@ impl SweepSpec {
         TaskKey::new([
             self.config_name.as_str(),
             &format!("v{}", self.variant),
-            &format!("len{}", self.len),
+            &self.len_segment(),
             app.name(),
             "prepare",
         ])
@@ -286,6 +336,21 @@ pub struct CellObs {
     pub metrics: MetricsRegistry,
 }
 
+/// How a sampled cell was reconstructed: the clustering shape, the
+/// reconstruction weights, and the reported error bound on the hit rate.
+#[derive(Clone, Debug)]
+pub struct SampledCell {
+    /// Number of clusters (and therefore simulated representatives).
+    pub k: usize,
+    /// Number of fixed-uop intervals the trace was cut into.
+    pub intervals: usize,
+    /// Per-cluster reconstruction weights (micro-op shares; sum to 1).
+    pub weights: Vec<f64>,
+    /// Reported bound on `|sampled hit rate − full-simulation hit rate|`,
+    /// from representative↔probe dispersion plus a fixed floor.
+    pub est_error: f64,
+}
+
 /// One merged sweep cell: the stats of one `(app, policy)` run.
 #[derive(Clone, Debug)]
 pub struct SweepCell {
@@ -297,10 +362,16 @@ pub struct SweepCell {
     pub app: AppId,
     /// The policy name.
     pub policy: String,
-    /// The full simulation result.
+    /// The full simulation result (in sampled mode: the weighted
+    /// reconstruction).
     pub result: SimResult,
+    /// Micro-ops in the cell's input trace (the denominator reconstruction
+    /// weights are validated against).
+    pub trace_uops: u64,
     /// Sampled events and metrics, present only on `--metrics` sweeps.
     pub obs: Option<CellObs>,
+    /// Reconstruction metadata, present only on `--sample` sweeps.
+    pub sampled: Option<SampledCell>,
 }
 
 impl SweepCell {
@@ -377,10 +448,27 @@ impl SweepReport {
                         "retired_instructions".to_string(),
                         Json::U64(c.result.events.retired_instructions),
                     ),
+                    ("trace_uops".to_string(), Json::U64(c.trace_uops)),
                     ("hit_rate".to_string(), Json::F64(round6(c.hit_rate()))),
                     ("mpki".to_string(), Json::F64(round6(c.mpki()))),
                     ("ipc".to_string(), Json::F64(round6(c.result.ipc()))),
                 ];
+                if let Some(s) = &c.sampled {
+                    fields.push((
+                        "sampled".to_string(),
+                        Json::Obj(vec![
+                            ("k".to_string(), Json::U64(s.k as u64)),
+                            ("intervals".to_string(), Json::U64(s.intervals as u64)),
+                            (
+                                "weights".to_string(),
+                                Json::Arr(
+                                    s.weights.iter().map(|&w| Json::F64(round6(w))).collect(),
+                                ),
+                            ),
+                            ("est_error".to_string(), Json::F64(round6(s.est_error))),
+                        ]),
+                    ));
+                }
                 if let Some(obs) = &c.obs {
                     fields.push((
                         "events".to_string(),
@@ -421,9 +509,15 @@ impl SweepReport {
                 Json::U64(u64::from(self.spec.variant)),
             ),
             ("len".to_string(), Json::U64(self.spec.len as u64)),
-            ("cells".to_string(), Json::Arr(cells)),
-            ("failures".to_string(), Json::Arr(failures)),
         ];
+        if self.spec.scale > 1 {
+            fields.push(("scale".to_string(), Json::U64(self.spec.scale)));
+        }
+        if let Some(s) = self.spec.sample {
+            fields.push(("sample".to_string(), Json::U64(s)));
+        }
+        fields.push(("cells".to_string(), Json::Arr(cells)));
+        fields.push(("failures".to_string(), Json::Arr(failures)));
         if self.spec.metrics {
             let mut totals = MetricsRegistry::new();
             for c in &self.cells {
@@ -471,9 +565,13 @@ fn round6(x: f64) -> f64 {
 /// Panics only if a *preparation* task fails (no cell of that app could be
 /// simulated).
 pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
+    if let Some(interval_uops) = spec.sample {
+        return run_sampled_sweep(spec, engine, interval_uops);
+    }
     let cfg = spec.cfg;
     let variant = spec.variant;
     let len = spec.len;
+    let scale = spec.scale;
 
     let prep_tasks: Vec<(TaskKey, AppId)> = spec
         .apps
@@ -482,7 +580,7 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
         .collect();
     let prepared: Vec<(AppId, Arc<(LookupTrace, ProfileInputs)>)> = engine
         .run(prep_tasks, move |_key, _seed, app| {
-            let trace = trace_for(app, variant, len);
+            let trace = trace_for_scaled(app, variant, len, scale);
             let profiles = ProfileInputs::build(&cfg, &trace);
             (app, Arc::new((trace, profiles)))
         })
@@ -516,7 +614,7 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
             events: r.events(),
             metrics: r.metrics().cloned().unwrap_or_default(),
         });
-        (app, policy, result, obs)
+        (app, policy, result, trace.total_uops(), obs)
     });
     let elapsed = outcome.elapsed;
 
@@ -524,13 +622,15 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
     let mut failures = Vec::new();
     for o in outcome.outcomes {
         match o.result {
-            Ok((app, policy, result, obs)) => cells.push(SweepCell {
+            Ok((app, policy, result, trace_uops, obs)) => cells.push(SweepCell {
                 key: o.key,
                 seed: o.seed,
                 app,
                 policy,
                 result,
+                trace_uops,
                 obs,
+                sampled: None,
             }),
             Err(_) => {
                 if let Some(f) = o.failure() {
@@ -554,6 +654,303 @@ pub fn run_sweep(spec: &SweepSpec, engine: &Engine) -> SweepReport {
     }
 }
 
+/// One prepared app of a sampled sweep: the (possibly scaled) trace, its
+/// sampling plan, and profile inputs trained on the representative subset.
+struct SampledPrep {
+    trace: LookupTrace,
+    plan: SamplePlan,
+    profiles: ProfileInputs,
+}
+
+/// Which cluster member a sampled segment task simulates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Segment {
+    /// The j-th stratified sample point; its result feeds the cluster's
+    /// reconstructed average.
+    Point(usize),
+    /// The farthest member of a single-point cluster; its disagreement with
+    /// the point feeds the reported error bound.
+    Probe,
+}
+
+/// The sampled variant of [`run_sweep`]: per app, slice + fingerprint +
+/// cluster the trace once (stage 1), then simulate one task per
+/// `(app, policy, cluster segment)` (stage 2) and reconstruct each cell
+/// from its representatives by cluster weight.
+///
+/// Keys: segment tasks are children of the cell key (`…/LRU/rep0`,
+/// `…/LRU/probe0`), and any randomized policy is seeded from the **cell**
+/// key — so the cell is a pure function of the sweep request, and the
+/// merged report is byte-identical at any worker count.
+fn run_sampled_sweep(spec: &SweepSpec, engine: &Engine, interval_uops: u64) -> SweepReport {
+    let cfg = spec.cfg;
+    let variant = spec.variant;
+    let len = spec.len;
+    let scale = spec.scale;
+
+    let prep_tasks: Vec<(TaskKey, AppId)> = spec
+        .apps
+        .iter()
+        .map(|&app| (spec.prep_key(app), app))
+        .collect();
+    let prepared: Vec<(AppId, Arc<SampledPrep>)> = engine
+        .run(prep_tasks, move |_key, seed, app| {
+            let trace = trace_for_scaled(app, variant, len, scale);
+            let plan = SamplePlan::build(&trace, &SampleConfig::new(interval_uops, seed));
+            // Profile-guided policies train on the representative subset,
+            // keeping sampled preparation O(k · interval) instead of
+            // O(trace) — the whole point at scale 100.
+            let train = plan.representative_trace(&trace);
+            let profiles = ProfileInputs::build(&cfg, &train);
+            (
+                app,
+                Arc::new(SampledPrep {
+                    trace,
+                    plan,
+                    profiles,
+                }),
+            )
+        })
+        .expect_all("sampled sweep preparation");
+
+    type SegInput = (String, Arc<SampledPrep>, usize, Segment, u64);
+    let mut seg_tasks: Vec<(TaskKey, SegInput)> = Vec::new();
+    for (app, shared) in &prepared {
+        for policy in &spec.policies {
+            let cell_key = spec.task_key(*app, policy);
+            let cell_seed = cell_key.seed();
+            for (c, cluster) in shared.plan.clusters.iter().enumerate() {
+                for j in 0..cluster.points.len() {
+                    seg_tasks.push((
+                        cell_key.child(format!("pt{c}.{j}")),
+                        (
+                            policy.clone(),
+                            Arc::clone(shared),
+                            c,
+                            Segment::Point(j),
+                            cell_seed,
+                        ),
+                    ));
+                }
+                if cluster.probe.is_some() {
+                    seg_tasks.push((
+                        cell_key.child(format!("probe{c}")),
+                        (
+                            policy.clone(),
+                            Arc::clone(shared),
+                            c,
+                            Segment::Probe,
+                            cell_seed,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    let outcome = engine.run(
+        seg_tasks,
+        move |_key, _seed, (policy, shared, cluster, segment, cell_seed): SegInput| {
+            let id = policy.parse::<PolicyId>().unwrap_or_else(|e| panic!("{e}"));
+            let plan = &shared.plan;
+            let member = match segment {
+                Segment::Point(j) => plan.clusters[cluster].points[j],
+                Segment::Probe => plan.clusters[cluster]
+                    .probe
+                    .unwrap_or(plan.clusters[cluster].representative),
+            };
+            let result = simulate_interval(
+                &cfg,
+                id.build(&cfg, &shared.profiles, cell_seed),
+                &shared.trace,
+                plan.warmup_range(member),
+                plan.intervals[member].range(),
+            );
+            (cluster, segment, result)
+        },
+    );
+    let elapsed = outcome.elapsed;
+
+    // Merge: drain segment outcomes cell by cell, in the same nested order
+    // they were submitted (the engine returns outcomes in submission order).
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    let mut outcomes = outcome.outcomes.into_iter();
+    for (app, shared) in &prepared {
+        let plan = &shared.plan;
+        let segments_per_cell: usize = plan
+            .clusters
+            .iter()
+            .map(|c| c.points.len() + usize::from(c.probe.is_some()))
+            .sum();
+        for policy in &spec.policies {
+            let cell_key = spec.task_key(*app, policy);
+            let cell_seed = cell_key.seed();
+            let mut points: Vec<Vec<Option<SimResult>>> = plan
+                .clusters
+                .iter()
+                .map(|c| vec![None; c.points.len()])
+                .collect();
+            let mut probes: Vec<Option<SimResult>> = vec![None; plan.clusters.len()];
+            let mut first_error: Option<String> = None;
+            for _ in 0..segments_per_cell {
+                let o = outcomes.next().expect("one outcome per submitted segment");
+                match o.result {
+                    Ok((cluster, Segment::Point(j), result)) => {
+                        points[cluster][j] = Some(result);
+                    }
+                    Ok((cluster, Segment::Probe, result)) => probes[cluster] = Some(result),
+                    Err(message) => {
+                        if first_error.is_none() {
+                            first_error = Some(message);
+                        }
+                    }
+                }
+            }
+            if let Some(message) = first_error {
+                // One structured failure per *cell* (not per segment), keyed
+                // like a full-sweep cell so downstream tooling needs no
+                // special casing.
+                failures.push(TaskFailure {
+                    key: cell_key,
+                    seed: cell_seed,
+                    message,
+                });
+                continue;
+            }
+            let points: Vec<Vec<SimResult>> = points
+                .into_iter()
+                .map(|pts| {
+                    pts.into_iter()
+                        .map(|r| r.expect("every sample point was submitted"))
+                        .collect()
+                })
+                .collect();
+            let (result, sampled) = reconstruct_cell(plan, &points, &probes);
+            cells.push(SweepCell {
+                key: cell_key,
+                seed: cell_seed,
+                app: *app,
+                policy: policy.clone(),
+                result,
+                trace_uops: plan.total_uops,
+                obs: None,
+                sampled: Some(sampled),
+            });
+        }
+    }
+    cells.sort_by(|a, b| a.key.cmp(&b.key));
+    failures.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut profiles = outcome.profiles;
+    profiles.sort_by(|a, b| a.key.cmp(&b.key));
+
+    SweepReport {
+        spec: spec.clone(),
+        cells,
+        failures,
+        profiles,
+        elapsed,
+    }
+}
+
+/// Reconstructs a whole-trace [`SimResult`] from per-point results: every
+/// counter extrapolates per-uop (`Σ count / Σ uops_measured` over the
+/// cluster's sample points, `× cluster uops`, summed over clusters),
+/// micro-op totals are forced consistent with the exactly-known trace size,
+/// and the error bound comes from weighted within-cluster hit-rate
+/// dispersion.
+fn reconstruct_cell(
+    plan: &SamplePlan,
+    points: &[Vec<SimResult>],
+    probes: &[Option<SimResult>],
+) -> (SimResult, SampledCell) {
+    let est = |get: &dyn Fn(&SimResult) -> u64| -> u64 {
+        let mut acc = 0.0f64;
+        for (c, pts) in plan.clusters.iter().zip(points) {
+            let count: u64 = pts.iter().map(get).sum();
+            let denom: u64 = pts.iter().map(|r| r.uopc.uops_requested).sum();
+            acc += count as f64 / denom.max(1) as f64 * c.uops as f64;
+        }
+        round_count(acc)
+    };
+
+    let total = plan.total_uops;
+    let uops_hit = est(&|r| r.uopc.uops_hit).min(total);
+    let result = SimResult {
+        uopc: UopCacheStats {
+            lookups: est(&|r| r.uopc.lookups),
+            pw_hits: est(&|r| r.uopc.pw_hits),
+            pw_partial_hits: est(&|r| r.uopc.pw_partial_hits),
+            pw_misses: est(&|r| r.uopc.pw_misses),
+            uops_requested: total,
+            uops_hit,
+            uops_missed: total - uops_hit,
+            insertions: est(&|r| r.uopc.insertions),
+            entries_written: est(&|r| r.uopc.entries_written),
+            bypasses: est(&|r| r.uopc.bypasses),
+            evicted_pws: est(&|r| r.uopc.evicted_pws),
+            evicted_entries: est(&|r| r.uopc.evicted_entries),
+            inclusion_invalidations: est(&|r| r.uopc.inclusion_invalidations),
+            cold_miss_uops: est(&|r| r.uopc.cold_miss_uops),
+            capacity_miss_uops: est(&|r| r.uopc.capacity_miss_uops),
+            conflict_miss_uops: est(&|r| r.uopc.conflict_miss_uops),
+            primary_victim_selections: est(&|r| r.uopc.primary_victim_selections),
+            fallback_victim_selections: est(&|r| r.uopc.fallback_victim_selections),
+        },
+        icache: CacheStats {
+            accesses: est(&|r| r.icache.accesses),
+            hits: est(&|r| r.icache.hits),
+            misses: est(&|r| r.icache.misses),
+            evictions: est(&|r| r.icache.evictions),
+            fills: est(&|r| r.icache.fills),
+        },
+        btb: CacheStats {
+            accesses: est(&|r| r.btb.accesses),
+            hits: est(&|r| r.btb.hits),
+            misses: est(&|r| r.btb.misses),
+            evictions: est(&|r| r.btb.evictions),
+            fills: est(&|r| r.btb.fills),
+        },
+        events: EventCounts {
+            cycles: est(&|r| r.events.cycles),
+            retired_uops: est(&|r| r.events.retired_uops),
+            retired_instructions: est(&|r| r.events.retired_instructions),
+            icache_reads: est(&|r| r.events.icache_reads),
+            icache_fills: est(&|r| r.events.icache_fills),
+            uopc_lookups: est(&|r| r.events.uopc_lookups),
+            uopc_entry_reads: est(&|r| r.events.uopc_entry_reads),
+            uopc_entry_writes: est(&|r| r.events.uopc_entry_writes),
+            decoded_uops: est(&|r| r.events.decoded_uops),
+            decoder_active_cycles: est(&|r| r.events.decoder_active_cycles),
+            bp_accesses: est(&|r| r.events.bp_accesses),
+            btb_accesses: est(&|r| r.events.btb_accesses),
+        },
+        mispredictions: est(&|r| r.mispredictions),
+    };
+
+    let point_rates: Vec<Vec<f64>> = points
+        .iter()
+        .map(|pts| pts.iter().map(|r| r.uopc.uop_hit_rate()).collect())
+        .collect();
+    let probe_rates: Vec<Option<f64>> = probes
+        .iter()
+        .map(|p| p.as_ref().map(|r| r.uopc.uop_hit_rate()))
+        .collect();
+    let sampled = SampledCell {
+        k: plan.k,
+        intervals: plan.intervals.len(),
+        weights: plan.weights(),
+        est_error: plan.error_bound(&point_rates, &probe_rates),
+    };
+    (result, sampled)
+}
+
+/// Rounds a reconstructed (non-negative) counter back to an integer.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn round_count(x: f64) -> u64 {
+    x.max(0.0).round() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +964,8 @@ mod tests {
             variant: 0,
             len: 1_500,
             metrics: false,
+            sample: None,
+            scale: 1,
         }
     }
 
@@ -693,5 +1092,118 @@ mod tests {
         assert_eq!(current_jobs(), 3);
         set_jobs(0);
         assert!(current_jobs() >= 1);
+    }
+
+    fn sampled_spec() -> SweepSpec {
+        let mut spec = tiny_spec();
+        spec.len = 6_000;
+        spec.sample = Some(2_000);
+        spec
+    }
+
+    #[test]
+    fn sampled_sweep_is_jobs_invariant() {
+        let spec = sampled_spec();
+        let serial = run_sweep(&spec, &Engine::new(1)).to_json();
+        let two = run_sweep(&spec, &Engine::new(2)).to_json();
+        let eight = run_sweep(&spec, &Engine::new(8)).to_json();
+        assert_eq!(serial, two);
+        assert_eq!(serial, eight);
+    }
+
+    #[test]
+    fn sampled_cells_carry_plan_and_exact_uop_totals() {
+        let spec = sampled_spec();
+        let report = run_sweep(&spec, &Engine::new(2));
+        assert_eq!(report.cells.len(), 4);
+        for c in &report.cells {
+            let s = c.sampled.as_ref().expect("sampled mode fills sampled");
+            assert!(s.k >= 1 && s.k <= s.intervals);
+            assert_eq!(s.weights.len(), s.k);
+            let sum: f64 = s.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+            assert!(s.est_error >= uopcache_sample::EST_ERROR_FLOOR);
+            // Micro-op totals are exact (known from the plan), and the
+            // reconstructed split is consistent.
+            assert_eq!(c.trace_uops, c.result.uopc.uops_requested);
+            assert_eq!(
+                c.result.uopc.uops_hit + c.result.uopc.uops_missed,
+                c.result.uopc.uops_requested
+            );
+        }
+        let parsed = Json::parse(&report.to_json()).expect("sampled JSON parses");
+        let cell = &parsed.field("cells").expect("cells").as_arr().expect("arr")[0];
+        assert!(cell.field("trace_uops").is_ok());
+        assert!(cell.field("sampled").is_ok());
+        let sampled = cell.field("sampled").expect("sampled");
+        assert!(sampled.field("k").is_ok());
+        assert!(sampled.field("est_error").is_ok());
+    }
+
+    #[test]
+    fn sampled_hit_rate_tracks_the_full_simulation() {
+        let spec = sampled_spec();
+        let sampled = run_sweep(&spec, &Engine::new(2));
+        let mut full_spec = spec.clone();
+        full_spec.sample = None;
+        let full = run_sweep(&full_spec, &Engine::new(2));
+        for c in &sampled.cells {
+            let f = full
+                .cells
+                .iter()
+                .find(|f| f.key == c.key)
+                .expect("same keys in both modes");
+            let err = (c.hit_rate() - f.hit_rate()).abs();
+            assert!(
+                err <= 0.02,
+                "{}: sampled {:.4} vs full {:.4}",
+                c.key,
+                c.hit_rate(),
+                f.hit_rate()
+            );
+            let bound = c.sampled.as_ref().expect("sampled").est_error;
+            assert!(
+                err <= bound,
+                "{}: true error {err:.4} exceeds reported bound {bound:.4}",
+                c.key
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_failures_dedup_to_one_per_cell() {
+        let mut spec = sampled_spec();
+        spec.policies.push("NoSuchPolicy".to_string());
+        let report = run_sweep(&spec, &Engine::new(2));
+        assert_eq!(report.failures.len(), 2, "one per app, not per segment");
+        assert!(report.failures[0].message.contains("NoSuchPolicy"));
+        assert_eq!(report.cells.len(), 4, "sibling cells are unaffected");
+    }
+
+    #[test]
+    fn scale_widens_the_key_segment_and_round_trips() {
+        let mut spec = tiny_spec();
+        spec.scale = 3;
+        spec.sample = Some(2_000);
+        let key = spec.task_key(AppId::Kafka, "LRU").to_string();
+        assert!(key.contains("len1500x3"), "{key}");
+        let back = SweepSpec::from_json(&spec.to_json()).expect("round-trips");
+        assert_eq!(back.scale, 3);
+        assert_eq!(back.sample, Some(2_000));
+        assert_eq!(back.to_json().to_string(), spec.to_json().to_string());
+        // Plain specs never serialise the new fields (wire back-compat).
+        let plain = tiny_spec().to_json().to_string();
+        assert!(!plain.contains("\"scale\""), "{plain}");
+        assert!(!plain.contains("\"sample\""), "{plain}");
+        for bad in [
+            r#"{"config":"zen3","apps":["kafka"],"policies":["lru"],"scale":0}"#,
+            r#"{"config":"zen3","apps":["kafka"],"policies":["lru"],"sample":0}"#,
+        ] {
+            let j = Json::parse(bad).expect("valid JSON");
+            assert!(
+                SweepSpec::from_json(&j).is_err(),
+                "{bad} should be rejected"
+            );
+        }
     }
 }

@@ -14,7 +14,9 @@ use uopcache_obs::{Event, MetricsRecorder, SamplingRecorder, StreamDigest};
 use uopcache_power::EnergyModel;
 use uopcache_serve::{Client, Router, RouterConfig, Server, ServerConfig};
 use uopcache_sim::Frontend;
-use uopcache_trace::{build_trace, io as trace_io, AppId, InputVariant, TraceStats};
+use uopcache_trace::{
+    build_trace, build_trace_scaled, io as trace_io, AppId, InputVariant, TraceStats,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -22,7 +24,9 @@ usage: uopcache <command> [options]
 
 commands:
   apps                              list the Table II applications
-  gen        --app A [--variant N] [--len N] -o FILE     generate a trace
+  gen        --app A [--variant N] [--len N] [--scale N] -o FILE
+                                    generate a trace (--scale stretches it
+                                    by phase-structured repetition + drift)
   stats      -i FILE                trace statistics
   simulate   -i FILE [--policy P] [--config zen3|zen4] [--entries N] [--ways N]
                                     run one policy through the timed frontend
@@ -30,13 +34,28 @@ commands:
                                     produce FURBYS weight hints (steps 2-6)
   compare    -i FILE [--config ...] compare every policy (incl. offline bounds)
   sweep      [--apps A,B] [--policies P,Q] [--config zen3|zen4] [--entries N]
-             [--ways N] [--variant N] [--len N] [--jobs N] [--json FILE]
-             [--metrics]
+             [--ways N] [--variant N] [--len N] [--scale N] [--sample N]
+             [--jobs N] [--json FILE] [--metrics]
                                     run an (app x policy) sweep through the
                                     parallel engine; deterministic for any
                                     --jobs value, canonical JSON via --json;
                                     --metrics adds sampled events, histograms
-                                    and merged totals to every cell
+                                    and merged totals to every cell;
+                                    --sample N switches every cell to
+                                    representative-interval sampling with
+                                    N-uop intervals (see `sample`)
+  sample     [sweep flags] [--interval N] [--scale N] [--check] [--gate X]
+             [--jobs N] [--json FILE]
+                                    run a representative-interval (SimPoint
+                                    style) sampled sweep: slice the trace
+                                    into N-uop intervals, cluster their BBV
+                                    fingerprints, simulate one interval per
+                                    cluster and reconstruct every cell with
+                                    a reported error bound; --check reruns
+                                    the full simulation and gates the true
+                                    error against the bound and --gate
+                                    (default 0.02); --scale stretches the
+                                    trace by phase-structured repetition
   inspect    --app A [--policy P] [--config zen3|zen4] [--entries N] [--ways N]
              [--variant N] [--len N] [--sample K] [--events N] [--json FILE]
                                     replay one sweep cell with full
@@ -116,6 +135,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), Box<dyn Error>> {
         Some("profile") => cmd_profile(&args),
         Some("compare") => cmd_compare(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("sample") => cmd_sample(&args),
         Some("inspect") => cmd_inspect(&args),
         Some("identify") => cmd_identify(&args),
         Some("bench-hotpath") => cmd_bench_hotpath(&args),
@@ -177,11 +197,16 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn Error>> {
     let app = parse_app(args.require("app")?)?;
     let variant = InputVariant::new(args.get_parse("variant", 0u32)?);
     let len = args.get_parse("len", 100_000usize)?;
+    let scale = args.get_parse("scale", 1u64)?;
+    if scale == 0 {
+        return Err(Box::new(ArgError("--scale must be at least 1".into())));
+    }
     let out = args.require("output")?;
-    let trace = build_trace(app, variant, len);
+    let trace = build_trace_scaled(app, variant, len, scale);
     trace_io::save(Path::new(out), &trace)?;
     println!(
-        "wrote {len} accesses ({} uops) for {app} {variant} to {out}",
+        "wrote {} accesses ({} uops) for {app} {variant} to {out}",
+        trace.len(),
         trace.total_uops()
     );
     Ok(())
@@ -361,6 +386,22 @@ fn spec_from_args(args: &Args) -> Result<SweepSpec, Box<dyn Error>> {
             })
             .collect::<Result<Vec<_>, _>>()?,
     };
+    let sample = match args.get("sample") {
+        None => None,
+        Some(_) => {
+            let v = args.get_parse("sample", 0u64)?;
+            if v == 0 {
+                return Err(Box::new(ArgError(
+                    "--sample must be at least 1 micro-op".into(),
+                )));
+            }
+            Some(v)
+        }
+    };
+    let scale = args.get_parse("scale", 1u64)?;
+    if scale == 0 {
+        return Err(Box::new(ArgError("--scale must be at least 1".into())));
+    }
     Ok(SweepSpec {
         cfg,
         config_name,
@@ -369,6 +410,8 @@ fn spec_from_args(args: &Args) -> Result<SweepSpec, Box<dyn Error>> {
         variant: args.get_parse("variant", 0u32)?,
         len: args.get_parse("len", 100_000usize)?,
         metrics: args.has("metrics"),
+        sample,
+        scale,
     })
 }
 
@@ -477,6 +520,129 @@ fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     } else {
         Err(Box::new(ArgError(format!(
             "{} sweep task(s) failed",
+            report.failures.len()
+        ))))
+    }
+}
+
+/// Runs a representative-interval sampled sweep and renders the plan and
+/// the reconstructed cells. With `--check`, also runs the *full* simulation
+/// of the same spec and gates the true per-cell hit-rate error against both
+/// the cell's reported `est_error` bound and `--gate` (default 0.02
+/// absolute), reporting the wall-clock speedup alongside.
+fn cmd_sample(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut spec = spec_from_args(args)?;
+    let interval = match args.get("interval") {
+        Some(_) => args.get_parse("interval", 0u64)?,
+        None => spec.sample.unwrap_or(20_000),
+    };
+    if interval == 0 {
+        return Err(Box::new(ArgError(
+            "--interval must be at least 1 micro-op".into(),
+        )));
+    }
+    spec.sample = Some(interval);
+    if let Some(jobs) = args.get("jobs") {
+        sweep::set_jobs(
+            jobs.parse()
+                .map_err(|_| ArgError(format!("--jobs {jobs:?} is not a valid value")))?,
+        );
+    }
+    let report = run_sweep(&spec, &sweep::engine());
+
+    let mut t = Table::new(
+        &format!(
+            "sampled sweep: {} apps x {} policies, {interval}-uop intervals ({:.1?})",
+            spec.apps.len(),
+            spec.policies.len(),
+            report.elapsed,
+        ),
+        &[
+            "app",
+            "policy",
+            "intervals",
+            "k",
+            "hit rate",
+            "MPKI",
+            "est error",
+        ],
+    );
+    for c in &report.cells {
+        let s = c.sampled.as_ref().expect("sampled sweep fills sampled");
+        t.row(&[
+            c.app.name().to_string(),
+            c.policy.clone(),
+            format!("{}", s.intervals),
+            format!("{}", s.k),
+            format!("{:.2}%", c.hit_rate() * 100.0),
+            format!("{:.3}", c.mpki()),
+            format!("{:.2}pp", s.est_error * 100.0),
+        ]);
+    }
+    t.print();
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote canonical JSON to {path}");
+    }
+
+    if args.has("check") {
+        let gate: f64 = args.get_parse("gate", 0.02f64)?;
+        let mut full_spec = spec.clone();
+        full_spec.sample = None;
+        let full = run_sweep(&full_spec, &sweep::engine());
+        let mut violations = 0usize;
+        let mut t = Table::new(
+            "sampled vs full simulation (uop hit rate)",
+            &[
+                "app", "policy", "full", "sampled", "true err", "bound", "ok",
+            ],
+        );
+        for c in &report.cells {
+            // Cell keys do not encode the sampling mode, so the full run's
+            // cell for the same (app, policy) carries the identical key.
+            let Some(f) = full.cells.iter().find(|f| f.key == c.key) else {
+                violations += 1;
+                continue;
+            };
+            let err = (c.hit_rate() - f.hit_rate()).abs();
+            let bound = c.sampled.as_ref().map_or(0.0, |s| s.est_error);
+            let ok = err <= bound && err <= gate;
+            if !ok {
+                violations += 1;
+            }
+            t.row(&[
+                c.app.name().to_string(),
+                c.policy.clone(),
+                format!("{:.2}%", f.hit_rate() * 100.0),
+                format!("{:.2}%", c.hit_rate() * 100.0),
+                format!("{:.2}pp", err * 100.0),
+                format!("{:.2}pp", bound * 100.0),
+                if ok { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t.print();
+        let speedup = full.elapsed.as_secs_f64() / report.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "full {:.1?} vs sampled {:.1?}: {speedup:.1}x speedup",
+            full.elapsed, report.elapsed
+        );
+        if violations > 0 {
+            return Err(Box::new(CheckFailed(format!(
+                "{violations} cell(s) exceeded the error bound or the {gate} gate"
+            ))));
+        }
+        println!("check passed: every cell within its bound and the {gate} gate");
+    }
+
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(Box::new(ArgError(format!(
+            "{} sampled task(s) failed",
             report.failures.len()
         ))))
     }

@@ -68,6 +68,16 @@ impl TaskKey {
         &self.parts
     }
 
+    /// A new key with `part` appended — the child task's name. Used to key
+    /// sub-tasks of a logical cell (e.g. per-representative segment runs of
+    /// one sampled sweep cell) so their seeds derive from the same scheme.
+    #[must_use]
+    pub fn child(&self, part: impl Into<String>) -> Self {
+        let mut parts = self.parts.clone();
+        parts.push(part.into());
+        TaskKey { parts }
+    }
+
     /// The derived per-task seed: SplitMix64 over an FNV-1a hash of the
     /// components (with a 0x1F unit-separator byte between components).
     pub fn seed(&self) -> u64 {
@@ -123,6 +133,15 @@ mod tests {
         let b = TaskKey::new(["zen3", "kafka", "v1", "LRU"]).seed();
         let differing = (a ^ b).count_ones();
         assert!((16..=48).contains(&differing), "{differing} bits differ");
+    }
+
+    #[test]
+    fn child_appends_a_component() {
+        let cell = TaskKey::new(["zen3", "kafka", "v0", "LRU"]);
+        let seg = cell.child("rep3");
+        assert_eq!(seg.to_string(), "zen3/kafka/v0/LRU/rep3");
+        assert_eq!(seg, TaskKey::new(["zen3", "kafka", "v0", "LRU", "rep3"]));
+        assert_ne!(seg.seed(), cell.seed());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Deterministic k-means over projected interval fingerprints.
+//!
+//! Std-only, seeded, and tie-broken so that clustering is a pure function
+//! of (vectors, k, seed): centroid initialisation is k-means++ driven by
+//! the in-repo [`Prng`], assignment breaks distance ties toward the lowest
+//! centroid index, empty clusters are re-seeded from the farthest point
+//! (ties toward the lowest point index), and iteration is capped. That is
+//! what lets a sampled sweep produce byte-identical output at any
+//! `--jobs`/`--shards` count.
+
+use uopcache_model::rng::{Prng, Rng};
+
+/// The result of one k-means run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster index of each input vector.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (`k × dim`).
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of each vector to its centroid.
+    pub inertia: f64,
+}
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// The index of the nearest centroid (ties toward the lowest index).
+fn nearest(v: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, cen) in centroids.iter().enumerate() {
+        let d = dist2(v, cen);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Runs seeded k-means on `vectors`.
+///
+/// `k` is clamped to the number of vectors; with no vectors the result is
+/// empty. Runs at most `max_iters` update rounds (or until assignments
+/// stop changing).
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_sample::kmeans;
+///
+/// let vs = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]];
+/// let c = kmeans(&vs, 2, 7, 20);
+/// assert_eq!(c.assignments[0], c.assignments[1]);
+/// assert_ne!(c.assignments[0], c.assignments[2]);
+/// ```
+pub fn kmeans(vectors: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Clustering {
+    let n = vectors.len();
+    let k = k.min(n);
+    if n == 0 || k == 0 {
+        return Clustering {
+            k: 0,
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            inertia: 0.0,
+        };
+    }
+    let dim = vectors[0].len();
+    let mut rng = Prng::seed_from_u64(seed);
+
+    // k-means++ initialisation: first centroid uniform, the rest sampled
+    // proportionally to squared distance from the chosen set.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(vectors[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = vectors.iter().map(|v| dist2(v, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total > 0.0 {
+            // Walk the cumulative distribution; the final fallback index
+            // only triggers on floating-point edge rounding.
+            let target = rng.gen_f64() * total;
+            let mut acc = 0.0;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                acc += d;
+                if acc >= target {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        } else {
+            // All points coincide with a centroid already; pick uniformly.
+            rng.gen_range(0..n)
+        };
+        let newc = vectors[next].clone();
+        for (i, v) in vectors.iter().enumerate() {
+            let d = dist2(v, &newc);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centroids.push(newc);
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iters.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let (c, _) = nearest(v, &centroids);
+            if assignments[i] != c {
+                assignments[i] = c;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, x) in sums[assignments[i]].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the globally farthest point
+                // (ties toward the lowest index), keeping k clusters alive.
+                let mut far = 0usize;
+                let mut far_d = -1.0f64;
+                for (i, v) in vectors.iter().enumerate() {
+                    let d = dist2(v, &centroids[assignments[i]]);
+                    if d > far_d {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                centroids[c] = vectors[far].clone();
+                assignments[far] = c;
+                changed = true;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| dist2(v, &centroids[assignments[i]]))
+        .sum();
+    Clustering {
+        k,
+        assignments,
+        centroids,
+        inertia,
+    }
+}
+
+/// Sweeps `k` from 1 to `max_k`, scores each clustering with a BIC-style
+/// criterion `−n·ln(inertia/n + ε) − ½·k·dim·ln(n)` (higher is better), and
+/// — as in SimPoint — keeps the **smallest** `k` whose score reaches 90% of
+/// the swept score range. Raw-BIC argmax would almost always elect the
+/// largest `k` (the log-likelihood term keeps improving as clusters
+/// shrink); the threshold rule finds the knee instead.
+pub fn choose_k(vectors: &[Vec<f64>], max_k: usize, seed: u64, max_iters: usize) -> Clustering {
+    let n = vectors.len();
+    if n == 0 {
+        return kmeans(vectors, 0, seed, max_iters);
+    }
+    let dim = vectors[0].len().max(1);
+    let nf = n as f64;
+    let runs: Vec<(f64, Clustering)> = (1..=max_k.max(1).min(n))
+        .map(|k| {
+            let c = kmeans(vectors, k, seed, max_iters);
+            let score = -nf * (c.inertia / nf + 1e-12).ln() - 0.5 * (k * dim) as f64 * nf.ln();
+            (score, c)
+        })
+        .collect();
+    let lo = runs.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min);
+    let hi = runs
+        .iter()
+        .map(|(s, _)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let threshold = lo + 0.9 * (hi - lo);
+    runs.into_iter()
+        .find(|(s, _)| *s >= threshold)
+        .map_or_else(|| kmeans(vectors, 1, seed, max_iters), |(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), spread: f64, n: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    center.0 + (rng.gen_f64() - 0.5) * spread,
+                    center.1 + (rng.gen_f64() - 0.5) * spread,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut vs = blob((0.0, 0.0), 0.2, 10, &mut rng);
+        vs.extend(blob((10.0, 10.0), 0.2, 10, &mut rng));
+        let c = kmeans(&vs, 2, 11, 50);
+        let a0 = c.assignments[0];
+        assert!(c.assignments[..10].iter().all(|&a| a == a0));
+        assert!(c.assignments[10..].iter().all(|&a| a != a0));
+        assert!(c.inertia < 1.0);
+    }
+
+    #[test]
+    fn is_a_pure_function_of_inputs() {
+        let mut rng = Prng::seed_from_u64(4);
+        let vs = blob((1.0, 2.0), 3.0, 40, &mut rng);
+        let a = kmeans(&vs, 5, 9, 30);
+        let b = kmeans(&vs, 5, 9, 30);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn choose_k_prefers_the_natural_cluster_count() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut vs = blob((0.0, 0.0), 0.3, 12, &mut rng);
+        vs.extend(blob((8.0, 0.0), 0.3, 12, &mut rng));
+        vs.extend(blob((0.0, 8.0), 0.3, 12, &mut rng));
+        let c = choose_k(&vs, 8, 17, 50);
+        assert_eq!(c.k, 3, "three blobs, k={}", c.k);
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_cluster_score() {
+        let vs = vec![vec![1.0, 1.0]; 6];
+        let c = choose_k(&vs, 4, 1, 20);
+        assert_eq!(c.k, 1);
+        assert!(c.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let vs = vec![vec![0.0], vec![1.0]];
+        let c = kmeans(&vs, 10, 2, 10);
+        assert_eq!(c.k, 2);
+        assert!(c.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let c = kmeans(&[], 3, 0, 10);
+        assert_eq!(c.k, 0);
+        assert!(c.assignments.is_empty());
+    }
+}

@@ -424,6 +424,8 @@ mod tests {
             variant: 0,
             len,
             metrics: false,
+            sample: None,
+            scale: 1,
         }
     }
 

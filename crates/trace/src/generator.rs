@@ -4,6 +4,7 @@ use crate::program::Program;
 use crate::pwstream::collect_trace;
 use crate::walker::Walker;
 use crate::workload::{AppId, InputVariant, WorkloadSpec};
+use uopcache_model::rng::{Prng, Rng};
 use uopcache_model::LookupTrace;
 
 /// Generates `accesses` micro-op cache lookups for an application and input
@@ -33,6 +34,80 @@ pub fn build_trace_with_spec(
     collect_trace(&program, walker, 64, accesses)
 }
 
+/// Generates `accesses * scale` lookups as `scale` consecutive execution
+/// epochs of the same program — phase-structured repetition with drift, not
+/// plain tiling. Each epoch re-keys the walk RNG, rotates the phase clock,
+/// and drifts the popularity skew and phase locality a few percent, the way
+/// a long-running server's load mix wanders over time; the static program
+/// (and therefore the hot code) is shared by every epoch.
+///
+/// `scale == 1` is byte-identical to [`build_trace`].
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use uopcache_trace::{build_trace, build_trace_scaled, AppId, InputVariant};
+///
+/// let v = InputVariant::default();
+/// let one = build_trace_scaled(AppId::Kafka, v, 1000, 1);
+/// assert_eq!(one, build_trace(AppId::Kafka, v, 1000));
+/// let three = build_trace_scaled(AppId::Kafka, v, 1000, 3);
+/// assert_eq!(three.len(), 3000);
+/// ```
+pub fn build_trace_scaled(
+    app: AppId,
+    variant: InputVariant,
+    accesses: usize,
+    scale: u64,
+) -> LookupTrace {
+    build_trace_scaled_with_spec(&app.spec(), variant, accesses, scale)
+}
+
+/// As [`build_trace_scaled`] with an explicit workload spec.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+pub fn build_trace_scaled_with_spec(
+    spec: &WorkloadSpec,
+    variant: InputVariant,
+    accesses: usize,
+    scale: u64,
+) -> LookupTrace {
+    assert!(scale >= 1, "scale must be at least 1");
+    let program = Program::synthesize(spec);
+    let mut out = LookupTrace::with_capacity(accesses.saturating_mul(scale as usize));
+    for epoch in 0..scale {
+        let espec = drifted_spec(spec, epoch);
+        let walker = Walker::with_epoch(&program, &espec, variant, epoch);
+        out.extend(collect_trace(&program, walker, 64, accesses));
+    }
+    out
+}
+
+/// The workload spec as observed during execution epoch `epoch`: popularity
+/// skew and phase locality wander a few percent per epoch (deterministically,
+/// from the application seed). Epoch 0 is the spec unchanged, so a scaled
+/// trace starts with exactly the unscaled one.
+fn drifted_spec(spec: &WorkloadSpec, epoch: u64) -> WorkloadSpec {
+    if epoch == 0 {
+        return *spec;
+    }
+    let mut s = *spec;
+    let mut rng = Prng::seed_from_u64(
+        spec.program_seed() ^ 0xec0c_d21f ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    // Zipf skew drifts ±5%, phase locality ±10% (clamped to sane bounds).
+    s.zipf_alpha = (s.zipf_alpha * (1.0 + (rng.gen_f64() - 0.5) * 0.10)).clamp(0.3, 2.5);
+    s.phase_local_fraction =
+        (s.phase_local_fraction * (1.0 + (rng.gen_f64() - 0.5) * 0.20)).clamp(0.02, 0.5);
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +134,27 @@ mod tests {
             "{shared_accesses} of {} accesses hit shared code",
             b.len()
         );
+    }
+
+    #[test]
+    fn scaled_trace_is_drifted_repetition_not_tiling() {
+        let n = 4_000;
+        let scaled = build_trace_scaled(AppId::Finagle, InputVariant(0), n, 3);
+        assert_eq!(scaled.len(), 3 * n);
+        let base = build_trace(AppId::Finagle, InputVariant(0), n);
+        // Epoch 0 is exactly the unscaled trace...
+        assert_eq!(scaled.slice(0..n), base);
+        // ...and later epochs are not copies of it (no plain tiling)...
+        assert_ne!(scaled.slice(n..2 * n), base);
+        assert_ne!(scaled.slice(2 * n..3 * n), scaled.slice(n..2 * n));
+        // ...yet they mostly revisit the same (hot) code.
+        let first: std::collections::HashSet<u64> = base.iter().map(|a| a.pw.start.get()).collect();
+        let revisits = scaled
+            .slice(n..2 * n)
+            .iter()
+            .filter(|a| first.contains(&a.pw.start.get()))
+            .count();
+        assert!(revisits * 10 > n * 5, "{revisits} of {n} accesses shared");
     }
 
     #[test]

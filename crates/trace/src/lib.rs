@@ -41,7 +41,9 @@ pub mod walker;
 pub mod workload;
 pub mod zipf;
 
-pub use generator::{build_trace, build_trace_with_spec};
+pub use generator::{
+    build_trace, build_trace_scaled, build_trace_scaled_with_spec, build_trace_with_spec,
+};
 pub use io::TraceIoError;
 pub use program::{Bb, BbTarget, BranchKind, Program, Region};
 pub use pwstream::PwBuilder;

@@ -76,14 +76,35 @@ impl<'a> Walker<'a> {
     ///
     /// Panics if the program has no regions.
     pub fn new(program: &'a Program, spec: &WorkloadSpec, variant: InputVariant) -> Self {
+        Walker::with_epoch(program, spec, variant, 0)
+    }
+
+    /// As [`Walker::new`], but for execution epoch `epoch` of a long-running
+    /// process: the walk RNG stream is re-keyed per epoch and the phase clock
+    /// starts rotated by `epoch`, so consecutive epochs of the same program
+    /// repeat its phase structure without replaying an identical access
+    /// stream. Epoch 0 is byte-identical to [`Walker::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no regions.
+    pub fn with_epoch(
+        program: &'a Program,
+        spec: &WorkloadSpec,
+        variant: InputVariant,
+        epoch: u64,
+    ) -> Self {
         assert!(!program.regions.is_empty(), "program must have regions");
         let n = program.regions.len();
-        // Base ranking: deterministic per application.
+        // Base ranking: deterministic per application (shared by all variants
+        // and epochs — what is globally hot stays hot across epochs).
         let mut base_rng = Prng::seed_from_u64(spec.program_seed() ^ 0x9e37_79b9);
         let mut base: Vec<u32> = (0..n as u32).collect();
         shuffle(&mut base, &mut base_rng);
 
-        let mut rng = Prng::seed_from_u64(spec.walk_seed(variant));
+        // Epoch 0 multiplies by zero, keeping the original walk seed.
+        let epoch_mix = epoch.wrapping_mul(0xd1b5_4a32_d192_ed03);
+        let mut rng = Prng::seed_from_u64(spec.walk_seed(variant) ^ epoch_mix);
         // Variant perturbation: swap ~4% of adjacent-ish ranks.
         let swaps = n / 24;
         for _ in 0..swaps {
@@ -121,8 +142,8 @@ impl<'a> Walker<'a> {
             program,
             rng,
             zipf: Zipf::new(chains, spec.zipf_alpha),
+            phase: (epoch % u64::from(spec.phases.max(1))) as usize % phase_ranking.len().max(1),
             phase_ranking,
-            phase: 0,
             phase_remaining: spec.phase_len,
             phase_len: spec.phase_len,
             mispredict_prob: spec.mispredict_prob(),

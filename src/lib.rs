@@ -24,6 +24,7 @@
 //! | [`core`] | `uopcache-core` | **FLACK**, **FURBYS**, Jenks breaks, the 7-step pipeline |
 //! | [`exec`] | `uopcache-exec` | deterministic parallel experiment engine |
 //! | [`obs`] | `uopcache-obs` | event stream, metrics registry, recorders |
+//! | [`sample`] | `uopcache-sample` | SimPoint-style representative-interval sampling |
 //!
 //! # Examples
 //!
@@ -60,5 +61,6 @@ pub use uopcache_obs as obs;
 pub use uopcache_offline as offline;
 pub use uopcache_policies as policies;
 pub use uopcache_power as power;
+pub use uopcache_sample as sample;
 pub use uopcache_sim as sim;
 pub use uopcache_trace as trace;

@@ -96,6 +96,8 @@ fn golden_zen3() {
             variant: 0,
             len: 4_000,
             metrics: false,
+            sample: None,
+            scale: 1,
         },
     );
 }
@@ -117,6 +119,8 @@ fn golden_zen4_small() {
             variant: 1,
             len: 4_000,
             metrics: false,
+            sample: None,
+            scale: 1,
         },
     );
 }

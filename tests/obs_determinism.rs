@@ -26,6 +26,8 @@ fn metrics_spec() -> SweepSpec {
         variant: 0,
         len: 2_500,
         metrics: true,
+        sample: None,
+        scale: 1,
     }
 }
 

@@ -22,6 +22,8 @@ fn spec() -> SweepSpec {
         variant: 0,
         len: 3_000,
         metrics: false,
+        sample: None,
+        scale: 1,
     }
 }
 

@@ -38,6 +38,8 @@ fn spec(app: AppId, len: usize) -> SweepSpec {
         variant: 0,
         len,
         metrics: false,
+        sample: None,
+        scale: 1,
     }
 }
 

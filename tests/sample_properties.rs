@@ -1,0 +1,137 @@
+//! End-to-end properties of the representative-interval sampling pipeline
+//! (`crates/sample` wired through the sweep harness):
+//!
+//! * **scheduling invariance** — a sampled sweep is byte-identical at
+//!   `--jobs 1`, `--jobs 2` and `--jobs 8`, scaled traces included;
+//! * **weights partition the trace** — cluster weights are uop shares that
+//!   sum to one;
+//! * **piecewise-constant exactness** — when a per-interval metric is
+//!   constant within each cluster, the weighted reconstruction equals the
+//!   uop-weighted truth exactly (up to float rounding);
+//! * **observer neutrality** — attaching a `BbvRecorder` to a frontend must
+//!   not change the simulation result in any field.
+
+use uopcache::cache::LruPolicy;
+use uopcache::exec::Engine;
+use uopcache::model::FrontendConfig;
+use uopcache::obs::BbvRecorder;
+use uopcache::sample::{SampleConfig, SamplePlan};
+use uopcache::sim::Frontend;
+use uopcache::trace::{build_trace, AppId, InputVariant};
+use uopcache_bench::sweep::{run_sweep, SweepSpec};
+
+fn sampled_spec() -> SweepSpec {
+    SweepSpec {
+        cfg: FrontendConfig::zen3(),
+        config_name: "zen3".to_string(),
+        apps: vec![AppId::Kafka, AppId::Postgres],
+        policies: vec![
+            "LRU".to_string(),
+            "Random".to_string(),
+            "FURBYS".to_string(),
+        ],
+        variant: 0,
+        len: 4_000,
+        metrics: false,
+        sample: Some(2_000),
+        scale: 2,
+    }
+}
+
+#[test]
+fn sampled_sweeps_are_scheduling_invariant() {
+    let spec = sampled_spec();
+    let serial = run_sweep(&spec, &Engine::new(1)).to_json();
+    for jobs in [2usize, 8] {
+        let parallel = run_sweep(&spec, &Engine::new(jobs)).to_json();
+        assert_eq!(serial, parallel, "jobs=1 vs jobs={jobs} diverged");
+    }
+    assert!(serial.contains("\"sampled\""));
+}
+
+#[test]
+fn cluster_weights_partition_the_trace() {
+    for app in [AppId::Kafka, AppId::Clang] {
+        let trace = build_trace(app, InputVariant(0), 6_000);
+        let plan = SamplePlan::build(&trace, &SampleConfig::new(1_500, 0xbeef));
+        let weights = plan.weights();
+        assert_eq!(weights.len(), plan.k);
+        assert!(weights.iter().all(|w| *w > 0.0));
+        let total: f64 = weights.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "{}: weights sum to {total}",
+            app.name()
+        );
+        // Each weight is exactly the cluster's uop share.
+        let total_uops: u64 = plan.intervals.iter().map(|iv| iv.uops).sum();
+        for (c, w) in plan.clusters.iter().zip(&weights) {
+            let share = c.uops as f64 / total_uops as f64;
+            assert!((share - w).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn piecewise_constant_metrics_reconstruct_exactly() {
+    let trace = build_trace(AppId::Postgres, InputVariant(0), 8_000);
+    let plan = SamplePlan::build(&trace, &SampleConfig::new(2_000, 0x5eed));
+
+    // Synthetic per-interval metric, constant within each cluster: interval i
+    // in cluster c contributes value(c) uops-weighted.
+    let value = |c: usize| 0.25 + 0.1 * c as f64;
+    let total_uops: u64 = plan.intervals.iter().map(|iv| iv.uops).sum();
+    let truth: f64 = plan
+        .assignments
+        .iter()
+        .zip(&plan.intervals)
+        .map(|(&c, iv)| value(c) * iv.uops as f64)
+        .sum::<f64>()
+        / total_uops as f64;
+
+    // The sampled estimate sees only the simulation points — which is enough,
+    // because within a cluster every point reads the same value.
+    let estimate: f64 = plan
+        .clusters
+        .iter()
+        .enumerate()
+        .zip(plan.weights())
+        .map(|((c, cluster), w)| {
+            let point_mean =
+                cluster.points.iter().map(|_| value(c)).sum::<f64>() / cluster.points.len() as f64;
+            w * point_mean
+        })
+        .sum();
+
+    assert!(
+        (estimate - truth).abs() < 1e-9,
+        "piecewise-constant metric must reconstruct exactly: {estimate} vs {truth}"
+    );
+}
+
+#[test]
+fn bbv_recorder_is_observationally_neutral() {
+    let cfg = FrontendConfig::zen3();
+    for app in [AppId::Kafka, AppId::Postgres] {
+        let trace = build_trace(app, InputVariant(0), 5_000);
+        let plain = Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .build()
+            .run(&trace);
+
+        let mut fe = Frontend::builder(cfg)
+            .policy(LruPolicy::new())
+            .recorder(BbvRecorder::new(0xb3, 2_000, 32, 4_096))
+            .build();
+        let recorded = fe.run(&trace);
+
+        assert_eq!(
+            plain,
+            recorded,
+            "{}: BbvRecorder changed the simulation",
+            app.name()
+        );
+        let rec = fe.take_recorder().expect("recorder attached");
+        assert!(rec.offered() > 0, "{}: recorder saw no events", app.name());
+    }
+}

@@ -40,6 +40,8 @@ fn spec(apps: &[AppId], len: usize) -> SweepSpec {
         variant: 0,
         len,
         metrics: false,
+        sample: None,
+        scale: 1,
     }
 }
 

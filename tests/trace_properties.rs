@@ -152,3 +152,67 @@ fn pw_lengths_order_by_calibrated_block_size() {
         "calibrated block-size ordering lost in generation"
     );
 }
+
+/// `--scale` must produce *phase-structured repetition with drift*, not a
+/// tiled copy of the base trace: epoch 0 is exactly the unscaled trace, every
+/// later epoch walks the same program (heavily overlapping code footprint)
+/// under a deterministically drifted spec, so no two epochs are identical.
+#[test]
+fn scaled_traces_repeat_phase_structure_without_tiling() {
+    use std::collections::HashSet;
+    use uopcache::trace::{build_trace_scaled, Program};
+
+    for app in [AppId::Kafka, AppId::Postgres] {
+        let program = Program::synthesize(&app.spec());
+        let blocks: Vec<_> = program.regions.iter().flat_map(|r| r.bbs.iter()).collect();
+        let image_lo = blocks.iter().map(|bb| bb.addr.get()).min().unwrap();
+        let image_hi = blocks
+            .iter()
+            .map(|bb| bb.addr.get() + u64::from(bb.bytes))
+            .max()
+            .unwrap();
+        let base = build_trace(app, InputVariant(0), 3_000);
+        let scaled = build_trace_scaled(app, InputVariant(0), 3_000, 4);
+
+        // Scaling is a pure function and yields exactly `scale` base-length
+        // epochs; scale 1 degenerates to the unscaled trace.
+        assert_eq!(scaled.len(), 4 * base.len(), "{}", app.name());
+        assert_eq!(scaled, build_trace_scaled(app, InputVariant(0), 3_000, 4));
+        assert_eq!(build_trace_scaled(app, InputVariant(0), 3_000, 1), base);
+        assert_eq!(scaled.slice(0..base.len()), base, "{}", app.name());
+
+        let starts: HashSet<_> = base.iter().map(|a| a.pw.start).collect();
+        for e in 1..4 {
+            let epoch = scaled.slice(e * base.len()..(e + 1) * base.len());
+            assert_ne!(
+                epoch,
+                base,
+                "{}: epoch {e} is a verbatim tile of epoch 0",
+                app.name()
+            );
+            // Same program, different walk: every epoch stays inside the one
+            // synthesized program image...
+            assert!(
+                epoch.iter().all(|a| {
+                    let s = a.pw.start.get();
+                    (image_lo..image_hi).contains(&s)
+                }),
+                "{}: epoch {e} fetches outside the program image",
+                app.name()
+            );
+            // ...and still spends a solid share of its accesses in epoch-0
+            // code (the drifted Zipf skew may shift the cold tail, but the
+            // hot blocks persist across epochs).
+            let shared_accesses = epoch
+                .iter()
+                .filter(|a| starts.contains(&a.pw.start))
+                .count();
+            assert!(
+                shared_accesses * 3 >= epoch.len(),
+                "{}: epoch {e} spends only {shared_accesses}/{} accesses in epoch-0 code",
+                app.name(),
+                epoch.len()
+            );
+        }
+    }
+}
